@@ -1,0 +1,275 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Table 3, the Section 6.1 attack analysis, the
+   Section 6.2 incentive analysis, the Section 4.1 lifetime numbers)
+   and runs Bechamel micro-benchmarks over the hot operations — one
+   Test.make per experiment.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # one experiment
+     dune exec bench/main.exe -- table1 table3 attack incentives lifetime micro
+     dune exec bench/main.exe -- table1 --full   # Table 1 up to n = 1000 *)
+
+module Tx = Daric_tx.Tx
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Txs = Daric_core.Txs
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ---------------- table/figure regeneration ---------------- *)
+
+let run_table1 ~full () =
+  section "Experiment T1: Table 1 (storage, qualitative comparison)";
+  let ns = if full then [ 1; 10; 100; 1000 ] else [ 1; 10; 100 ] in
+  print_string (Daric_analysis.Tables.table1 ~ns ())
+
+let run_table3 () =
+  section "Experiment T3: Table 3 (closure cost and operation counts)";
+  print_string (Daric_analysis.Tables.table3 ~ms:[ 0; 1; 5; 10; 100; 966 ] ());
+  print_newline ();
+  print_string (Daric_analysis.Tables.measured_ops_table ())
+
+let run_attack ~full () =
+  section "Experiment S6.1: HTLC-security delay attack";
+  let cfg =
+    if full then
+      { Daric_pcn.Attack.default_config with n_channels = 40; timelock_blocks = 36 }
+    else Daric_pcn.Attack.default_config
+  in
+  print_string (Daric_analysis.Tables.attack_report ~cfg ());
+  (* profitability frontier: adversary net vs number of channels, at
+     paper constants (cost is 144A regardless of N) *)
+  Fmt.pr "@.profitability frontier (analytic, 3-day timelock, race p=0.5):@.";
+  Fmt.pr "%-10s %-14s %-14s %-10s@." "N chans" "cost (A)" "E[revenue] (A)"
+    "E[net] (A)";
+  List.iter
+    (fun n ->
+      let cost = Daric_pcn.Attack.Analytic.cost_over_a () in
+      let rev = float_of_int n *. 0.5 in
+      Fmt.pr "%-10d %-14d %-14.0f %-10.0f@." n cost rev (rev -. float_of_int cost))
+    [ 10; 100; 288; 400; 715 ]
+
+(* Empirical bounded closure: rounds from a fraud (or unilateral
+   close) to final resolution, swept over the ledger delay and the
+   dispute window T. The paper's bound is Delta for punishment and
+   T + Delta for closure. *)
+let run_bounded_closure () =
+  section "Experiment UC: bounded closure latency (rounds)";
+  Fmt.pr "%-8s %-8s %-14s %-14s %-14s@." "delta" "T" "punish<=delta"
+    "close<=T+delta" "measured(p,c)";
+  List.iter
+    (fun (delta, t_rel) ->
+      (* punishment latency *)
+      let d = Driver.create ~delta ~seed:(delta * 10 + t_rel) () in
+      let alice = Party.create ~pid:"alice" ~seed:1 () in
+      let bob = Party.create ~pid:"bob" ~seed:2 () in
+      Driver.add_party d alice;
+      Driver.add_party d bob;
+      Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:50_000 ~bal_b:50_000
+        ~rel_lock:t_rel ();
+      assert (Driver.run_until_operational d ~id:"c" ~alice ~bob);
+      let cb = Party.chan_exn bob "c" in
+      let old_commit = Option.get cb.Party.commit_mine in
+      let c = Party.chan_exn alice "c" in
+      let pk_a, pk_b = Party.main_pks c in
+      let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:60_000 ~bal_b:40_000 in
+      assert (Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta);
+      Driver.corrupt d "bob";
+      Driver.adversary_post d old_commit;
+      let fraud_round = Driver.round d in
+      let rec wait_punish n =
+        if Driver.saw_event alice (function Party.Punished _ -> true | _ -> false)
+        then Driver.round d - fraud_round
+        else if n = 0 then -1
+        else begin
+          Driver.step d;
+          wait_punish (n - 1)
+        end
+      in
+      (* the commit lands within delta, then the revocation within
+         another delta: total <= 2*delta + 1 *)
+      let punish_latency = wait_punish (2 + (3 * delta)) in
+      (* closure latency: unilateral close on a fresh session *)
+      let d2 = Driver.create ~delta ~seed:(delta * 100 + t_rel) () in
+      let a2 = Party.create ~pid:"alice" ~seed:3 () in
+      let b2 = Party.create ~pid:"bob" ~seed:4 () in
+      Driver.add_party d2 a2;
+      Driver.add_party d2 b2;
+      Driver.open_channel d2 ~id:"c" ~alice:a2 ~bob:b2 ~bal_a:50_000
+        ~bal_b:50_000 ~rel_lock:t_rel ();
+      assert (Driver.run_until_operational d2 ~id:"c" ~alice:a2 ~bob:b2);
+      Driver.corrupt d2 "bob";
+      let start = Driver.round d2 in
+      Party.force_close a2 (Driver.ctx d2 "alice") (Party.chan_exn a2 "c");
+      let rec wait_close n =
+        if Driver.saw_event a2 (function Party.Closed _ -> true | _ -> false)
+        then Driver.round d2 - start
+        else if n = 0 then -1
+        else begin
+          Driver.step d2;
+          wait_close (n - 1)
+        end
+      in
+      let close_latency = wait_close (t_rel + (4 * delta) + 6) in
+      Fmt.pr "%-8d %-8d %-14d %-14d (%d, %d)@." delta t_rel ((2 * delta) + 1)
+        (t_rel + (2 * delta) + 1) punish_latency close_latency)
+    [ (1, 3); (1, 6); (2, 5); (3, 8); (4, 10) ]
+
+let run_incentives () =
+  section "Experiment S6.2: punishment mechanism";
+  print_string (Daric_analysis.Tables.incentives_report ())
+
+let run_pcn ~full () =
+  section "Extension: PCN payment-delivery simulation";
+  let cfg =
+    if full then
+      { Daric_analysis.Pcn_sim.default_config with
+        n_nodes = 16; n_channels = 26; n_payments = 80 }
+    else Daric_analysis.Pcn_sim.default_config
+  in
+  print_string (Daric_analysis.Pcn_sim.report ~cfg ())
+
+let run_lifetime () =
+  section "Experiment T1-life: channel lifetime (Section 4.1)";
+  let module L = Daric_core.Locktime in
+  Fmt.pr "block-height encoding at height 700,000: %d updates@."
+    (L.height_mode_capacity ~current_height:700_000);
+  Fmt.pr "timestamp encoding at t=1.65e9: %d updates@."
+    (L.timestamp_mode_capacity ~current_time:1_650_000_000);
+  Fmt.pr "unlimited at <= 1 update/second: %b@."
+    (L.unlimited_lifetime ~seconds_per_update:1.0)
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let bench_tests () =
+  let open Bechamel in
+  let rng = Daric_util.Rng.create ~seed:1 in
+  let sk, pk = Daric_crypto.Schnorr.keygen rng in
+  let msg = Daric_util.Rng.bytes rng 64 in
+  let sg = Daric_crypto.Schnorr.sign sk msg in
+  let sign =
+    Test.make ~name:"schnorr-sign"
+      (Staged.stage (fun () -> ignore (Daric_crypto.Schnorr.sign sk msg)))
+  in
+  let verify =
+    Test.make ~name:"schnorr-verify"
+      (Staged.stage (fun () -> ignore (Daric_crypto.Schnorr.verify pk msg sg)))
+  in
+  let sha =
+    Test.make ~name:"sha256-64B"
+      (Staged.stage (fun () -> ignore (Daric_crypto.Sha256.digest msg)))
+  in
+  (* one full Daric channel update round-trip (both parties, all
+     messages, no chain interaction) — the per-payment cost *)
+  let update_env =
+    let d = Driver.create ~delta:1 ~seed:9 () in
+    let alice = Party.create ~pid:"alice" ~seed:1 () in
+    let bob = Party.create ~pid:"bob" ~seed:2 () in
+    Driver.add_party d alice;
+    Driver.add_party d bob;
+    Driver.open_channel d ~id:"b" ~alice ~bob ~bal_a:1_000_000 ~bal_b:1_000_000 ();
+    assert (Driver.run_until_operational d ~id:"b" ~alice ~bob);
+    let c = Party.chan_exn alice "b" in
+    let pk_a, pk_b = Party.main_pks c in
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      let theta =
+        Txs.balance_state ~pk_a ~pk_b
+          ~bal_a:(1_000_000 - (!k mod 1000))
+          ~bal_b:(1_000_000 + (!k mod 1000))
+      in
+      assert (Driver.update_channel d ~id:"b" ~initiator:alice ~responder:bob ~theta)
+  in
+  let daric_update =
+    Test.make ~name:"daric-channel-update" (Staged.stage update_env)
+  in
+  let eltoo_env =
+    let ledger = Daric_chain.Ledger.create ~delta:1 () in
+    let ch = Daric_schemes.Eltoo.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 () in
+    fun () -> ignore (Daric_schemes.Eltoo.update ch ~bal_a:1_000 ~bal_b:1_000)
+  in
+  let eltoo_update =
+    Test.make ~name:"eltoo-channel-update" (Staged.stage eltoo_env)
+  in
+  let ln_env =
+    let ledger = Daric_chain.Ledger.create ~delta:1 () in
+    let ch =
+      Daric_schemes.Lightning.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 ()
+    in
+    fun () -> ignore (Daric_schemes.Lightning.update ch ~bal_a:1_000 ~bal_b:1_000)
+  in
+  let ln_update =
+    Test.make ~name:"lightning-channel-update" (Staged.stage ln_env)
+  in
+  let gc_env =
+    let ledger = Daric_chain.Ledger.create ~delta:1 () in
+    let ch =
+      Daric_schemes.Generalized.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 ()
+    in
+    fun () ->
+      ignore (Daric_schemes.Generalized.update ch ~bal_a:1_000 ~bal_b:1_000)
+  in
+  let gc_update =
+    Test.make ~name:"generalized-channel-update" (Staged.stage gc_env)
+  in
+  (* weight accounting of a full dishonest closure (Table 3 path) *)
+  let weights =
+    Test.make ~name:"table3-weight-model"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (s : Daric_schemes.Costmodel.scheme) ->
+               ignore (Daric_schemes.Costmodel.weight (s.dishonest ~m:10)))
+             Daric_schemes.Costmodel.all))
+  in
+  [ sign; verify; sha; daric_update; eltoo_update; ln_update; gc_update;
+    weights ]
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-28s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "%-28s (no estimate)@." name)
+        results)
+    (bench_tests ())
+
+(* ---------------- driver ---------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let all = args = [] in
+  let want x = all || List.mem x args in
+  if want "table1" then run_table1 ~full ();
+  if want "table3" then run_table3 ();
+  if want "attack" then run_attack ~full ();
+  if want "bounded" then run_bounded_closure ();
+  if want "pcn" then run_pcn ~full ();
+  if want "incentives" then run_incentives ();
+  if want "lifetime" then run_lifetime ();
+  if List.mem "csv" args then begin
+    section "CSV export";
+    let ns = if full then [ 1; 10; 100; 1000 ] else [ 1; 10; 100 ] in
+    List.iter (Fmt.pr "wrote %s@.")
+      (Daric_analysis.Csv.write_all ~ns ~dir:"results" ()
+      @ [ Daric_analysis.Pcn_sim.to_csv
+            (Daric_analysis.Pcn_sim.run Daric_analysis.Pcn_sim.default_config)
+            ~dir:"results" ])
+  end;
+  if want "micro" then run_micro ()

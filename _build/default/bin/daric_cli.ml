@@ -1,0 +1,218 @@
+(* daric: command-line driver for the Daric payment-channel
+   reproduction — table regeneration, attack/incentive analyses,
+   transaction-flow charts and a scripted channel demo. *)
+
+open Cmdliner
+
+let setup_logs (level : Logs.level option) =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let log_term =
+  let env = Cmd.Env.info "DARIC_VERBOSITY" in
+  Logs_cli.level ~env ()
+
+(* ---- tables ---- *)
+
+let tables_cmd =
+  let which =
+    Arg.(value & pos 0 (enum [ ("all", `All); ("1", `T1); ("3", `T3) ]) `All
+         & info [] ~docv:"TABLE" ~doc:"Which table to print: 1, 3 or all.")
+  in
+  let updates =
+    Arg.(value & opt int 1000
+         & info [ "max-updates" ] ~doc:"Largest update count in the Table 1 sweep.")
+  in
+  let run logs which updates =
+    setup_logs logs;
+    let ns = List.filter (fun n -> n <= updates) [ 1; 10; 100; 1000 ] in
+    (match which with
+    | `All | `T1 -> print_string (Daric_analysis.Tables.table1 ~ns ())
+    | `T3 -> ());
+    match which with
+    | `All | `T3 ->
+        print_newline ();
+        print_string (Daric_analysis.Tables.table3 ());
+        print_newline ();
+        print_string (Daric_analysis.Tables.measured_ops_table ())
+    | `T1 -> ()
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate Table 1 and Table 3 of the paper.")
+    Term.(const run $ log_term $ which $ updates)
+
+(* ---- attack ---- *)
+
+let attack_cmd =
+  let channels =
+    Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of victim channels.")
+  in
+  let blocks =
+    Arg.(value & opt int 12
+         & info [ "blocks" ] ~doc:"HTLC timelock in blocks (paper: 144).")
+  in
+  let run logs channels blocks =
+    setup_logs logs;
+    let cfg =
+      { Daric_pcn.Attack.default_config with
+        n_channels = channels;
+        timelock_blocks = blocks }
+    in
+    print_string (Daric_analysis.Tables.attack_report ~cfg ())
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the Section 6.1 channel-closure delay attack against eltoo \
+             and the same adversary against Daric.")
+    Term.(const run $ log_term $ channels $ blocks)
+
+(* ---- incentives ---- *)
+
+let incentives_cmd =
+  let run logs =
+    setup_logs logs;
+    print_string (Daric_analysis.Tables.incentives_report ())
+  in
+  Cmd.v
+    (Cmd.info "incentives"
+       ~doc:"Print the Section 6.2 punishment-threshold analysis.")
+    Term.(const run $ log_term)
+
+(* ---- flow charts ---- *)
+
+let flow_cmd =
+  let which =
+    Arg.(value
+         & pos 0 (enum [ ("sample", `Sample); ("daric", `Daric); ("lightning", `Ln) ]) `Daric
+         & info [] ~docv:"CHART" ~doc:"sample (Fig 1), daric (Fig 3) or lightning (Fig 2).")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of ASCII.")
+  in
+  let run logs which dot =
+    setup_logs logs;
+    let module F = Daric_core.Flowchart in
+    let chart =
+      match which with
+      | `Sample -> F.sample ()
+      | `Daric -> F.daric_state ~i:3 ()
+      | `Ln -> F.lightning_pts_state ~i:3 ()
+    in
+    print_string (if dot then F.to_dot chart else F.to_ascii chart)
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Render the paper's transaction-flow figures.")
+    Term.(const run $ log_term $ which $ dot)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let updates =
+    Arg.(value & opt int 5 & info [ "updates" ] ~doc:"Number of payments.")
+  in
+  let dishonest =
+    Arg.(value & flag
+         & info [ "dishonest" ] ~doc:"Replay an old state and get punished.")
+  in
+  let run logs updates dishonest =
+    setup_logs logs;
+    let module Party = Daric_core.Party in
+    let module Driver = Daric_core.Driver in
+    let module Tx = Daric_tx.Tx in
+    let d = Driver.create ~delta:1 ~seed:99 () in
+    let alice = Party.create ~pid:"alice" ~seed:1 () in
+    let bob = Party.create ~pid:"bob" ~seed:2 () in
+    Driver.add_party d alice;
+    Driver.add_party d bob;
+    Driver.open_channel d ~id:"demo" ~alice ~bob ~bal_a:60_000 ~bal_b:40_000 ();
+    assert (Driver.run_until_operational d ~id:"demo" ~alice ~bob);
+    Fmt.pr "channel open: alice 60000, bob 40000@.";
+    let c = Party.chan_exn alice "demo" in
+    let pk_a, pk_b = Party.main_pks c in
+    let old_commit = Option.get (Party.chan_exn bob "demo").Party.commit_mine in
+    for k = 1 to updates do
+      let theta =
+        Daric_core.Txs.balance_state ~pk_a ~pk_b ~bal_a:(60_000 - (1000 * k))
+          ~bal_b:(40_000 + (1000 * k))
+      in
+      assert (Driver.update_channel d ~id:"demo" ~initiator:alice ~responder:bob ~theta);
+      Fmt.pr "update %d: alice %d, bob %d (state %d)@." k (60_000 - (1000 * k))
+        (40_000 + (1000 * k)) (Party.chan_exn alice "demo").Party.sn
+    done;
+    if dishonest then begin
+      Fmt.pr "bob replays state 0 (60000/40000)...@.";
+      Driver.corrupt d "bob";
+      Driver.adversary_post d old_commit;
+      Driver.run d 10;
+      List.iter
+        (fun (r, ev) -> Fmt.pr "  round %d alice: %s@." r (Party.event_to_string ev))
+        (Party.events alice)
+    end
+    else begin
+      Party.request_close alice (Driver.ctx d "alice") ~id:"demo";
+      Driver.run d 10;
+      Fmt.pr "collaborative close requested...@.";
+      List.iter
+        (fun (r, ev) -> Fmt.pr "  round %d alice: %s@." r (Party.event_to_string ev))
+        (Party.events alice)
+    end;
+    let fund_op = Tx.outpoint_of (Option.get c.Party.fund) 0 in
+    print_string
+      (Daric_core.Flowchart.to_ascii
+         (Daric_core.Flowchart.of_ledger (Driver.ledger d) ~funding:fund_op
+            ~title:"on-chain closure"))
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a scripted channel session end to end.")
+    Term.(const run $ log_term $ updates $ dishonest)
+
+(* ---- pcn ---- *)
+
+let pcn_cmd =
+  let nodes =
+    Arg.(value & opt int 10 & info [ "nodes" ] ~doc:"Number of network nodes.")
+  in
+  let payments =
+    Arg.(value & opt int 40 & info [ "payments" ] ~doc:"Number of random payments.")
+  in
+  let run logs nodes payments =
+    setup_logs logs;
+    let cfg =
+      { Daric_analysis.Pcn_sim.default_config with
+        n_nodes = nodes;
+        n_channels = nodes * 3 / 2;
+        n_payments = payments }
+    in
+    print_string (Daric_analysis.Pcn_sim.report ~cfg ())
+  in
+  Cmd.v
+    (Cmd.info "pcn"
+       ~doc:"Simulate random payments over a random Daric channel network.")
+    Term.(const run $ log_term $ nodes $ payments)
+
+(* ---- lifetime ---- *)
+
+let lifetime_cmd =
+  let run logs =
+    setup_logs logs;
+    let module L = Daric_core.Locktime in
+    Fmt.pr "Section 4.1 - channel lifetime@.";
+    Fmt.pr "block-height encoding (S0 = 0) at height 700000: %d updates@."
+      (L.height_mode_capacity ~current_height:700_000);
+    Fmt.pr "timestamp encoding (S0 = 5e8) at t = 1.65e9:   %d updates@."
+      (L.timestamp_mode_capacity ~current_time:1_650_000_000);
+    Fmt.pr "unlimited at <= 1 update/second: %b@."
+      (L.unlimited_lifetime ~seconds_per_update:1.0)
+  in
+  Cmd.v
+    (Cmd.info "lifetime" ~doc:"Print the Section 4.1 lifetime analysis.")
+    Term.(const run $ log_term)
+
+let main =
+  Cmd.group
+    (Cmd.info "daric" ~version:"1.0.0"
+       ~doc:"Daric payment channel: reproduction of Mirzaei et al., DSN 2022.")
+    [ tables_cmd; attack_cmd; incentives_cmd; flow_cmd; demo_cmd; pcn_cmd;
+      lifetime_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/channel_reset.ml: Daric_chain Daric_core Daric_script Daric_tx Daric_util Fmt Option String

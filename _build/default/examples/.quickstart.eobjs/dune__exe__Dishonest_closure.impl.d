@@ -1,0 +1,1 @@
+examples/dishonest_closure.ml: Daric_chain Daric_core Daric_tx Fmt List Option

@@ -1,0 +1,1 @@
+examples/dishonest_closure.mli:

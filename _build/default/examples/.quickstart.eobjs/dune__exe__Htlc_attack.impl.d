@@ -1,0 +1,1 @@
+examples/htlc_attack.ml: Daric_analysis Daric_pcn Fmt

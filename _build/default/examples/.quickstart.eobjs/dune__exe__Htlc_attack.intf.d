@@ -1,0 +1,1 @@
+examples/htlc_attack.mli:

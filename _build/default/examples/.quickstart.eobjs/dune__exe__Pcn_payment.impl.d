@@ -1,0 +1,1 @@
+examples/pcn_payment.ml: Daric_chain Daric_core Daric_pcn Daric_tx Fmt List

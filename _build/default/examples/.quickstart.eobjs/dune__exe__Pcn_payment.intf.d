@@ -1,0 +1,1 @@
+examples/pcn_payment.mli:

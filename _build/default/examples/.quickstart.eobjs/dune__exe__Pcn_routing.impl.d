@@ -1,0 +1,1 @@
+examples/pcn_routing.ml: Daric_core Daric_pcn Fmt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Daric_chain Daric_core Daric_tx Fmt List Option

@@ -1,0 +1,1 @@
+examples/watchtower_service.ml: Daric_chain Daric_core Daric_tx Fmt List Option

@@ -1,0 +1,1 @@
+examples/watchtower_service.mli:

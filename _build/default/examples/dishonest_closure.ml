@@ -1,0 +1,62 @@
+(* Dishonest closure and punishment (Section 4.4, Fig. 3).
+
+   Bob snapshots a state in which he held more funds, keeps updating,
+   then replays the old commit transaction. Alice's Punish daemon
+   instantly completes her floating revocation transaction — which
+   spends *any* of Bob's revoked commits thanks to ANYPREVOUT and the
+   nLockTime state ordering — and takes the whole channel capacity.
+
+   Run with: dune exec examples/dishonest_closure.exe *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Txs = Daric_core.Txs
+
+let () =
+  let d = Driver.create ~delta:1 ~seed:4242 () in
+  let alice = Party.create ~pid:"alice" ~seed:1 () in
+  let bob = Party.create ~pid:"bob" ~seed:2 () in
+  Driver.add_party d alice;
+  Driver.add_party d bob;
+  Driver.open_channel d ~id:"ch" ~alice ~bob ~bal_a:20_000 ~bal_b:80_000 ();
+  assert (Driver.run_until_operational d ~id:"ch" ~alice ~bob);
+  Fmt.pr "channel open: alice 20000, bob 80000@.";
+
+  (* Bob (acting dishonestly later) keeps his state-0 commit around. *)
+  let cb = Party.chan_exn bob "ch" in
+  let old_commit = Option.get cb.Party.commit_mine in
+  Fmt.pr "bob snapshots his state-0 commit %a@." Tx.pp old_commit;
+
+  (* The channel moves on: Bob pays Alice most of his balance. *)
+  let ca = Party.chan_exn alice "ch" in
+  let pk_a, pk_b = Party.main_pks ca in
+  List.iteri
+    (fun i (a, b) ->
+      let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:a ~bal_b:b in
+      assert (Driver.update_channel d ~id:"ch" ~initiator:bob ~responder:alice ~theta);
+      Fmt.pr "update %d: alice %d, bob %d@." (i + 1) a b)
+    [ (50_000, 50_000); (90_000, 10_000) ];
+
+  (* Bob replays state 0, where he still had 80k. *)
+  Fmt.pr "@.bob turns dishonest and publishes the revoked state-0 commit...@.";
+  Driver.corrupt d "bob";
+  Driver.adversary_post d old_commit;
+  Driver.run d 8;
+
+  assert (Driver.saw_event alice (function Party.Punished _ -> true | _ -> false));
+  let rv = Option.get (Party.chan_exn alice "ch").Party.punish_posted in
+  Fmt.pr "alice punished bob: revocation tx %a pays her the full %d sat@." Tx.pp
+    rv (Tx.total_output_value rv);
+
+  (* Why it worked: the revocation transaction was signed once, floats
+     over every revoked commit, and the commit script's CLTV state
+     ordering blocked everything except it. *)
+  Fmt.pr "@.the dishonest closure cost %d weight units on chain (Table 3: 1239):@."
+    (Tx.weight old_commit + Tx.weight rv);
+  let fund_op = Tx.outpoint_of (Option.get ca.Party.fund) 0 in
+  print_string
+    (Daric_core.Flowchart.to_ascii
+       (Daric_core.Flowchart.of_ledger (Driver.ledger d) ~funding:fund_op
+          ~title:"punished closure"))

@@ -1,0 +1,63 @@
+(* A small payment-channel network with routing: open a mesh of Daric
+   channels, route payments by liquidity-aware shortest path, watch
+   liquidity shift, and survive a relay going offline.
+
+   Topology (all channels 50k/50k):
+
+        alice --- hub1 --- hub2 --- dana
+           \                       /
+            +------- hub3 --------+
+
+   Run with: dune exec examples/pcn_routing.exe *)
+
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Router = Daric_pcn.Router
+
+let () =
+  let d = Driver.create ~delta:1 ~seed:20_26 () in
+  let mk pid seed =
+    let p = Party.create ~pid ~seed () in
+    Driver.add_party d p;
+    p
+  in
+  let alice = mk "alice" 1 and hub1 = mk "hub1" 2 in
+  let hub2 = mk "hub2" 3 and hub3 = mk "hub3" 4 in
+  let dana = mk "dana" 5 in
+  let net = Router.create d in
+  let link a b id =
+    Driver.open_channel d ~id ~alice:a ~bob:b ~bal_a:50_000 ~bal_b:50_000 ();
+    assert (Driver.run_until_operational d ~id ~alice:a ~bob:b);
+    Router.add_channel net ~channel_id:id ~a ~b;
+    Fmt.pr "opened %-14s %s <-> %s@." id a.Party.pid b.Party.pid
+  in
+  link alice hub1 "alice-hub1";
+  link hub1 hub2 "hub1-hub2";
+  link hub2 dana "hub2-dana";
+  link alice hub3 "alice-hub3";
+  link hub3 dana "hub3-dana";
+
+  let pay k amount =
+    let r =
+      Router.pay net ~src:alice ~dst:dana ~amount
+        ~preimage:(Fmt.str "invoice-%d" k) ()
+    in
+    Fmt.pr "payment %d (%d sat): delivered=%b via %d hop(s), %d attempt(s)@." k
+      amount r.Router.delivered r.Router.route_length r.Router.attempts
+  in
+
+  Fmt.pr "@.alice's total liquidity: %d sat@." (Router.node_liquidity net "alice");
+  pay 1 20_000;
+  pay 2 20_000 (* drains the short route: 50k - 40k < 20k next time *);
+  pay 3 20_000 (* rerouted through hub1-hub2 *);
+  Fmt.pr "alice's liquidity after 3 payments: %d sat@."
+    (Router.node_liquidity net "alice");
+
+  Fmt.pr "@.hub3 goes offline...@.";
+  Driver.corrupt d "hub3";
+  pay 4 5_000;
+
+  let attempted, succeeded = Router.stats net in
+  Fmt.pr "@.%d/%d payments delivered; dana now holds %d sat of liquidity@."
+    succeeded attempted
+    (Router.node_liquidity net "dana")

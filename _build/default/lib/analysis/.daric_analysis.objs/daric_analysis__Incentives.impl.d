@@ -1,0 +1,1 @@
+lib/analysis/incentives.ml: Daric_util List

@@ -1,0 +1,1 @@
+lib/analysis/incentives.mli: Daric_util

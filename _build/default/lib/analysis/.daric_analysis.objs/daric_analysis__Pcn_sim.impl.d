@@ -1,0 +1,1 @@
+lib/analysis/pcn_sim.ml: Array Buffer Csv Daric_core Daric_pcn Daric_util Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/pcn_sim.mli:

@@ -1,0 +1,1 @@
+lib/analysis/tables.mli: Daric_pcn

@@ -1,0 +1,120 @@
+(** The punishment-mechanism analysis of Section 6.2.
+
+    A profit-driven party considers closing a channel with an old state.
+    With probability p the honest counter-party (or her fair
+    watchtower) reacts in time. The schemes differ in what the cheater
+    risks:
+    - eltoo: only the transaction fee f, which the cheater herself sets
+      as low as the relay policy allows — so fraud is discouraged only
+      when p > 1 - f/C_A, a threshold that grows with the capacity C_A;
+    - Daric: the cheater's whole balance, at least the reserve fraction
+      of the capacity — discouraged when p > 1 - reserve, independent
+      of the capacity and tunable by raising the reserve. *)
+
+(** Paper constants (April 2022). Values in BTC. *)
+module Constants = struct
+  let avg_tx_fee_btc = 0.000055
+  let avg_channel_capacity_btc = 0.04
+
+  (** An eltoo update transaction is 208 vbytes (Appendix H.4); at the
+      1 sat/vbyte floor that is 208 satoshi. *)
+  let eltoo_update_vbytes = 208
+
+  let min_fee_btc = float_of_int eltoo_update_vbytes *. 1e-8
+  let default_reserve = 0.01
+
+  (** ~20 USD average punishable amount quoted in the paper:
+      1% of 0.04 BTC at the April-2022 price (~47k USD/BTC). *)
+  let btc_usd = 47_000.
+end
+
+(** eltoo: fraud discouraged iff (C_A - f)(1-p) - f p < 0, i.e.
+    p > 1 - f / C_A. *)
+let eltoo_threshold ~(fee : float) ~(capacity : float) : float =
+  1. -. (fee /. capacity)
+
+(** Daric: fraud discouraged iff (1-r) C (1-p) - r C p < 0, i.e.
+    p > 1 - reserve. *)
+let daric_threshold ~(reserve : float) : float = 1. -. reserve
+
+(** Variant where the cheater does not know whether a fair watchtower
+    monitors the channel; [coverage] is C_W / C, the fraction of network
+    capacity backed by fair-watchtower collateral. The reaction failure
+    probability becomes p0 = (1 - coverage)(1 - p). *)
+let eltoo_threshold_with_coverage ~(fee : float) ~(capacity : float)
+    ~(coverage : float) : float =
+  1. -. (fee /. capacity /. (1. -. coverage))
+
+let daric_threshold_with_coverage ~(reserve : float) ~(coverage : float) :
+    float =
+  1. -. (reserve /. (1. -. coverage))
+
+(** Expected attacker profit at reaction probability [p] (per unit of
+    channel capacity); negative means the attack is discouraged. *)
+let eltoo_expected_profit ~(fee : float) ~(capacity : float) ~(p : float) :
+    float =
+  ((capacity -. fee) *. (1. -. p)) -. (fee *. p)
+
+let daric_expected_profit ~(reserve : float) ~(capacity : float) ~(p : float) :
+    float =
+  ((1. -. reserve) *. capacity *. (1. -. p)) -. (reserve *. capacity *. p)
+
+(** Monte-Carlo validation of the closed forms: simulate [trials]
+    fraud attempts at reaction probability [p] and return the mean
+    profit per attempt. *)
+let simulate_fraud ~(rng : Daric_util.Rng.t) ~(trials : int) ~(p : float)
+    ~(gain : float) ~(loss : float) : float =
+  let total = ref 0. in
+  for _ = 1 to trials do
+    if Daric_util.Rng.bool rng p then total := !total -. loss
+    else total := !total +. gain
+  done;
+  !total /. float_of_int trials
+
+let simulate_eltoo ~rng ~trials ~p ~fee ~capacity : float =
+  simulate_fraud ~rng ~trials ~p ~gain:(capacity -. fee) ~loss:fee
+
+let simulate_daric ~rng ~trials ~p ~reserve ~capacity : float =
+  simulate_fraud ~rng ~trials ~p ~gain:((1. -. reserve) *. capacity)
+    ~loss:(reserve *. capacity)
+
+type threshold_row = {
+  label : string;
+  eltoo : float;
+  daric : float;
+}
+
+(** The paper's headline numbers: eltoo needs p > ~0.999 at the average
+    fee and > ~0.9999 at the minimum fee; Daric needs p > 0.99. *)
+let paper_rows () : threshold_row list =
+  let c = Constants.avg_channel_capacity_btc in
+  [ { label = "avg fee (0.000055 BTC)";
+      eltoo = eltoo_threshold ~fee:Constants.avg_tx_fee_btc ~capacity:c;
+      daric = daric_threshold ~reserve:Constants.default_reserve };
+    { label = "min fee (1 sat/vB)";
+      eltoo = eltoo_threshold ~fee:Constants.min_fee_btc ~capacity:c;
+      daric = daric_threshold ~reserve:Constants.default_reserve } ]
+
+(** Threshold as a function of channel capacity — flat for Daric,
+    increasing towards 1 for eltoo. Returns (capacity_btc, eltoo_p,
+    daric_p) series for the capacity sweep. *)
+let capacity_sweep ?(fee = Constants.min_fee_btc)
+    ?(reserve = Constants.default_reserve)
+    ?(capacities = [ 0.001; 0.004; 0.01; 0.04; 0.1; 0.4; 1.0; 4.0 ]) () :
+    (float * float * float) list =
+  List.map
+    (fun c ->
+      (c, eltoo_threshold ~fee ~capacity:c, daric_threshold ~reserve))
+    capacities
+
+(** Daric's deterrent is tunable: raising the reserve lowers the
+    required reaction probability. *)
+let reserve_sweep ?(reserves = [ 0.01; 0.02; 0.05; 0.1; 0.2 ]) () :
+    (float * float) list =
+  List.map (fun r -> (r, daric_threshold ~reserve:r)) reserves
+
+(** Minimum punishable amount in USD for a Daric channel (the "around
+    20 USD on average" of Section 6.2). *)
+let daric_min_punishment_usd ?(capacity = Constants.avg_channel_capacity_btc)
+    ?(reserve = Constants.default_reserve) () : float =
+  capacity *. reserve *. Constants.btc_usd

@@ -1,0 +1,59 @@
+(** The punishment-mechanism analysis of Section 6.2: what a
+    profit-driven cheater risks in eltoo (only the fee she herself
+    sets) versus Daric (her whole balance, at least the reserve
+    fraction of the capacity), expressed as thresholds on the honest
+    party's reaction probability p. *)
+
+(** Paper constants (April 2022), values in BTC. *)
+module Constants : sig
+  val avg_tx_fee_btc : float
+  val avg_channel_capacity_btc : float
+  val eltoo_update_vbytes : int
+  val min_fee_btc : float
+  val default_reserve : float
+  val btc_usd : float
+end
+
+val eltoo_threshold : fee:float -> capacity:float -> float
+(** Fraud discouraged iff p > 1 - fee/capacity. *)
+
+val daric_threshold : reserve:float -> float
+(** Fraud discouraged iff p > 1 - reserve, capacity-independent. *)
+
+val eltoo_threshold_with_coverage :
+  fee:float -> capacity:float -> coverage:float -> float
+(** [coverage] = C_W / C, the fraction of network capacity backed by
+    fair-watchtower collateral. *)
+
+val daric_threshold_with_coverage : reserve:float -> coverage:float -> float
+
+val eltoo_expected_profit : fee:float -> capacity:float -> p:float -> float
+val daric_expected_profit : reserve:float -> capacity:float -> p:float -> float
+
+val simulate_fraud :
+  rng:Daric_util.Rng.t -> trials:int -> p:float -> gain:float -> loss:float ->
+  float
+(** Monte-Carlo mean profit per fraud attempt. *)
+
+val simulate_eltoo :
+  rng:Daric_util.Rng.t -> trials:int -> p:float -> fee:float ->
+  capacity:float -> float
+
+val simulate_daric :
+  rng:Daric_util.Rng.t -> trials:int -> p:float -> reserve:float ->
+  capacity:float -> float
+
+type threshold_row = { label : string; eltoo : float; daric : float }
+
+val paper_rows : unit -> threshold_row list
+(** The headline numbers: eltoo ~0.999 / ~0.9999, Daric 0.99. *)
+
+val capacity_sweep :
+  ?fee:float -> ?reserve:float -> ?capacities:float list -> unit ->
+  (float * float * float) list
+(** (capacity, eltoo threshold, daric threshold) series. *)
+
+val reserve_sweep : ?reserves:float list -> unit -> (float * float) list
+
+val daric_min_punishment_usd : ?capacity:float -> ?reserve:float -> unit -> float
+(** The "around 20 USD on average" figure. *)

@@ -1,0 +1,140 @@
+(** Network-scale simulation: random payments over a random topology
+    of Daric channels, reporting delivery rate and route length as a
+    function of payment size — the PCN workload the paper's
+    introduction motivates, run end-to-end through the real protocol
+    (every hop of every payment is a complete Daric update). *)
+
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Router = Daric_pcn.Router
+
+type config = {
+  n_nodes : int;
+  n_channels : int;
+  channel_balance : int;  (** per side *)
+  n_payments : int;
+  max_payment : int;
+  seed : int;
+}
+
+let default_config =
+  { n_nodes = 10;
+    n_channels = 15;
+    channel_balance = 50_000;
+    n_payments = 40;
+    max_payment = 40_000;
+    seed = 0x9C1 }
+
+type bucket = {
+  lo : int;
+  hi : int;
+  mutable attempted : int;
+  mutable delivered : int;
+  mutable route_hops : int;
+}
+
+type result = {
+  delivered : int;
+  attempted : int;
+  buckets : bucket list;
+  avg_route_length : float;
+}
+
+let run (cfg : config) : result =
+  let rng = Daric_util.Rng.create ~seed:cfg.seed in
+  let d = Driver.create ~delta:1 ~seed:cfg.seed () in
+  let nodes =
+    Array.init cfg.n_nodes (fun i ->
+        let p = Party.create ~pid:(Fmt.str "n%d" i) ~seed:(cfg.seed + i) () in
+        Driver.add_party d p;
+        p)
+  in
+  let net = Router.create d in
+  (* random connected-ish topology: a ring plus random chords *)
+  let opened = Hashtbl.create 32 in
+  let open_edge i j =
+    let key = (min i j, max i j) in
+    if i <> j && not (Hashtbl.mem opened key) then begin
+      Hashtbl.replace opened key ();
+      let id = Fmt.str "e%d-%d" i j in
+      Driver.open_channel d ~id ~alice:nodes.(i) ~bob:nodes.(j)
+        ~bal_a:cfg.channel_balance ~bal_b:cfg.channel_balance ();
+      if Driver.run_until_operational d ~id ~alice:nodes.(i) ~bob:nodes.(j)
+      then Router.add_channel net ~channel_id:id ~a:nodes.(i) ~b:nodes.(j)
+    end
+  in
+  for i = 0 to cfg.n_nodes - 1 do
+    open_edge i ((i + 1) mod cfg.n_nodes)
+  done;
+  let extra = max 0 (cfg.n_channels - cfg.n_nodes) in
+  let added = ref 0 in
+  while !added < extra do
+    let i = Daric_util.Rng.int rng cfg.n_nodes in
+    let j = Daric_util.Rng.int rng cfg.n_nodes in
+    if i <> j && not (Hashtbl.mem opened (min i j, max i j)) then incr added;
+    open_edge i j
+  done;
+  (* payment workload *)
+  let n_buckets = 4 in
+  let buckets =
+    List.init n_buckets (fun k ->
+        { lo = k * cfg.max_payment / n_buckets;
+          hi = (k + 1) * cfg.max_payment / n_buckets;
+          attempted = 0;
+          delivered = 0;
+          route_hops = 0 })
+  in
+  let delivered = ref 0 and total_hops = ref 0 in
+  for k = 1 to cfg.n_payments do
+    let src = Daric_util.Rng.int rng cfg.n_nodes in
+    let dst = (src + 1 + Daric_util.Rng.int rng (cfg.n_nodes - 1)) mod cfg.n_nodes in
+    let amount = 1 + Daric_util.Rng.int rng cfg.max_payment in
+    let r =
+      Router.pay net ~src:nodes.(src) ~dst:nodes.(dst) ~amount
+        ~preimage:(Fmt.str "pay-%d" k) ()
+    in
+    let b = List.find (fun (b : bucket) -> amount > b.lo && amount <= b.hi) buckets in
+    b.attempted <- b.attempted + 1;
+    if r.Router.delivered then begin
+      incr delivered;
+      total_hops := !total_hops + r.Router.route_length;
+      b.delivered <- b.delivered + 1;
+      b.route_hops <- b.route_hops + r.Router.route_length
+    end
+  done;
+  { delivered = !delivered;
+    attempted = cfg.n_payments;
+    buckets;
+    avg_route_length =
+      (if !delivered = 0 then 0.
+       else float_of_int !total_hops /. float_of_int !delivered) }
+
+let report ?(cfg = default_config) () : string =
+  let r = run cfg in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Fmt.str
+       "PCN simulation: %d nodes, %d channels (%d sat/side), %d random payments\n"
+       cfg.n_nodes cfg.n_channels cfg.channel_balance cfg.n_payments);
+  Buffer.add_string b
+    (Fmt.str "delivered %d/%d (%.0f%%), mean route %.2f hops\n" r.delivered
+       r.attempted
+       (100. *. float_of_int r.delivered /. float_of_int r.attempted)
+       r.avg_route_length);
+  Buffer.add_string b "size bucket (sat)    attempted  delivered  rate\n";
+  List.iter
+    (fun (bu : bucket) ->
+      if bu.attempted > 0 then
+        Buffer.add_string b
+          (Fmt.str "%7d - %-9d %9d %10d  %3.0f%%\n" bu.lo bu.hi bu.attempted
+             bu.delivered
+             (100. *. float_of_int bu.delivered /. float_of_int bu.attempted)))
+    r.buckets;
+  Buffer.contents b
+
+let to_csv (r : result) ~(dir : string) : string =
+  Csv.write_file ~dir ~name:"pcn_delivery.csv"
+    ~header:"bucket_lo,bucket_hi,attempted,delivered"
+    (List.map
+       (fun (b : bucket) -> Fmt.str "%d,%d,%d,%d" b.lo b.hi b.attempted b.delivered)
+       r.buckets)

@@ -1,0 +1,34 @@
+(** Network-scale simulation: random payments over a random topology
+    of Daric channels (ring plus random chords), every hop a complete
+    protocol-level update; reports delivery rate and route length by
+    payment-size bucket. *)
+
+type config = {
+  n_nodes : int;
+  n_channels : int;
+  channel_balance : int;  (** per side *)
+  n_payments : int;
+  max_payment : int;
+  seed : int;
+}
+
+val default_config : config
+
+type bucket = {
+  lo : int;
+  hi : int;
+  mutable attempted : int;
+  mutable delivered : int;
+  mutable route_hops : int;
+}
+
+type result = {
+  delivered : int;
+  attempted : int;
+  buckets : bucket list;
+  avg_route_length : float;
+}
+
+val run : config -> result
+val report : ?cfg:config -> unit -> string
+val to_csv : result -> dir:string -> string

@@ -1,0 +1,47 @@
+(** Regeneration of the paper's tables and Section 6 analyses. *)
+
+(** One row of the Table 1 measured-storage sweep. *)
+type storage_point = {
+  n_updates : int;
+  daric_party : int;
+  daric_watchtower : int;
+  eltoo_party : int;
+  lightning_party : int;
+  lightning_watchtower : int;
+  generalized_party : int;
+  fppw_party : int;
+  fppw_watchtower : int;
+  cerberus_party : int;
+  sleepy_party : int;
+  outpost_party : int;
+  outpost_watchtower : int;
+}
+
+val daric_storage : n:int -> int * int
+(** Drive a real Daric channel through [n] updates; (party bytes,
+    watchtower bytes). *)
+
+val storage_point : n:int -> storage_point
+val storage_sweep : ?ns:int list -> unit -> storage_point list
+
+val table1 : ?ns:int list -> unit -> string
+(** Table 1 plus the measured storage sweep. *)
+
+val table3 : ?ms:int list -> unit -> string
+(** Table 3: closure costs per m, paper quotes side by side, operation
+    counts. *)
+
+type measured_ops = { scheme : string; sign : int; verify : int; exp : int }
+
+val measure_ops : unit -> measured_ops list
+(** Per-party per-update operation counts measured on the executable
+    schemes (Daric via the full two-party protocol). *)
+
+val measured_ops_table : unit -> string
+
+val attack_report : ?cfg:Daric_pcn.Attack.config -> unit -> string
+(** Section 6.1: analytic arithmetic + simulated eltoo pinning +
+    the same adversary against Daric. *)
+
+val incentives_report : unit -> string
+(** Section 6.2: thresholds, sweeps, Monte-Carlo validation. *)

@@ -1,0 +1,1 @@
+lib/chain/ledger.ml: Daric_script Daric_tx Fmt Hashtbl List Map String

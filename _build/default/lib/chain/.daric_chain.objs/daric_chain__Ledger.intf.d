@@ -1,0 +1,1 @@
+lib/chain/ledger.mli: Daric_tx

@@ -1,0 +1,1 @@
+lib/chain/mempool.ml: Daric_tx Float Fmt Ledger List

@@ -1,0 +1,1 @@
+lib/chain/mempool.mli: Daric_tx Ledger

@@ -1,0 +1,195 @@
+(** The global ledger functionality L(Δ, Σ) of Appendix C.
+
+    The ledger runs on synchronous rounds. A posted transaction is
+    recorded after an adversary-chosen delay of at most [delta] rounds,
+    provided it passes the five validity checks of the functionality:
+    txid uniqueness; input existence and witness validity (including
+    relative timelocks measured from the recording round of each spent
+    output); output validity; value conservation; and absolute-timelock
+    validity (nLockTime in the past).
+
+    Absolute locktimes below 500,000,000 refer to the ledger height (one
+    unit per round); larger values refer to the ledger timestamp, which
+    advances by [seconds_per_round] per round from [genesis_time]
+    (Section 4.1's block-height vs UNIX-timestamp distinction). *)
+
+module Tx = Daric_tx.Tx
+module Spend = Daric_tx.Spend
+
+module Outpoint_map = Map.Make (struct
+  type t = Tx.outpoint
+
+  let compare (a : t) (b : t) =
+    match String.compare a.txid b.txid with 0 -> compare a.vout b.vout | c -> c
+end)
+
+type utxo = { recorded : int; output : Tx.output }
+
+type reject_reason =
+  | Duplicate_txid
+  | Missing_input of Tx.outpoint
+  | Invalid_witness of int * Spend.error
+  | Bad_output
+  | Value_overspent
+  | Locktime_in_future
+
+let reject_to_string = function
+  | Duplicate_txid -> "duplicate txid"
+  | Missing_input o -> Fmt.str "missing input %a" Tx.pp_outpoint o
+  | Invalid_witness (i, e) ->
+      Fmt.str "invalid witness for input %d: %s" i (Spend.error_to_string e)
+  | Bad_output -> "invalid output"
+  | Value_overspent -> "outputs exceed inputs"
+  | Locktime_in_future -> "nLockTime not yet expired"
+
+type event =
+  | Accepted of Tx.t
+  | Rejected of Tx.t * reject_reason
+
+type t = {
+  delta : int;
+  genesis_time : int;
+  seconds_per_round : int;
+  mutable round : int;
+  mutable utxos : utxo Outpoint_map.t;
+  mutable txids : (string, unit) Hashtbl.t;
+  mutable accepted : (int * Tx.t) list;  (** newest first *)
+  mutable spenders : (string * int * Tx.t) list;  (** (txid, vout, spender) *)
+  mutable pending : (int * Tx.t) list;  (** (due round, tx) *)
+  mutable events : event list;  (** events of the current round, newest first *)
+  mutable mints : int;  (** counter making minted coinbase txids unique *)
+}
+
+(* The default genesis timestamp leaves ample room above the 500e6
+   locktime threshold: channels initialised at S0 = 500e6 can perform
+   ~10^8 updates before outrunning the clock. *)
+let default_genesis_time = 600_000_000
+
+let create ?(genesis_time = default_genesis_time) ?(seconds_per_round = 1)
+    ~(delta : int) () : t =
+  if delta < 0 then invalid_arg "Ledger.create: negative delta";
+  { delta;
+    genesis_time;
+    seconds_per_round;
+    round = 0;
+    utxos = Outpoint_map.empty;
+    txids = Hashtbl.create 64;
+    accepted = [];
+    spenders = [];
+    pending = [];
+    events = [];
+    mints = 0 }
+
+let height (t : t) : int = t.round
+let time (t : t) : int = t.genesis_time + (t.round * t.seconds_per_round)
+let delta (t : t) : int = t.delta
+
+let locktime_expired (t : t) (locktime : int) : bool =
+  if locktime < Daric_script.Interp.locktime_threshold then locktime <= height t
+  else locktime <= time t
+
+let find_utxo (t : t) (o : Tx.outpoint) : utxo option = Outpoint_map.find_opt o t.utxos
+
+let is_unspent (t : t) (o : Tx.outpoint) : bool = Outpoint_map.mem o t.utxos
+
+(** Fold over the current UTXO set. *)
+let fold_utxos (t : t) (f : Tx.outpoint -> utxo -> 'a -> 'a) (init : 'a) : 'a =
+  Outpoint_map.fold f t.utxos init
+
+(** Total value held in the UTXO set (for conservation checks). *)
+let total_value (t : t) : int =
+  fold_utxos t (fun _ u acc -> acc + u.output.value) 0
+
+(** Who spent this outpoint, if anyone (it must have existed). *)
+let spender_of (t : t) (o : Tx.outpoint) : Tx.t option =
+  List.find_map
+    (fun (txid, vout, tx) ->
+      if String.equal txid o.txid && vout = o.vout then Some tx else None)
+    t.spenders
+
+(** All accepted transactions with their recording round, oldest first. *)
+let accepted (t : t) : (int * Tx.t) list = List.rev t.accepted
+
+let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
+  let txid = Tx.txid tx in
+  if Hashtbl.mem t.txids txid then Error Duplicate_txid
+  else if not (locktime_expired t tx.locktime) then Error Locktime_in_future
+  else if
+    List.exists (fun (o : Tx.output) -> o.value <= 0) tx.outputs
+    || tx.outputs = []
+  then Error Bad_output
+  else
+    (* inputs exist and witnesses verify *)
+    let rec check_inputs i (inputs : Tx.input list) total_in =
+      match inputs with
+      | [] ->
+          if Tx.total_output_value tx > total_in then Error Value_overspent
+          else Ok ()
+      | input :: rest -> (
+          match find_utxo t input.prevout with
+          | None -> Error (Missing_input input.prevout)
+          | Some utxo -> (
+              let input_age = t.round - utxo.recorded in
+              match
+                Spend.verify_input tx ~input_index:i ~spent:utxo.output ~input_age
+              with
+              | Error e -> Error (Invalid_witness (i, e))
+              | Ok () -> check_inputs (i + 1) rest (total_in + utxo.output.value)))
+    in
+    check_inputs 0 tx.inputs 0
+
+let record (t : t) (tx : Tx.t) =
+  let txid = Tx.txid tx in
+  Hashtbl.replace t.txids txid ();
+  t.accepted <- (t.round, tx) :: t.accepted;
+  List.iter
+    (fun (input : Tx.input) ->
+      t.utxos <- Outpoint_map.remove input.prevout t.utxos;
+      t.spenders <- (input.prevout.txid, input.prevout.vout, tx) :: t.spenders)
+    tx.inputs;
+  List.iteri
+    (fun vout output ->
+      t.utxos <-
+        Outpoint_map.add { Tx.txid; vout } { recorded = t.round; output } t.utxos)
+    tx.outputs;
+  t.events <- Accepted tx :: t.events
+
+(** [post t tx ~delay] submits [tx]; the adversary-chosen [delay] is
+    clamped to [0, delta]. The transaction is (re)validated when due. *)
+let post (t : t) (tx : Tx.t) ~(delay : int) =
+  let delay = max 0 (min t.delta delay) in
+  t.pending <- t.pending @ [ (t.round + delay, tx) ]
+
+(** [mint t ~value ~spk] conjures a fresh funding UTXO (environment
+    setup — stands in for pre-existing on-chain coins). *)
+let mint (t : t) ~(value : int) ~(spk : Tx.spk) : Tx.outpoint =
+  t.mints <- t.mints + 1;
+  (* A unique synthetic input keeps the txids of otherwise-identical
+     minted outputs distinct; [record] bypasses input validation. *)
+  let coinbase =
+    { Tx.prevout = { Tx.txid = Fmt.str "coinbase#%d" t.mints; vout = 0 };
+      sequence = Tx.default_sequence }
+  in
+  let tx =
+    { Tx.inputs = [ coinbase ];
+      locktime = 0;
+      outputs = [ { Tx.value; spk } ];
+      witnesses = [] }
+  in
+  record t tx;
+  { Tx.txid = Tx.txid tx; vout = 0 }
+
+(** Advance one round: deliver due pending transactions (in posting
+    order) and return this round's events. *)
+let tick (t : t) : event list =
+  t.round <- t.round + 1;
+  t.events <- [];
+  let due, later = List.partition (fun (r, _) -> r <= t.round) t.pending in
+  t.pending <- later;
+  List.iter
+    (fun (_, tx) ->
+      match validate t tx with
+      | Ok () -> record t tx
+      | Error reason -> t.events <- Rejected (tx, reason) :: t.events)
+    due;
+  List.rev t.events

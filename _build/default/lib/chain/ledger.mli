@@ -1,0 +1,77 @@
+(** The global ledger functionality L(Δ, Σ) of the paper's Appendix C.
+
+    The ledger runs on synchronous rounds. A posted transaction is
+    recorded after an adversary-chosen delay of at most [delta] rounds,
+    provided it passes the functionality's five validity checks: txid
+    uniqueness; input existence and witness validity (with relative
+    timelocks measured from each spent output's recording round);
+    output validity; value conservation; absolute-timelock expiry.
+
+    Absolute locktimes below 500,000,000 refer to the ledger height
+    (one unit per round); larger values to the timestamp, which
+    advances by [seconds_per_round] per round from [genesis_time]. *)
+
+module Tx = Daric_tx.Tx
+
+type utxo = { recorded : int; output : Tx.output }
+
+type reject_reason =
+  | Duplicate_txid
+  | Missing_input of Tx.outpoint
+  | Invalid_witness of int * Daric_tx.Spend.error
+  | Bad_output
+  | Value_overspent
+  | Locktime_in_future
+
+val reject_to_string : reject_reason -> string
+
+type event = Accepted of Tx.t | Rejected of Tx.t * reject_reason
+
+type t
+
+val default_genesis_time : int
+(** 600,000,000 — leaves ~10^8 state numbers of headroom above the
+    500e6 timestamp threshold used by Daric channels (S0). *)
+
+val create : ?genesis_time:int -> ?seconds_per_round:int -> delta:int -> unit -> t
+
+val height : t -> int
+(** Current round (= block height). *)
+
+val time : t -> int
+(** Current ledger timestamp. *)
+
+val delta : t -> int
+(** The publication-delay bound Δ. *)
+
+val locktime_expired : t -> int -> bool
+
+val find_utxo : t -> Tx.outpoint -> utxo option
+val is_unspent : t -> Tx.outpoint -> bool
+
+val fold_utxos : t -> (Tx.outpoint -> utxo -> 'a -> 'a) -> 'a -> 'a
+val total_value : t -> int
+
+val spender_of : t -> Tx.outpoint -> Tx.t option
+(** Which accepted transaction spent this outpoint, if any. *)
+
+val accepted : t -> (int * Tx.t) list
+(** All accepted transactions with recording rounds, oldest first. *)
+
+val validate : t -> Tx.t -> (unit, reject_reason) result
+(** The five validity checks against the current state. *)
+
+val record : t -> Tx.t -> unit
+(** Record a transaction unconditionally (block production and
+    environment setup; normal flow goes through {!post}). *)
+
+val post : t -> Tx.t -> delay:int -> unit
+(** Submit a transaction; [delay] (clamped to [\[0, delta\]]) models
+    the adversary's scheduling. Validation happens when due. *)
+
+val mint : t -> value:int -> spk:Tx.spk -> Tx.outpoint
+(** Conjure a fresh funding UTXO (environment setup). *)
+
+val tick : t -> event list
+(** Advance one round: deliver due postings, return the round's
+    events. *)

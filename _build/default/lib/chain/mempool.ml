@@ -1,0 +1,156 @@
+(** Economic ledger mode: a fee-market mempool in front of the ledger.
+
+    The UC ledger functionality abstracts fees away; the HTLC-security
+    attack of Section 6.1 depends on them, so this module adds:
+    - a minimum relay fee rate (1 sat/vbyte in the paper),
+    - the 100,000-vbyte standardness cap on transaction size,
+    - BIP-125 opt-in replace-by-fee: a replacement must pay strictly
+      more absolute fee than everything it conflicts with, plus relay
+      fee for its own size, at a fee rate no lower than what it evicts,
+    - block production every [rounds_per_block] rounds, filling up to
+      [block_vbytes] with the highest-fee-rate transactions. *)
+
+module Tx = Daric_tx.Tx
+
+type config = {
+  min_relay_feerate : int;  (** satoshi per vbyte *)
+  max_tx_vbytes : int;
+  block_vbytes : int;
+  rounds_per_block : int;
+}
+
+let default_config =
+  { min_relay_feerate = 1;
+    max_tx_vbytes = 100_000;
+    block_vbytes = 1_000_000;
+    rounds_per_block = 1 }
+
+type entry = { tx : Tx.t; fee : int; vbytes : int }
+
+let feerate (e : entry) : float = float_of_int e.fee /. float_of_int e.vbytes
+
+type submit_error =
+  | Too_large
+  | Feerate_below_minimum
+  | Unknown_input of Tx.outpoint
+  | Negative_fee
+  | Rbf_insufficient_fee  (** conflicts with pooled txs it cannot displace *)
+  | Invalid of Ledger.reject_reason
+
+let submit_error_to_string = function
+  | Too_large -> "transaction exceeds 100,000 vbytes"
+  | Feerate_below_minimum -> "fee rate below minimum relay fee"
+  | Unknown_input o -> Fmt.str "input %a not found" Tx.pp_outpoint o
+  | Negative_fee -> "outputs exceed inputs"
+  | Rbf_insufficient_fee -> "replacement does not pay for conflicts (BIP-125)"
+  | Invalid r -> Ledger.reject_to_string r
+
+type t = {
+  config : config;
+  ledger : Ledger.t;
+  mutable pool : entry list;
+  mutable confirmed_fees : int;  (** total fees collected by miners *)
+}
+
+let create ?(config = default_config) ~(ledger : Ledger.t) () : t =
+  { config; ledger; pool = []; confirmed_fees = 0 }
+
+let ledger (t : t) : Ledger.t = t.ledger
+
+(** Fee of a transaction given the current UTXO view (pool parents are
+    not supported: all inputs must be confirmed). *)
+let fee_of (t : t) (tx : Tx.t) : (int, submit_error) result =
+  let rec total acc (inputs : Tx.input list) =
+    match inputs with
+    | [] -> Ok acc
+    | input :: rest -> (
+        match Ledger.find_utxo t.ledger input.prevout with
+        | None -> Error (Unknown_input input.prevout)
+        | Some utxo -> total (acc + utxo.output.value) rest)
+  in
+  match total 0 tx.inputs with
+  | Error e -> Error e
+  | Ok total_in ->
+      let fee = total_in - Tx.total_output_value tx in
+      if fee < 0 then Error Negative_fee else Ok fee
+
+let conflicts_with (t : t) (tx : Tx.t) : entry list =
+  List.filter
+    (fun e ->
+      List.exists
+        (fun (i : Tx.input) ->
+          List.exists
+            (fun (j : Tx.input) -> Tx.outpoint_equal i.prevout j.prevout)
+            e.tx.inputs)
+        tx.inputs)
+    t.pool
+
+(** Submit a transaction to the mempool; applies standardness and
+    BIP-125 replacement rules, then queues by fee rate. *)
+let submit (t : t) (tx : Tx.t) : (unit, submit_error) result =
+  let vb = Tx.vbytes tx in
+  if vb > t.config.max_tx_vbytes then Error Too_large
+  else
+    match fee_of t tx with
+    | Error e -> Error e
+    | Ok fee ->
+        if fee < t.config.min_relay_feerate * vb then Error Feerate_below_minimum
+        else
+          let entry = { tx; fee; vbytes = vb } in
+          let conflicts = conflicts_with t tx in
+          if conflicts = [] then begin
+            t.pool <- entry :: t.pool;
+            Ok ()
+          end
+          else
+            let old_fees = List.fold_left (fun a e -> a + e.fee) 0 conflicts in
+            let old_max_rate =
+              List.fold_left (fun a e -> Float.max a (feerate e)) 0. conflicts
+            in
+            if
+              fee >= old_fees + (t.config.min_relay_feerate * vb)
+              && feerate entry >= old_max_rate
+            then begin
+              t.pool <-
+                entry
+                :: List.filter (fun e -> not (List.memq e conflicts)) t.pool;
+              Ok ()
+            end
+            else Error Rbf_insufficient_fee
+
+(** Advance one round. On block rounds, confirm the highest-fee-rate
+    transactions that still validate, up to the block capacity; returns
+    the confirmed transactions. *)
+let tick (t : t) : Tx.t list =
+  (* Advance the underlying ledger clock (it has nothing pending). *)
+  ignore (Ledger.tick t.ledger);
+  if Ledger.height t.ledger mod t.config.rounds_per_block <> 0 then []
+  else begin
+    let by_rate =
+      List.sort (fun a b -> Float.compare (feerate b) (feerate a)) t.pool
+    in
+    let confirmed = ref [] in
+    let used = ref 0 in
+    let remaining = ref [] in
+    List.iter
+      (fun e ->
+        if !used + e.vbytes <= t.config.block_vbytes then begin
+          match Ledger.validate t.ledger e.tx with
+          | Ok () ->
+              Ledger.record t.ledger e.tx;
+              t.confirmed_fees <- t.confirmed_fees + e.fee;
+              used := !used + e.vbytes;
+              confirmed := e.tx :: !confirmed
+          | Error _ ->
+              (* inputs were spent by an earlier tx in this block or a
+                 previous one: evict *)
+              ()
+        end
+        else remaining := e :: !remaining)
+      by_rate;
+    t.pool <- List.rev !remaining;
+    List.rev !confirmed
+  end
+
+let pool_size (t : t) : int = List.length t.pool
+let total_fees_collected (t : t) : int = t.confirmed_fees

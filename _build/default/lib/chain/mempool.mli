@@ -1,0 +1,47 @@
+(** Economic ledger mode: a fee-market mempool in front of the ledger,
+    with the minimum relay fee, the 100k-vbyte standardness cap,
+    BIP-125 replace-by-fee, and capacity-limited block production —
+    the machinery the Section 6.1 attack depends on. *)
+
+module Tx = Daric_tx.Tx
+
+type config = {
+  min_relay_feerate : int;  (** satoshi per vbyte *)
+  max_tx_vbytes : int;
+  block_vbytes : int;
+  rounds_per_block : int;
+}
+
+val default_config : config
+(** 1 sat/vB, 100,000 vB tx cap, 1,000,000 vB blocks, 1 round/block. *)
+
+type submit_error =
+  | Too_large
+  | Feerate_below_minimum
+  | Unknown_input of Tx.outpoint
+  | Negative_fee
+  | Rbf_insufficient_fee
+      (** conflicts with pooled transactions it cannot displace *)
+  | Invalid of Ledger.reject_reason
+
+val submit_error_to_string : submit_error -> string
+
+type t
+
+val create : ?config:config -> ledger:Ledger.t -> unit -> t
+val ledger : t -> Ledger.t
+
+val fee_of : t -> Tx.t -> (int, submit_error) result
+(** Fee given the confirmed UTXO view (all inputs must be confirmed). *)
+
+val submit : t -> Tx.t -> (unit, submit_error) result
+(** Standardness checks, then BIP-125: a replacement must pay more
+    than everything it conflicts with plus relay fee for its own size,
+    at a fee rate at least as high. *)
+
+val tick : t -> Tx.t list
+(** Advance one round; on block rounds confirm the highest-fee-rate
+    transactions that still validate, up to the block capacity. *)
+
+val pool_size : t -> int
+val total_fees_collected : t -> int

@@ -1,0 +1,38 @@
+(** Authenticated synchronous message network (the functionality
+    F_GDC of Appendix C): a message sent in round τ is delivered to its
+    recipient at the beginning of round τ+1; the adversary observes
+    messages and may reorder within a round but cannot drop, delay or
+    forge them. Corrupted parties simply stop sending. *)
+
+type 'msg envelope = { sender : string; recipient : string; payload : 'msg }
+
+type 'msg t = {
+  mutable in_flight : (int * 'msg envelope) list;  (** (delivery round, env) *)
+  mutable log : (int * 'msg envelope) list;  (** all messages ever sent *)
+}
+
+let create () : 'msg t = { in_flight = []; log = [] }
+
+(** [send t ~round ~sender ~recipient payload] queues a message sent in
+    [round] for delivery in round [round+1]. *)
+let send (t : 'msg t) ~(round : int) ~(sender : string) ~(recipient : string)
+    (payload : 'msg) : unit =
+  let env = { sender; recipient; payload } in
+  t.in_flight <- t.in_flight @ [ (round + 1, env) ];
+  t.log <- (round, env) :: t.log
+
+(** [deliver t ~round ~recipient] removes and returns the messages due
+    for [recipient] at [round], in sending order. *)
+let deliver (t : 'msg t) ~(round : int) ~(recipient : string) :
+    'msg envelope list =
+  let mine, rest =
+    List.partition
+      (fun (r, env) -> r <= round && String.equal env.recipient recipient)
+      t.in_flight
+  in
+  t.in_flight <- rest;
+  List.map snd mine
+
+(** Full traffic log (newest first), for adversary observation and
+    tests. *)
+let log (t : 'msg t) : (int * 'msg envelope) list = t.log

@@ -1,0 +1,20 @@
+(** Authenticated synchronous message network (Appendix C): a message
+    sent in round τ reaches its recipient at round τ+1; the adversary
+    observes and may reorder within a round but cannot drop, delay or
+    forge. *)
+
+type 'msg envelope = { sender : string; recipient : string; payload : 'msg }
+
+type 'msg t
+
+val create : unit -> 'msg t
+
+val send :
+  'msg t -> round:int -> sender:string -> recipient:string -> 'msg -> unit
+
+val deliver : 'msg t -> round:int -> recipient:string -> 'msg envelope list
+(** Remove and return the messages due for a recipient, in sending
+    order. *)
+
+val log : 'msg t -> (int * 'msg envelope) list
+(** Full traffic log, newest first (adversary observation, accounting). *)

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Daric_chain Daric_crypto Daric_tx Daric_util Keys List Party Watchtower Wire

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Daric_chain Daric_crypto Daric_tx Party Watchtower

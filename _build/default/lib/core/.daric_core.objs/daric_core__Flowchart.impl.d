@@ -1,0 +1,1 @@
+lib/core/flowchart.ml: Buffer Daric_chain Daric_tx Daric_util Fmt List String

@@ -1,0 +1,1 @@
+lib/core/flowchart.mli: Daric_chain Daric_tx

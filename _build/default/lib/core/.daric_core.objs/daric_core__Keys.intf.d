@@ -1,0 +1,1 @@
+lib/core/keys.mli: Daric_crypto Daric_util

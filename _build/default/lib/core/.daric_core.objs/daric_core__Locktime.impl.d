@@ -1,0 +1,1 @@
+lib/core/locktime.ml: Daric_script

@@ -1,0 +1,1 @@
+lib/core/nesting.ml: Daric_chain Daric_script Daric_tx Daric_util Keys List Txs

@@ -1,0 +1,1 @@
+lib/core/party.ml: Daric_chain Daric_crypto Daric_script Daric_tx Daric_util Fmt Keys List Logs Option String Txs Wire

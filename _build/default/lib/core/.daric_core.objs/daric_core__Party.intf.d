@@ -1,0 +1,1 @@
+lib/core/party.mli: Daric_chain Daric_crypto Daric_script Daric_tx Daric_util Keys Wire

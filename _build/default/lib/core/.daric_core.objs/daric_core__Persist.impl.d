@@ -1,0 +1,1 @@
+lib/core/persist.ml: Daric_crypto Daric_script Daric_tx Daric_util Fmt Int64 Keys List Party Result String

@@ -1,0 +1,1 @@
+lib/core/storage.ml: Daric_crypto Daric_tx Keys List Party

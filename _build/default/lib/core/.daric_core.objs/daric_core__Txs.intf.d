@@ -1,0 +1,1 @@
+lib/core/txs.mli: Daric_crypto Daric_script Daric_tx Keys

@@ -1,0 +1,1 @@
+lib/core/watchtower.mli: Daric_chain Daric_tx Keys Party

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Daric_crypto Daric_script Daric_tx Daric_util Int64 Keys List Option String

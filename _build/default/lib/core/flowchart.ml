@@ -1,0 +1,158 @@
+(** Transaction-flow charts (Figures 1-3) in Graphviz DOT and ASCII.
+
+    Doubled boxes are published transactions, single boxes unpublished
+    ones, and dashed arrows indicate floating (ANYPREVOUT) spends, as
+    in the paper's chart conventions (Fig. 1). *)
+
+type node = {
+  name : string;
+  label : string;
+  published : bool;
+}
+
+type edge = {
+  src : string;
+  dst : string;
+  edge_label : string;
+  floating : bool;
+}
+
+type t = { title : string; nodes : node list; edges : edge list }
+
+let to_dot (g : t) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Fmt.str "digraph %S {\n  rankdir=LR;\n  node [shape=box fontname=\"monospace\"];\n" g.title);
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Fmt.str "  %s [label=%S%s];\n" n.name n.label
+           (if n.published then " peripheries=2" else "")))
+    g.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Fmt.str "  %s -> %s [label=%S%s];\n" e.src e.dst e.edge_label
+           (if e.floating then " style=dashed" else "")))
+    g.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_ascii (g : t) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Fmt.str "== %s ==\n" g.title);
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Fmt.str "  [%s] %s%s\n" n.name n.label
+           (if n.published then "  (published)" else "")))
+    g.nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Fmt.str "  %s %s %s   %s\n" e.src
+           (if e.floating then "~~>" else "-->")
+           e.dst e.edge_label))
+    g.edges;
+  Buffer.contents b
+
+(** Fig. 1: the sample flow of the notation section — a published TX
+    whose two-subcondition output can go to TX' (A&B after T) or to a
+    floating TX'' (C after absolute time i). *)
+let sample () : t =
+  { title = "Fig 1: sample transaction flow";
+    nodes =
+      [ { name = "TX"; label = "TX\nout: a+b"; published = true };
+        { name = "TXp"; label = "TX'\n(pkA & pkB) after T"; published = false };
+        { name = "TXpp"; label = "TX''\npkC, nLT = i (floating)"; published = false } ];
+    edges =
+      [ { src = "TX"; dst = "TXp"; edge_label = "T+ , pkA&pkB"; floating = false };
+        { src = "TX"; dst = "TXpp"; edge_label = "i>= , pkC"; floating = true } ] }
+
+(** Fig. 3: Daric state-i transaction flow: funding, the two commits,
+    the floating split and the two floating revocation transactions. *)
+let daric_state ?(i = 1) ?(cash = 100_000) () : t =
+  let cm name owner rev =
+    { name;
+      label =
+        Fmt.str "TX_CM,%d^%s\nout: %d (CLTV S0+%d)\nrev keys: %s" i owner cash i
+          rev;
+      published = false }
+  in
+  { title = Fmt.str "Fig 3: Daric channel, state %d" i;
+    nodes =
+      [ { name = "FU"; label = Fmt.str "TX_FU\nout: %d, 2-of-2" cash; published = true };
+        cm "CMA" "A" "(RevA,RevB)";
+        cm "CMB" "B" "(Rev'A,Rev'B)";
+        { name = "SP";
+          label = Fmt.str "TX_SP,%d (floating)\nnLT = S0+%d\nout: state outputs" i i;
+          published = false };
+        { name = "RVA";
+          label = Fmt.str "TX_RV,%d^A (floating)\nnLT = S0+%d\nout: %d -> A" i i cash;
+          published = false };
+        { name = "RVB";
+          label = Fmt.str "TX_RV,%d^B (floating)\nnLT = S0+%d\nout: %d -> B" i i cash;
+          published = false } ];
+    edges =
+      [ { src = "FU"; dst = "CMA"; edge_label = "pkA & pkB"; floating = false };
+        { src = "FU"; dst = "CMB"; edge_label = "pkA & pkB"; floating = false };
+        { src = "CMA"; dst = "SP"; edge_label = "T+, SplA & SplB"; floating = true };
+        { src = "CMB"; dst = "SP"; edge_label = "T+, SplA & SplB"; floating = true };
+        { src = "CMA"; dst = "RVB"; edge_label = "RevA & RevB (j<=i)"; floating = true };
+        { src = "CMB"; dst = "RVA"; edge_label = "Rev'A & Rev'B (j<=i)"; floating = true } ] }
+
+(** Fig. 2: Lightning with punish-then-split — per-state split and
+    revocation transactions, duplicated per party. *)
+let lightning_pts_state ?(i = 1) ?(cash = 100_000) () : t =
+  { title = Fmt.str "Fig 2: Lightning punish-then-split, state %d" i;
+    nodes =
+      [ { name = "FU"; label = Fmt.str "TX_FU\nout: %d, 2-of-2" cash; published = true };
+        { name = "CMA"; label = Fmt.str "TX_CM,%d^A" i; published = false };
+        { name = "CMB"; label = Fmt.str "TX_CM,%d^B" i; published = false };
+        { name = "SPA"; label = Fmt.str "TX_SP,%d^A\nstate outputs" i; published = false };
+        { name = "SPB"; label = Fmt.str "TX_SP,%d^B\nstate outputs" i; published = false };
+        { name = "RVA"; label = Fmt.str "TX_RV,%d^A\n%d -> A" i cash; published = false };
+        { name = "RVB"; label = Fmt.str "TX_RV,%d^B\n%d -> B" i cash; published = false } ];
+    edges =
+      [ { src = "FU"; dst = "CMA"; edge_label = "pkA & pkB"; floating = false };
+        { src = "FU"; dst = "CMB"; edge_label = "pkA & pkB"; floating = false };
+        { src = "CMA"; dst = "SPA"; edge_label = "T+"; floating = false };
+        { src = "CMB"; dst = "SPB"; edge_label = "T+"; floating = false };
+        { src = "CMA"; dst = "RVB"; edge_label = "rev secret i"; floating = false };
+        { src = "CMB"; dst = "RVA"; edge_label = "rev secret i"; floating = false } ] }
+
+(** Render the actually-executed closure of a channel from the ledger:
+    every accepted transaction that traces back to the funding output. *)
+let of_ledger (ledger : Daric_chain.Ledger.t) ~(funding : Daric_tx.Tx.outpoint)
+    ~(title : string) : t =
+  let module Tx = Daric_tx.Tx in
+  let nodes = ref [] and edges = ref [] in
+  let name_of txid = "tx_" ^ Daric_util.Hex.encode (String.sub txid 0 4) in
+  let rec follow (op : Tx.outpoint) (src : string option) =
+    match Daric_chain.Ledger.spender_of ledger op with
+    | None -> ()
+    | Some tx ->
+        let txid = Tx.txid tx in
+        let n = name_of txid in
+        if not (List.exists (fun x -> x.name = n) !nodes) then begin
+          nodes :=
+            { name = n;
+              label =
+                Fmt.str "%s\nnLT=%d, %d WU" (Daric_util.Hex.short txid)
+                  tx.Tx.locktime (Tx.weight tx);
+              published = true }
+            :: !nodes;
+          (match src with
+          | Some s ->
+              edges := { src = s; dst = n; edge_label = ""; floating = false } :: !edges
+          | None -> ());
+          List.iteri (fun vout _ -> follow { Tx.txid; vout } (Some n)) tx.Tx.outputs
+        end
+        else
+          match src with
+          | Some s ->
+              edges := { src = s; dst = n; edge_label = ""; floating = false } :: !edges
+          | None -> ()
+  in
+  nodes := [ { name = "funding"; label = "funding output"; published = true } ];
+  follow funding (Some "funding");
+  { title; nodes = List.rev !nodes; edges = List.rev !edges }

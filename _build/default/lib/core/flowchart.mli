@@ -1,0 +1,32 @@
+(** Transaction-flow charts (the paper's Figures 1-3) in Graphviz DOT
+    and ASCII: doubled boxes are published transactions, dashed arrows
+    floating (ANYPREVOUT) spends. *)
+
+type node = { name : string; label : string; published : bool }
+
+type edge = {
+  src : string;
+  dst : string;
+  edge_label : string;
+  floating : bool;
+}
+
+type t = { title : string; nodes : node list; edges : edge list }
+
+val to_dot : t -> string
+val to_ascii : t -> string
+
+val sample : unit -> t
+(** Fig. 1: the notation section's example flow. *)
+
+val daric_state : ?i:int -> ?cash:int -> unit -> t
+(** Fig. 3: Daric state-i flow (funding, both commits, floating split
+    and revocations). *)
+
+val lightning_pts_state : ?i:int -> ?cash:int -> unit -> t
+(** Fig. 2: Lightning with punish-then-split. *)
+
+val of_ledger :
+  Daric_chain.Ledger.t -> funding:Daric_tx.Tx.outpoint -> title:string -> t
+(** The actually-executed closure graph: every accepted transaction
+    reachable from the funding output. *)

@@ -1,0 +1,52 @@
+(** State-number locktime encoding and channel-lifetime analysis
+    (Section 4.1 and Section 8, "Channel reset").
+
+    The state number is stored in the nLockTime of split/revocation
+    transactions and in the CLTV parameter of commit-output scripts.
+    Values below 500,000,000 are block heights; higher values are UNIX
+    timestamps. Both the commit's CLTV and the floating transactions'
+    nLockTime must be *in the past* to be publishable, which bounds the
+    number of updates a channel can absorb. *)
+
+let threshold = Daric_script.Interp.locktime_threshold
+
+type mode = Block_height | Timestamp
+
+let mode_of (s0 : int) : mode = if s0 < threshold then Block_height else Timestamp
+
+(** Absolute locktime value for state [i]. Raises if the encoding would
+    cross the block-height/timestamp boundary (the channel must be
+    reset before that point). *)
+let of_state ~(s0 : int) (i : int) : int =
+  if i < 0 then invalid_arg "Locktime.of_state: negative state";
+  let v = s0 + i in
+  if s0 < threshold && v >= threshold then
+    invalid_arg "Locktime.of_state: block-height encoding overflow";
+  v
+
+let state_of ~(s0 : int) (lock : int) : int = lock - s0
+
+(** How many more updates the channel supports such that the latest
+    state is immediately enforceable, given the current ledger height
+    and timestamp. Section 4.1: ~700,000 for block-height encoding at
+    today's height, ~1.15 billion for timestamp encoding — and since the
+    timestamp advances one unit per second, a channel updating at most
+    once per second on average never exhausts it ("unlimited
+    lifetime"). *)
+let remaining_updates ~(s0 : int) ~(sn : int) ~(height : int) ~(time : int) :
+    int =
+  match mode_of s0 with
+  | Block_height -> min (threshold - 1) height - (s0 + sn)
+  | Timestamp -> time - (s0 + sn)
+
+(** With an average update inter-arrival of [seconds_per_update], does
+    the channel ever run out of states? (Timestamp mode only.) *)
+let unlimited_lifetime ~(seconds_per_update : float) : bool =
+  seconds_per_update >= 1.0
+
+(** Paper-quoted capacities (Section 4.1): a channel created at the
+    April-2022 block height supports ~700k updates under block-height
+    encoding, and ~1.15e9 under timestamp encoding before outpacing the
+    clock. *)
+let height_mode_capacity ~(current_height : int) : int = current_height
+let timestamp_mode_capacity ~(current_time : int) : int = current_time - threshold

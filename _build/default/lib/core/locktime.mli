@@ -1,0 +1,29 @@
+(** State-number locktime encoding and channel-lifetime analysis
+    (Sections 4.1 and 8): block-height encoding caps a channel at
+    roughly the current height worth of updates, timestamp encoding at
+    over a billion — unlimited when updating at most once per second. *)
+
+val threshold : int
+(** 500,000,000: below = block height, at/above = UNIX timestamp. *)
+
+type mode = Block_height | Timestamp
+
+val mode_of : int -> mode
+
+val of_state : s0:int -> int -> int
+(** Absolute locktime for a state index.
+    @raise Invalid_argument on negative states or when a block-height
+    encoding would cross the timestamp threshold. *)
+
+val state_of : s0:int -> int -> int
+
+val remaining_updates : s0:int -> sn:int -> height:int -> time:int -> int
+(** Updates left such that the latest state stays immediately
+    enforceable at the given ledger height/time. *)
+
+val unlimited_lifetime : seconds_per_update:float -> bool
+(** In timestamp mode the clock gains one state per second: an average
+    inter-update time of at least one second never exhausts it. *)
+
+val height_mode_capacity : current_height:int -> int
+val timestamp_mode_capacity : current_time:int -> int

@@ -1,0 +1,157 @@
+(** Channels on top of channels (Section 8, "Other applications" and
+    "Channel reset").
+
+    To put an application — here: another Daric channel — on top of an
+    existing channel, the parties update the parent so that its split
+    transaction carries a 2-of-2 output acting as the child's funding
+    output. Because the parent's split transaction is floating, its
+    txid is unknown until closure, so the child's commit transactions
+    must be floating too (ANYPREVOUT). Each child level therefore adds
+    a *constant* number of pre-signed transactions — the O(1)
+    transaction growth of Table 1 — where schemes with state
+    duplication (Lightning and derivatives) double the transaction set
+    with every level: O(2^k).
+
+    This module builds a k-deep stack of nested Daric channels, closes
+    it level by level on the ledger, and counts the transactions
+    involved. *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Ledger = Daric_chain.Ledger
+
+(** One nested level: pre-signed floating state-0 transactions. For
+    simplicity both commit variants share a level; revocation data is
+    analogous to the flat channel and omitted at state 0 (there is
+    nothing to revoke yet). *)
+type level = {
+  keys_a : Keys.t;
+  keys_b : Keys.t;
+  funding_script : Script.t;  (** 2-of-2 funding this level *)
+  commit_body : Tx.t;  (** floating commit (the A variant) *)
+  commit_sigs : string * string;  (** ANYPREVOUT sigs of A and B *)
+  commit_script : Script.t;  (** this level's commit output script *)
+  split_body : Tx.t;  (** floating split *)
+  split_sigs : string * string;
+  value : int;
+}
+
+type stack = {
+  levels : level list;  (** outermost (on-chain funding) first *)
+  base_funding : Tx.outpoint;
+  rel_lock : int;
+  s0 : int;
+}
+
+(** Transactions that must be created and signed to ADD one level on a
+    Daric channel: one commit per party plus one split (state 0). *)
+let txs_per_daric_level = 3
+
+(** Under state duplication, every sub-channel state exists once per
+    copy of the parent state, so k recursive splits cost O(2^k)
+    transactions (Table 1, Lightning/Cerberus/Sleepy/Outpost row). *)
+let txs_with_state_duplication (k : int) : int = (1 lsl (k + 1)) - 1
+
+let txs_daric (k : int) : int = txs_per_daric_level * k
+
+(** Build one level funding [value] coins under fresh keys, with the
+    child funding output as its split output. [child_funding_script] is
+    [None] for the innermost level, which splits into balances. *)
+let build_level ~(rng : Daric_util.Rng.t) ~(value : int) ~(s0 : int)
+    ~(rel_lock : int) ~(child_funding_script : Script.t option) : level =
+  let keys_a = Keys.generate rng and keys_b = Keys.generate rng in
+  let pub_a = Keys.pub keys_a and pub_b = Keys.pub keys_b in
+  let funding_script =
+    Script.multisig_2 (Keys.enc keys_a.Keys.main.pk) (Keys.enc keys_b.Keys.main.pk)
+  in
+  let commit_script =
+    Txs.commit_script_of ~role:Keys.Alice ~keys_a:pub_a ~keys_b:pub_b ~s0 ~i:0
+      ~rel_lock
+  in
+  (* floating commit: no input, ANYPREVOUT over (nLT, outputs) *)
+  let commit_body =
+    { Tx.inputs = [];
+      locktime = s0;
+      outputs = [ { Tx.value; spk = Tx.P2wsh (Script.hash commit_script) } ];
+      witnesses = [] }
+  in
+  let commit_msg = Sighash.message Anyprevout commit_body ~input_index:0 in
+  let commit_sigs =
+    ( Sighash.sign_message keys_a.Keys.main.sk Anyprevout commit_msg,
+      Sighash.sign_message keys_b.Keys.main.sk Anyprevout commit_msg )
+  in
+  let theta =
+    match child_funding_script with
+    | Some s -> [ { Tx.value; spk = Tx.P2wsh (Script.hash s) } ]
+    | None ->
+        Txs.balance_state ~pk_a:keys_a.Keys.main.pk ~pk_b:keys_b.Keys.main.pk
+          ~bal_a:(value / 2) ~bal_b:(value - (value / 2))
+  in
+  let split_body = Txs.gen_split ~theta ~s0 ~i:0 in
+  let split_msg = Txs.split_message split_body in
+  let split_sigs =
+    ( Sighash.sign_message keys_a.Keys.sp.sk Anyprevout split_msg,
+      Sighash.sign_message keys_b.Keys.sp.sk Anyprevout split_msg )
+  in
+  { keys_a; keys_b; funding_script; commit_body; commit_sigs; commit_script;
+    split_body; split_sigs; value }
+
+(** Build a [depth]-level stack, minting the outermost funding output
+    on the ledger. All inner levels exist purely off-chain. *)
+let build (ledger : Ledger.t) ~(rng : Daric_util.Rng.t) ~(depth : int)
+    ~(value : int) ?(s0 = 500_000_000) ?(rel_lock = 3) () : stack =
+  if depth < 1 then invalid_arg "Nesting.build: depth must be >= 1";
+  (* innermost first, then wrap *)
+  let rec go k child =
+    if k = 0 then child
+    else
+      let child_script =
+        match child with [] -> None | l :: _ -> Some l.funding_script
+      in
+      let l = build_level ~rng ~value ~s0 ~rel_lock ~child_funding_script:child_script in
+      go (k - 1) (l :: child)
+  in
+  let levels = go depth [] in
+  let outer = List.hd levels in
+  let base_funding =
+    Ledger.mint ledger ~value ~spk:(Tx.P2wsh (Script.hash outer.funding_script))
+  in
+  { levels; base_funding; rel_lock; s0 }
+
+(** Bind a level's floating commit to [funding] and complete its
+    witness. *)
+let completed_commit (l : level) ~(funding : Tx.outpoint) : Tx.t =
+  let sig_a, sig_b = l.commit_sigs in
+  { l.commit_body with
+    Tx.inputs = [ Tx.input_of_outpoint ~sequence:0 funding ];
+    witnesses =
+      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript l.funding_script ] ] }
+
+let completed_split (l : level) ~(commit_outpoint : Tx.outpoint) : Tx.t =
+  let sig_a, sig_b = l.split_sigs in
+  Txs.complete_split l.split_body ~commit_outpoint
+    ~commit_script:l.commit_script ~sig_a ~sig_b
+
+(** Close the whole stack non-collaboratively on the ledger: for each
+    level post the commit, wait out the CSV delay, post the split,
+    then descend into the child. Returns the transactions posted
+    (2 per level). *)
+let close_on_chain (stack : stack) (ledger : Ledger.t) : Tx.t list =
+  let settle n = for _ = 1 to n do ignore (Ledger.tick ledger) done in
+  let rec go funding levels acc =
+    match levels with
+    | [] -> List.rev acc
+    | l :: rest ->
+        let commit = completed_commit l ~funding in
+        Ledger.post ledger commit ~delay:0;
+        settle 1;
+        assert (Ledger.is_unspent ledger (Tx.outpoint_of commit 0));
+        settle stack.rel_lock;
+        let split = completed_split l ~commit_outpoint:(Tx.outpoint_of commit 0) in
+        Ledger.post ledger split ~delay:0;
+        settle 1;
+        assert (Ledger.is_unspent ledger (Tx.outpoint_of split 0));
+        go (Tx.outpoint_of split 0) rest (split :: commit :: acc)
+  in
+  go stack.base_funding stack.levels []

@@ -1,0 +1,1136 @@
+(** Daric channel party: the protocol state machine of Appendix D.
+
+    A party is driven by the simulation loop in three ways:
+    - {!handle_msg} processes a message delivered by the authenticated
+      network;
+    - the [request_*] functions inject environment commands
+      (INTRO/CREATE, UPDATE, CLOSE);
+    - {!end_of_round} runs the Punish phase ("executed at the end of
+      every round"), watches the funding output, schedules split
+      transactions after the T-round delay, and fires the timeout
+      (ForceClose) transitions.
+
+    Environment round-trips (SETUP/SETUP-OK etc.) are modelled by a
+    synchronous {!env_policy} consulted at the corresponding protocol
+    step; tests inject rejecting policies to exercise every ForceClose
+    branch. This collapses the paper's +-1-round environment hops but
+    preserves the message/abort structure and all on-chain timings. *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Ledger = Daric_chain.Ledger
+
+let src = Logs.Src.create "daric.party" ~doc:"Daric channel party"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+
+(** Channel configuration fixed at INTRO time. *)
+type config = {
+  id : string;
+  role : Keys.role;  (** which of the two asymmetric key positions we hold *)
+  peer : string;  (** network identity of the counter-party *)
+  bal_a : int;  (** initial balance of the Alice side *)
+  bal_b : int;
+  rel_lock : int;  (** the dispute window T (rounds), must exceed Delta *)
+  s0 : int;  (** base of the state-number locktime encoding *)
+}
+
+let cash (cfg : config) : int = cfg.bal_a + cfg.bal_b
+
+(** Environment decisions at the interactive protocol steps. *)
+type env_policy = {
+  approve_update : id:string -> theta:Tx.output list -> bool;  (** UPDATE-OK *)
+  approve_setup : id:string -> bool;  (** SETUP-OK *)
+  approve_setup' : id:string -> bool;  (** SETUP'-OK *)
+  approve_revoke : id:string -> bool;  (** REVOKE *)
+  approve_revoke' : id:string -> bool;  (** REVOKE' *)
+  approve_close : id:string -> bool;  (** counter-party's CLOSE consent *)
+}
+
+let accept_all : env_policy =
+  { approve_update = (fun ~id:_ ~theta:_ -> true);
+    approve_setup = (fun ~id:_ -> true);
+    approve_setup' = (fun ~id:_ -> true);
+    approve_revoke = (fun ~id:_ -> true);
+    approve_revoke' = (fun ~id:_ -> true);
+    approve_close = (fun ~id:_ -> true) }
+
+(** Events reported to the environment. *)
+type event =
+  | Created of string
+  | Update_requested of string
+  | Updated of string * int  (** new state number *)
+  | Update_rejected of string
+  | Closed of string
+  | Punished of string
+  | Aborted of string  (** channel creation failed *)
+  | Force_closed of string  (** commit posted unilaterally *)
+  | Protocol_error of string * string
+
+let event_to_string = function
+  | Created id -> "CREATED " ^ id
+  | Update_requested id -> "UPDATE-REQ " ^ id
+  | Updated (id, n) -> Fmt.str "UPDATED %s -> state %d" id n
+  | Update_rejected id -> "UPDATE-REJECTED " ^ id
+  | Closed id -> "CLOSED " ^ id
+  | Punished id -> "PUNISHED " ^ id
+  | Aborted id -> "ABORTED " ^ id
+  | Force_closed id -> "FORCE-CLOSE " ^ id
+  | Protocol_error (id, m) -> Fmt.str "ERROR %s: %s" id m
+
+(** Operation counters (Table 3, "num. of operations"). Only signatures
+    produced for the counter-party or the watchtower and verifications
+    of received signatures are counted, matching Appendix H's counting
+    rules. *)
+type ops = { mutable signs : int; mutable verifies : int; mutable exps : int }
+
+let ops_copy (o : ops) = { signs = o.signs; verifies = o.verifies; exps = o.exps }
+
+(* ------------------------------------------------------------------ *)
+
+type split_data = { split_body : Tx.t; split_sig_a : string; split_sig_b : string }
+
+(** In-progress update (the paper's Gamma'^P). *)
+type update_ctx = {
+  u_theta : Tx.output list;
+  mutable u_commit_mine : Tx.t option;  (** fully signed state-(sn+1) commit *)
+  u_commit_mine_body : Tx.t;
+  u_commit_theirs_body : Tx.t;
+  mutable u_split : split_data option;
+  u_initiator : bool;
+}
+
+type phase =
+  | Await_create_info
+  | Await_create_com
+  | Await_create_fund
+  | Await_funding_confirm
+  | Refunding  (** refund posted after a create-phase abort *)
+  | Operational
+  | Upd_await_info  (** initiator sent updateReq *)
+  | Upd_await_com_initiator  (** responder sent updateInfo *)
+  | Upd_await_com_responder  (** initiator sent updateComP *)
+  | Upd_await_revoke_initiator  (** responder sent updateComQ *)
+  | Upd_await_revoke_responder  (** initiator sent revokeP *)
+  | Close_await_ack
+  | Close_await_confirm
+  | Force_closed_waiting  (** commit posted; Punish daemon finishes up *)
+  | Done
+
+let phase_to_string = function
+  | Await_create_info -> "await-create-info"
+  | Await_create_com -> "await-create-com"
+  | Await_create_fund -> "await-create-fund"
+  | Await_funding_confirm -> "await-funding-confirm"
+  | Refunding -> "refunding"
+  | Operational -> "operational"
+  | Upd_await_info -> "upd-await-info"
+  | Upd_await_com_initiator -> "upd-await-com-initiator"
+  | Upd_await_com_responder -> "upd-await-com-responder"
+  | Upd_await_revoke_initiator -> "upd-await-revoke-initiator"
+  | Upd_await_revoke_responder -> "upd-await-revoke-responder"
+  | Close_await_ack -> "close-await-ack"
+  | Close_await_confirm -> "close-await-confirm"
+  | Force_closed_waiting -> "force-closed"
+  | Done -> "done"
+
+type chan = {
+  cfg : config;
+  keys : Keys.t;
+  mutable their_keys : Keys.pub option;
+  mutable tid_mine : Tx.outpoint option;
+  mutable tid_theirs : Tx.outpoint option;
+  mutable fund : Tx.t option;  (** body; completed when posted *)
+  mutable fund_sig_mine : string option;
+  mutable fund_sig_theirs : string option;
+  (* Latest committed state (the paper's Gamma^P). *)
+  mutable sn : int;
+  mutable st : Tx.output list;
+  mutable flag : int;  (** 1 = single active state, 2 = update in flight *)
+  mutable st' : Tx.output list option;
+  mutable commit_mine : Tx.t option;  (** fully signed, postable *)
+  mutable commit_theirs_body : Tx.t option;
+  mutable split : split_data option;
+  mutable rev_sig_theirs : string option;  (** Theta^P, revokes state sn-1 *)
+  mutable rev_sig_mine : string option;  (** own sig, produced for the watchtower *)
+  mutable pending : update_ctx option;
+  mutable requested_theta : Tx.output list option;
+      (** state we proposed in an outstanding updateReq *)
+  mutable phase : phase;
+  mutable deadline : int option;
+  mutable fin_split : Tx.t option;  (** collaborative-close body *)
+  (* Punish-daemon bookkeeping. *)
+  mutable commit_on_chain : (int * Tx.outpoint * Script.t * int) option;
+      (** (recorded round, outpoint, commit script, state index) *)
+  mutable split_posted : bool;
+  mutable punish_posted : Tx.t option;
+  mutable outcome : event option;
+}
+
+type t = {
+  pid : string;
+  env : env_policy;
+  rng : Daric_util.Rng.t;
+  mutable chans : (string * chan) list;
+  mutable outbox : (int * event) list;
+  ops : ops;
+}
+
+(** Per-round I/O capabilities handed to the party by the driver. *)
+type ctx = {
+  round : int;
+  ledger : Ledger.t;
+  send : recipient:string -> Wire.msg -> unit;
+  post : Tx.t -> unit;
+}
+
+let create ?(env = accept_all) ~(pid : string) ~(seed : int) () : t =
+  { pid;
+    env;
+    rng = Daric_util.Rng.create ~seed;
+    chans = [];
+    outbox = [];
+    ops = { signs = 0; verifies = 0; exps = 0 } }
+
+let events (t : t) : (int * event) list = List.rev t.outbox
+let ops (t : t) : ops = t.ops
+
+let emit (t : t) (ctx : ctx) (ev : event) =
+  Log.debug (fun m -> m "%s: %s" t.pid (event_to_string ev));
+  t.outbox <- (ctx.round, ev) :: t.outbox
+
+let find_chan (t : t) (id : string) : chan option = List.assoc_opt id t.chans
+
+let chan_exn (t : t) (id : string) : chan =
+  match find_chan t id with
+  | Some c -> c
+  | None -> invalid_arg ("unknown channel " ^ id)
+
+(* ---- key/role helpers -------------------------------------------- *)
+
+let keys_ab (c : chan) : Keys.pub * Keys.pub =
+  let mine = Keys.pub c.keys in
+  let theirs = Option.get c.their_keys in
+  match c.cfg.role with Keys.Alice -> (mine, theirs) | Keys.Bob -> (theirs, mine)
+
+let main_pks (c : chan) : Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr.public_key =
+  let a, b = keys_ab c in
+  (a.Keys.main_pk, b.Keys.main_pk)
+
+(** Key used to sign the counter-party's revocation transaction
+    (update steps 9/11): rv when we are Alice, rv' when we are Bob. *)
+let rev_sign_key_for_theirs (c : chan) : Daric_crypto.Schnorr.secret_key =
+  match c.cfg.role with Keys.Alice -> c.keys.Keys.rv.sk | Keys.Bob -> c.keys.Keys.rv'.sk
+
+(** Their public key verifying their signature on OUR revocation tx. *)
+let rev_verify_key_for_mine (c : chan) : Daric_crypto.Schnorr.public_key =
+  let theirs = Option.get c.their_keys in
+  match c.cfg.role with Keys.Alice -> theirs.Keys.rv'_pk | Keys.Bob -> theirs.Keys.rv_pk
+
+(** Key used to complete OUR OWN revocation transaction at punish time
+    (and to pre-sign it for the watchtower): rv' when we are Alice, rv
+    when we are Bob. *)
+let rev_complete_key_mine (c : chan) : Daric_crypto.Schnorr.secret_key =
+  match c.cfg.role with Keys.Alice -> c.keys.Keys.rv'.sk | Keys.Bob -> c.keys.Keys.rv.sk
+
+(** My revocation transaction body for revoked state [revoked]. *)
+let my_rev_body (c : chan) ~(revoked : int) : Tx.t =
+  let pk_a, pk_b = main_pks c in
+  let rv_a, rv_b =
+    Txs.gen_revoke ~pk_a ~pk_b ~cash:(cash c.cfg) ~s0:c.cfg.s0 ~revoked
+  in
+  match c.cfg.role with Keys.Alice -> rv_a | Keys.Bob -> rv_b
+
+(** Their revocation transaction body for revoked state [revoked]. *)
+let their_rev_body (c : chan) ~(revoked : int) : Tx.t =
+  let pk_a, pk_b = main_pks c in
+  let rv_a, rv_b =
+    Txs.gen_revoke ~pk_a ~pk_b ~cash:(cash c.cfg) ~s0:c.cfg.s0 ~revoked
+  in
+  match c.cfg.role with Keys.Alice -> rv_b | Keys.Bob -> rv_a
+
+(** Witness order inside the revocation branch is (Alice key, Bob key). *)
+let rev_witness_sigs (c : chan) ~(sig_mine : string) ~(sig_theirs : string) :
+    string * string =
+  match c.cfg.role with
+  | Keys.Alice -> (sig_mine, sig_theirs)
+  | Keys.Bob -> (sig_theirs, sig_mine)
+
+(* ---- counted crypto operations ----------------------------------- *)
+
+let sign_counted (t : t) (sk : Daric_crypto.Schnorr.secret_key)
+    (flag : Sighash.flag) (msg : string) : string =
+  t.ops.signs <- t.ops.signs + 1;
+  Sighash.sign_message sk flag msg
+
+let verify_counted (t : t) (pk : Daric_crypto.Schnorr.public_key) (msg : string)
+    (sig_bytes : string) : bool =
+  t.ops.verifies <- t.ops.verifies + 1;
+  Sighash.verify_message (Daric_crypto.Schnorr.encode_public_key pk) msg sig_bytes
+
+(* ---- transaction (re)construction helpers ------------------------ *)
+
+let funding_outpoint (c : chan) : Tx.outpoint =
+  Tx.outpoint_of (Option.get c.fund) 0
+
+let gen_commits (c : chan) ~(i : int) : Tx.t * Tx.t =
+  let keys_a, keys_b = keys_ab c in
+  Txs.gen_commit ~funding:(funding_outpoint c) ~value:(cash c.cfg) ~keys_a
+    ~keys_b ~s0:c.cfg.s0 ~i ~rel_lock:c.cfg.rel_lock
+
+(** (my commit body, their commit body) for state [i]. *)
+let commits_for_roles (c : chan) ~(i : int) : Tx.t * Tx.t =
+  let cm_a, cm_b = gen_commits c ~i in
+  match c.cfg.role with Keys.Alice -> (cm_a, cm_b) | Keys.Bob -> (cm_b, cm_a)
+
+let commit_script_for (c : chan) ~(owner : Keys.role) ~(i : int) : Script.t =
+  let keys_a, keys_b = keys_ab c in
+  Txs.commit_script_of ~role:owner ~keys_a ~keys_b ~s0:c.cfg.s0 ~i
+    ~rel_lock:c.cfg.rel_lock
+
+(* ------------------------------------------------------------------ *)
+(* Create phase.                                                       *)
+
+(** INTRO: start creating the channel. [tid] must reference a P2WPKH
+    output controlled by our main key holding our side's balance;
+    tests that pre-mint that output pass the pre-generated [keys]. *)
+let intro (t : t) (ctx : ctx) ?(keys : Keys.t option) ~(cfg : config)
+    ~(tid : Tx.outpoint) () : unit =
+  if List.mem_assoc cfg.id t.chans then invalid_arg "duplicate channel id";
+  if cfg.rel_lock <= Ledger.delta ctx.ledger then
+    invalid_arg "rel_lock (T) must exceed the ledger delay";
+  let keys = match keys with Some k -> k | None -> Keys.generate t.rng in
+  let c =
+    { cfg;
+      keys;
+      their_keys = None;
+      tid_mine = Some tid;
+      tid_theirs = None;
+      fund = None;
+      fund_sig_mine = None;
+      fund_sig_theirs = None;
+      sn = 0;
+      st = [];
+      flag = 1;
+      st' = None;
+      commit_mine = None;
+      commit_theirs_body = None;
+      split = None;
+      rev_sig_theirs = None;
+      rev_sig_mine = None;
+      pending = None;
+      requested_theta = None;
+      phase = Await_create_info;
+      deadline = Some (ctx.round + 2);
+      fin_split = None;
+      commit_on_chain = None;
+      split_posted = false;
+      punish_posted = None;
+      outcome = None }
+  in
+  t.chans <- (cfg.id, c) :: t.chans;
+  ctx.send ~recipient:cfg.peer
+    (Wire.Create_info { id = cfg.id; tid; keys = Keys.pub keys })
+
+let initial_state (c : chan) : Tx.output list =
+  let pk_a, pk_b = main_pks c in
+  Txs.balance_state ~pk_a ~pk_b ~bal_a:c.cfg.bal_a ~bal_b:c.cfg.bal_b
+
+let on_create_info (t : t) (ctx : ctx) (c : chan) ~(tid : Tx.outpoint)
+    ~(keys : Keys.pub) : unit =
+  c.their_keys <- Some keys;
+  c.tid_theirs <- Some tid;
+  let pk_a, pk_b = main_pks c in
+  let tid_a, tid_b =
+    match c.cfg.role with
+    | Keys.Alice -> (Option.get c.tid_mine, tid)
+    | Keys.Bob -> (tid, Option.get c.tid_mine)
+  in
+  let fund = Txs.gen_fund ~tid_a ~tid_b ~cash:(cash c.cfg) ~pk_a ~pk_b in
+  c.fund <- Some fund;
+  c.st <- initial_state c;
+  let _, commit_theirs = commits_for_roles c ~i:0 in
+  let split0 = Txs.gen_split ~theta:c.st ~s0:c.cfg.s0 ~i:0 in
+  let split_sig =
+    sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split0)
+  in
+  let commit_sig =
+    sign_counted t c.keys.Keys.main.sk All (Txs.commit_message commit_theirs)
+  in
+  c.phase <- Await_create_com;
+  c.deadline <- Some (ctx.round + 2);
+  ctx.send ~recipient:c.cfg.peer
+    (Wire.Create_com { id = c.cfg.id; split_sig; commit_sig })
+
+let on_create_com (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
+    ~(commit_sig : string) : unit =
+  let theirs = Option.get c.their_keys in
+  let commit_mine_body, _ = commits_for_roles c ~i:0 in
+  let split0 = Txs.gen_split ~theta:c.st ~s0:c.cfg.s0 ~i:0 in
+  let split_ok =
+    verify_counted t theirs.Keys.sp_pk (Txs.split_message split0) split_sig
+  in
+  let commit_ok =
+    verify_counted t theirs.Keys.main_pk (Txs.commit_message commit_mine_body)
+      commit_sig
+  in
+  if not (split_ok && commit_ok) then
+    emit t ctx (Protocol_error (c.cfg.id, "invalid createCom signatures"))
+  else begin
+    (* Assemble state-0 data. *)
+    let my_split_sig =
+      Sighash.sign_message c.keys.Keys.sp.sk Anyprevout (Txs.split_message split0)
+    in
+    let sig_a, sig_b =
+      match c.cfg.role with
+      | Keys.Alice -> (my_split_sig, split_sig)
+      | Keys.Bob -> (split_sig, my_split_sig)
+    in
+    c.split <- Some { split_body = split0; split_sig_a = sig_a; split_sig_b = sig_b };
+    let my_commit_sig =
+      Sighash.sign_message c.keys.Keys.main.sk All
+        (Txs.commit_message commit_mine_body)
+    in
+    let sig_a, sig_b =
+      match c.cfg.role with
+      | Keys.Alice -> (my_commit_sig, commit_sig)
+      | Keys.Bob -> (commit_sig, my_commit_sig)
+    in
+    let pk_a, pk_b = main_pks c in
+    c.commit_mine <-
+      Some (Txs.complete_commit commit_mine_body ~sig_a ~sig_b ~pk_a ~pk_b);
+    let _, commit_theirs = commits_for_roles c ~i:0 in
+    c.commit_theirs_body <- Some commit_theirs;
+    (* Sign and send the funding transaction. *)
+    let fund = Option.get c.fund in
+    let fund_sig =
+      sign_counted t c.keys.Keys.main.sk All (Txs.funding_message fund)
+    in
+    c.fund_sig_mine <- Some fund_sig;
+    c.phase <- Await_create_fund;
+    c.deadline <- Some (ctx.round + 2);
+    ctx.send ~recipient:c.cfg.peer (Wire.Create_fund { id = c.cfg.id; fund_sig })
+  end
+
+let on_create_fund (t : t) (ctx : ctx) (c : chan) ~(fund_sig : string) : unit =
+  let theirs = Option.get c.their_keys in
+  let fund = Option.get c.fund in
+  if not (verify_counted t theirs.Keys.main_pk (Txs.funding_message fund) fund_sig)
+  then emit t ctx (Protocol_error (c.cfg.id, "invalid createFund signature"))
+  else begin
+    c.fund_sig_theirs <- Some fund_sig;
+    let pk_a, pk_b = main_pks c in
+    let sig_a, sig_b =
+      match c.cfg.role with
+      | Keys.Alice -> (Option.get c.fund_sig_mine, fund_sig)
+      | Keys.Bob -> (fund_sig, Option.get c.fund_sig_mine)
+    in
+    let completed = Txs.complete_fund fund ~sig_a ~pk_a ~sig_b ~pk_b in
+    ctx.post completed;
+    c.phase <- Await_funding_confirm;
+    c.deadline <- Some (ctx.round + 1 + Ledger.delta ctx.ledger)
+  end
+
+(** Abort channel creation by spending our own funding source back to
+    ourselves (create step 5, Else branch). *)
+let post_refund (t : t) (ctx : ctx) (c : chan) : unit =
+  match (c.tid_mine, Ledger.find_utxo ctx.ledger (Option.get c.tid_mine)) with
+  | Some tid, Some utxo ->
+      let refund =
+        { Tx.inputs = [ Tx.input_of_outpoint tid ];
+          locktime = 0;
+          outputs =
+            [ { Tx.value = utxo.output.value;
+                spk =
+                  Tx.P2wpkh
+                    (Daric_crypto.Hash.hash160 (Keys.enc c.keys.Keys.main.pk)) } ];
+          witnesses = [] }
+      in
+      let sig_mine = Sighash.sign c.keys.Keys.main.sk All refund ~input_index:0 in
+      let refund =
+        { refund with
+          Tx.witnesses =
+            [ [ Tx.Data sig_mine; Tx.Data (Keys.enc c.keys.Keys.main.pk) ] ] }
+      in
+      ctx.post refund;
+      c.phase <- Refunding;
+      c.deadline <- Some (ctx.round + 1 + Ledger.delta ctx.ledger)
+  | _ ->
+      c.phase <- Done;
+      emit t ctx (Aborted c.cfg.id)
+
+(* ------------------------------------------------------------------ *)
+(* ForceClose.                                                         *)
+
+(** Post the newest fully-signed commit transaction (Appendix D,
+    subprocedure ForceClose): state sn when flag = 1 or the new commit
+    is not yet signed, state sn+1 otherwise. The Punish daemon then
+    completes the closure by posting the matching split transaction
+    after T rounds. *)
+let force_close (t : t) (ctx : ctx) (c : chan) : unit =
+  let commit =
+    match (c.flag, c.pending) with
+    | 2, Some { u_commit_mine = Some cm; _ } -> Some cm
+    | _ -> c.commit_mine
+  in
+  match commit with
+  | None ->
+      (* Nothing enforceable yet (creation never completed). *)
+      c.phase <- Done;
+      emit t ctx (Aborted c.cfg.id)
+  | Some commit ->
+      ctx.post commit;
+      c.phase <- Force_closed_waiting;
+      c.deadline <- None;
+      emit t ctx (Force_closed c.cfg.id)
+
+(* ------------------------------------------------------------------ *)
+(* Update phase.                                                       *)
+
+(** Update step 1 (initiator): request a state update to [theta]. *)
+let request_update (t : t) (ctx : ctx) ~(id : string) ~(theta : Tx.output list)
+    ?(tstp : int = 0) () : unit =
+  let c = chan_exn t id in
+  if c.phase <> Operational then invalid_arg "request_update: channel busy";
+  if
+    List.fold_left (fun a (o : Tx.output) -> a + o.value) 0 theta <> cash c.cfg
+  then invalid_arg "request_update: state must redistribute exactly the cash";
+  ctx.send ~recipient:c.cfg.peer (Wire.Update_req { id; theta; tstp });
+  c.requested_theta <- Some theta;
+  c.phase <- Upd_await_info;
+  c.deadline <- Some (ctx.round + 2 + tstp)
+
+(** Update steps 2-3 (responder): consult the environment; on approval,
+    sign the new split transaction. *)
+let on_update_req (t : t) (ctx : ctx) (c : chan) ~(theta : Tx.output list)
+    ~(tstp : int) : unit =
+  ignore tstp;
+  emit t ctx (Update_requested c.cfg.id);
+  if c.phase <> Operational then ()
+  else if not (t.env.approve_update ~id:c.cfg.id ~theta) then
+    emit t ctx (Update_rejected c.cfg.id)
+  else begin
+    let i' = c.sn + 1 in
+    let commit_mine_body, commit_theirs_body = commits_for_roles c ~i:i' in
+    let split_body = Txs.gen_split ~theta ~s0:c.cfg.s0 ~i:i' in
+    let split_sig =
+      sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split_body)
+    in
+    c.pending <-
+      Some
+        { u_theta = theta;
+          u_commit_mine = None;
+          u_commit_mine_body = commit_mine_body;
+          u_commit_theirs_body = commit_theirs_body;
+          u_split = None;
+          u_initiator = false };
+    c.phase <- Upd_await_com_initiator;
+    c.deadline <- Some (ctx.round + 2);
+    ctx.send ~recipient:c.cfg.peer (Wire.Update_info { id = c.cfg.id; split_sig })
+  end
+
+(** Update steps 4-5 (initiator): verify the responder's split
+    signature; with the environment's SETUP-OK, sign the responder's
+    commit and our own split signature. From here the channel has two
+    potentially-enforceable states (flag = 2). *)
+let on_update_info (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
+    ~(theta : Tx.output list) : unit =
+  let theirs = Option.get c.their_keys in
+  let i' = c.sn + 1 in
+  let commit_mine_body, commit_theirs_body = commits_for_roles c ~i:i' in
+  let split_body = Txs.gen_split ~theta ~s0:c.cfg.s0 ~i:i' in
+  if not (verify_counted t theirs.Keys.sp_pk (Txs.split_message split_body) split_sig)
+  then begin
+    emit t ctx (Protocol_error (c.cfg.id, "invalid updateInfo signature"));
+    c.phase <- Operational;
+    c.deadline <- None
+  end
+  else begin
+    let my_split_sig =
+      sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split_body)
+    in
+    let sig_a, sig_b =
+      match c.cfg.role with
+      | Keys.Alice -> (my_split_sig, split_sig)
+      | Keys.Bob -> (split_sig, my_split_sig)
+    in
+    c.pending <-
+      Some
+        { u_theta = theta;
+          u_commit_mine = None;
+          u_commit_mine_body = commit_mine_body;
+          u_commit_theirs_body = commit_theirs_body;
+          u_split =
+            Some { split_body; split_sig_a = sig_a; split_sig_b = sig_b };
+          u_initiator = true };
+    c.flag <- 2;
+    c.st' <- Some theta;
+    if not (t.env.approve_setup ~id:c.cfg.id) then force_close t ctx c
+    else begin
+      let commit_sig =
+        sign_counted t c.keys.Keys.main.sk All
+          (Txs.commit_message commit_theirs_body)
+      in
+      c.phase <- Upd_await_com_responder;
+      c.deadline <- Some (ctx.round + 2);
+      ctx.send ~recipient:c.cfg.peer
+        (Wire.Update_com_initiator
+           { id = c.cfg.id; split_sig = my_split_sig; commit_sig })
+    end
+  end
+
+(** Update steps 6-7 (responder): verify the initiator's split and
+    commit signatures; our new commit is now enforceable (flag = 2);
+    with SETUP'-OK, sign the initiator's commit. *)
+let on_update_com_initiator (t : t) (ctx : ctx) (c : chan)
+    ~(split_sig : string) ~(commit_sig : string) : unit =
+  match c.pending with
+  | None -> ()
+  | Some u ->
+      let theirs = Option.get c.their_keys in
+      let split_body =
+        Txs.gen_split ~theta:u.u_theta ~s0:c.cfg.s0 ~i:(c.sn + 1)
+      in
+      let split_ok =
+        verify_counted t theirs.Keys.sp_pk (Txs.split_message split_body)
+          split_sig
+      in
+      let commit_ok =
+        verify_counted t theirs.Keys.main_pk
+          (Txs.commit_message u.u_commit_mine_body)
+          commit_sig
+      in
+      if not (split_ok && commit_ok) then begin
+        emit t ctx (Protocol_error (c.cfg.id, "invalid updateComP signatures"));
+        force_close t ctx c
+      end
+      else begin
+        let my_split_sig =
+          sign_counted t c.keys.Keys.sp.sk Anyprevout
+            (Txs.split_message split_body)
+        in
+        let sig_a, sig_b =
+          match c.cfg.role with
+          | Keys.Alice -> (my_split_sig, split_sig)
+          | Keys.Bob -> (split_sig, my_split_sig)
+        in
+        u.u_split <-
+          Some { split_body; split_sig_a = sig_a; split_sig_b = sig_b };
+        let my_commit_sig =
+          Sighash.sign_message c.keys.Keys.main.sk All
+            (Txs.commit_message u.u_commit_mine_body)
+        in
+        let csig_a, csig_b =
+          match c.cfg.role with
+          | Keys.Alice -> (my_commit_sig, commit_sig)
+          | Keys.Bob -> (commit_sig, my_commit_sig)
+        in
+        let pk_a, pk_b = main_pks c in
+        u.u_commit_mine <-
+          Some
+            (Txs.complete_commit u.u_commit_mine_body ~sig_a:csig_a
+               ~sig_b:csig_b ~pk_a ~pk_b);
+        c.flag <- 2;
+        c.st' <- Some u.u_theta;
+        if not (t.env.approve_setup' ~id:c.cfg.id) then force_close t ctx c
+        else begin
+          let commit_sig =
+            sign_counted t c.keys.Keys.main.sk All
+              (Txs.commit_message u.u_commit_theirs_body)
+          in
+          c.phase <- Upd_await_revoke_initiator;
+          c.deadline <- Some (ctx.round + 2);
+          ctx.send ~recipient:c.cfg.peer
+            (Wire.Update_com_responder { id = c.cfg.id; commit_sig })
+        end
+      end
+
+(** Update steps 8-9 (initiator): our new commit is enforceable; with
+    the environment's REVOKE, revoke state sn by signing the
+    counter-party's floating revocation transaction. *)
+let on_update_com_responder (t : t) (ctx : ctx) (c : chan)
+    ~(commit_sig : string) : unit =
+  match c.pending with
+  | None -> ()
+  | Some u ->
+      let theirs = Option.get c.their_keys in
+      if
+        not
+          (verify_counted t theirs.Keys.main_pk
+             (Txs.commit_message u.u_commit_mine_body)
+             commit_sig)
+      then begin
+        emit t ctx (Protocol_error (c.cfg.id, "invalid updateComQ signature"));
+        force_close t ctx c
+      end
+      else begin
+        let my_commit_sig =
+          Sighash.sign_message c.keys.Keys.main.sk All
+            (Txs.commit_message u.u_commit_mine_body)
+        in
+        let sig_a, sig_b =
+          match c.cfg.role with
+          | Keys.Alice -> (my_commit_sig, commit_sig)
+          | Keys.Bob -> (commit_sig, my_commit_sig)
+        in
+        let pk_a, pk_b = main_pks c in
+        u.u_commit_mine <-
+          Some
+            (Txs.complete_commit u.u_commit_mine_body ~sig_a ~sig_b ~pk_a ~pk_b);
+        if not (t.env.approve_revoke ~id:c.cfg.id) then force_close t ctx c
+        else begin
+          let rev_theirs = their_rev_body c ~revoked:c.sn in
+          let rev_sig =
+            sign_counted t (rev_sign_key_for_theirs c) Anyprevout
+              (Txs.revoke_message rev_theirs)
+          in
+          c.phase <- Upd_await_revoke_responder;
+          c.deadline <- Some (ctx.round + 2);
+          ctx.send ~recipient:c.cfg.peer
+            (Wire.Revoke_initiator { id = c.cfg.id; rev_sig })
+        end
+      end
+
+(** Their public key under which we verify the revocation signature we
+    receive (it covers OUR revocation tx): their rv' when we are Alice,
+    their rv when we are Bob. *)
+let rev_verify_pk (c : chan) : Daric_crypto.Schnorr.public_key =
+  rev_verify_key_for_mine c
+
+(** Commit the pending state: the paper's step-10/12 bookkeeping common
+    to both parties, including pre-signing our own revocation
+    transaction for the watchtower. *)
+let finalize_update (t : t) (ctx : ctx) (c : chan) (u : update_ctx)
+    ~(rev_sig : string) : unit =
+  c.rev_sig_theirs <- Some rev_sig;
+  c.sn <- c.sn + 1;
+  c.st <- u.u_theta;
+  c.flag <- 1;
+  c.st' <- None;
+  c.commit_mine <- u.u_commit_mine;
+  c.commit_theirs_body <- Some u.u_commit_theirs_body;
+  c.split <- u.u_split;
+  c.pending <- None;
+  c.phase <- Operational;
+  c.deadline <- None;
+  (* Pre-sign our own revocation transaction for the watchtower
+     (counted: it is sent off-device). *)
+  let my_rev = my_rev_body c ~revoked:(c.sn - 1) in
+  c.rev_sig_mine <-
+    Some
+      (sign_counted t (rev_complete_key_mine c) Anyprevout
+         (Txs.revoke_message my_rev));
+  emit t ctx (Updated (c.cfg.id, c.sn))
+
+(** Update steps 10-11 (responder): verify the revocation signature,
+    commit the new state, and with REVOKE' send our own revocation
+    signature back. *)
+let on_revoke_initiator (t : t) (ctx : ctx) (c : chan) ~(rev_sig : string) :
+    unit =
+  match c.pending with
+  | None -> ()
+  | Some u ->
+      let my_rev = my_rev_body c ~revoked:c.sn in
+      if
+        not
+          (verify_counted t (rev_verify_pk c) (Txs.revoke_message my_rev)
+             rev_sig)
+      then begin
+        emit t ctx (Protocol_error (c.cfg.id, "invalid revokeP signature"));
+        force_close t ctx c
+      end
+      else if not (t.env.approve_revoke' ~id:c.cfg.id) then force_close t ctx c
+      else begin
+        let rev_theirs = their_rev_body c ~revoked:c.sn in
+        let their_rev_sig =
+          sign_counted t (rev_sign_key_for_theirs c) Anyprevout
+            (Txs.revoke_message rev_theirs)
+        in
+        finalize_update t ctx c u ~rev_sig;
+        ctx.send ~recipient:c.cfg.peer
+          (Wire.Revoke_responder { id = c.cfg.id; rev_sig = their_rev_sig })
+      end
+
+(** Update step 12 (initiator): verify and store the responder's
+    revocation signature; the update is complete. *)
+let on_revoke_responder (t : t) (ctx : ctx) (c : chan) ~(rev_sig : string) :
+    unit =
+  match c.pending with
+  | None -> ()
+  | Some u ->
+      let my_rev = my_rev_body c ~revoked:c.sn in
+      if
+        not
+          (verify_counted t (rev_verify_pk c) (Txs.revoke_message my_rev)
+             rev_sig)
+      then begin
+        emit t ctx (Protocol_error (c.cfg.id, "invalid revokeQ signature"));
+        force_close t ctx c
+      end
+      else finalize_update t ctx c u ~rev_sig
+
+(* ------------------------------------------------------------------ *)
+(* Close phase.                                                        *)
+
+(** CLOSE (requester): propose a collaborative close with the modified
+    split transaction spending the funding output directly. *)
+let request_close (t : t) (ctx : ctx) ~(id : string) : unit =
+  let c = chan_exn t id in
+  if c.phase <> Operational then invalid_arg "request_close: channel busy";
+  let fin = Txs.gen_fin_split ~funding:(funding_outpoint c) ~theta:c.st in
+  let fin_sig =
+    sign_counted t c.keys.Keys.main.sk All (Txs.fin_split_message fin)
+  in
+  c.fin_split <- Some fin;
+  c.phase <- Close_await_ack;
+  c.deadline <- Some (ctx.round + 2);
+  ctx.send ~recipient:c.cfg.peer (Wire.Close_req { id; fin_sig })
+
+let on_close_req (t : t) (ctx : ctx) (c : chan) ~(fin_sig : string) : unit =
+  if c.phase <> Operational then ()
+  else if not (t.env.approve_close ~id:c.cfg.id) then ()
+    (* staying silent forces the requester into ForceClose, as in the
+       ideal functionality's "Q disagreed" branch *)
+  else begin
+    let theirs = Option.get c.their_keys in
+    let fin = Txs.gen_fin_split ~funding:(funding_outpoint c) ~theta:c.st in
+    if
+      not
+        (verify_counted t theirs.Keys.main_pk (Txs.fin_split_message fin)
+           fin_sig)
+    then emit t ctx (Protocol_error (c.cfg.id, "invalid closeP signature"))
+    else begin
+      let my_sig =
+        sign_counted t c.keys.Keys.main.sk All (Txs.fin_split_message fin)
+      in
+      c.fin_split <- Some fin;
+      c.phase <- Close_await_confirm;
+      c.deadline <- Some (ctx.round + 2 + Ledger.delta ctx.ledger);
+      ctx.send ~recipient:c.cfg.peer
+        (Wire.Close_ack { id = c.cfg.id; fin_sig = my_sig })
+    end
+  end
+
+let on_close_ack (t : t) (ctx : ctx) (c : chan) ~(fin_sig : string) : unit =
+  match (c.phase, c.fin_split) with
+  | Close_await_ack, Some fin ->
+      let theirs = Option.get c.their_keys in
+      if
+        not
+          (verify_counted t theirs.Keys.main_pk (Txs.fin_split_message fin)
+             fin_sig)
+      then begin
+        emit t ctx (Protocol_error (c.cfg.id, "invalid closeQ signature"));
+        force_close t ctx c
+      end
+      else begin
+        let my_sig =
+          Sighash.sign_message c.keys.Keys.main.sk All
+            (Txs.fin_split_message fin)
+        in
+        let sig_a, sig_b =
+          match c.cfg.role with
+          | Keys.Alice -> (my_sig, fin_sig)
+          | Keys.Bob -> (fin_sig, my_sig)
+        in
+        let pk_a, pk_b = main_pks c in
+        ctx.post (Txs.complete_fin_split fin ~sig_a ~sig_b ~pk_a ~pk_b);
+        c.phase <- Close_await_confirm;
+        c.deadline <- Some (ctx.round + 1 + Ledger.delta ctx.ledger)
+      end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Punish daemon.                                                      *)
+
+let outputs_equal (a : Tx.output list) (b : Tx.output list) : bool =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Tx.output) (y : Tx.output) ->
+         x.value = y.value
+         &&
+         match (x.spk, y.spk) with
+         | Tx.P2wsh h1, Tx.P2wsh h2 | Tx.P2wpkh h1, Tx.P2wpkh h2 ->
+             String.equal h1 h2
+         | Tx.Raw s1, Tx.Raw s2 ->
+             String.equal (Script.serialize s1) (Script.serialize s2)
+         | Tx.Op_return, Tx.Op_return -> true
+         | _ -> false)
+       a b
+
+(** Bodies of the currently-enforceable commit transactions — the
+    paper's set I. *)
+let enforceable_commit_txids (c : chan) : (string * int * Keys.role) list =
+  let base =
+    List.filter_map
+      (fun (tx, i, owner) ->
+        Option.map (fun tx -> (Tx.txid tx, i, owner)) tx)
+      [ (c.commit_mine, c.sn, c.cfg.role);
+        (c.commit_theirs_body, c.sn, Keys.other_role c.cfg.role) ]
+  in
+  match c.pending with
+  | Some u when c.flag = 2 ->
+      base
+      @ [ (Tx.txid u.u_commit_mine_body, c.sn + 1, c.cfg.role);
+          (Tx.txid u.u_commit_theirs_body, c.sn + 1, Keys.other_role c.cfg.role) ]
+  | _ -> base
+
+(** Punish a revoked commit: complete the latest floating revocation
+    transaction with the published commit's output as input and post it
+    instantly (Section 4.4). The revoked commit's state index is read
+    from its sequence field to reconstruct the hidden P2WSH script. *)
+let punish (t : t) (ctx : ctx) (c : chan) (published : Tx.t) : unit =
+  match c.rev_sig_theirs with
+  | None ->
+      emit t ctx
+        (Protocol_error (c.cfg.id, "foreign spend of funding output (forgery?)"))
+  | Some sig_theirs ->
+      let revoked_index =
+        match published.Tx.inputs with
+        | [ input ] -> input.sequence
+        | _ -> -1
+      in
+      let owner = Keys.other_role c.cfg.role in
+      let script = commit_script_for c ~owner ~i:revoked_index in
+      let spk_matches =
+        match published.Tx.outputs with
+        | [ { Tx.spk = Tx.P2wsh h; _ } ] -> String.equal h (Script.hash script)
+        | _ -> false
+      in
+      if not spk_matches then
+        emit t ctx
+          (Protocol_error (c.cfg.id, "unrecognized spend of funding output"))
+      else begin
+        let my_rev = my_rev_body c ~revoked:(c.sn - 1) in
+        let sig_mine =
+          match c.rev_sig_mine with
+          | Some s -> s
+          | None ->
+              Sighash.sign_message (rev_complete_key_mine c) Anyprevout
+                (Txs.revoke_message my_rev)
+        in
+        let sig1, sig2 = rev_witness_sigs c ~sig_mine ~sig_theirs in
+        let rv =
+          Txs.complete_revocation my_rev
+            ~commit_outpoint:(Tx.outpoint_of published 0)
+            ~commit_script:script ~sig1 ~sig2
+        in
+        ctx.post rv;
+        c.punish_posted <- Some rv
+      end
+
+(** Post the split transaction matching the on-chain commit, once T
+    rounds have elapsed since the commit was recorded. *)
+let try_post_split (t : t) (ctx : ctx) (c : chan) : unit =
+  match c.commit_on_chain with
+  | Some (recorded, outpoint, script, idx) when not c.split_posted ->
+      if ctx.round - recorded >= c.cfg.rel_lock then begin
+        let split =
+          if idx = c.sn then c.split
+          else
+            match c.pending with Some u -> u.u_split | None -> None
+        in
+        match split with
+        | None ->
+            emit t ctx
+              (Protocol_error (c.cfg.id, "no split transaction for on-chain commit"))
+        | Some sd ->
+            let tx =
+              Txs.complete_split sd.split_body ~commit_outpoint:outpoint
+                ~commit_script:script ~sig_a:sd.split_sig_a
+                ~sig_b:sd.split_sig_b
+            in
+            ctx.post tx;
+            c.split_posted <- true
+      end
+  | _ -> ()
+
+let settle (t : t) (ctx : ctx) (c : chan) (ev : event) : unit =
+  c.phase <- Done;
+  c.deadline <- None;
+  c.outcome <- Some ev;
+  emit t ctx ev
+
+(** The Punish phase, executed at the end of every round: watch the
+    funding output and react to whatever spent it. *)
+let punish_daemon (t : t) (ctx : ctx) (c : chan) : unit =
+  match c.fund with
+  | None -> ()
+  | Some fund -> (
+      let fund_op = Tx.outpoint_of fund 0 in
+      match Ledger.spender_of ctx.ledger fund_op with
+      | None -> ()
+      | Some spender -> (
+          (* Creation completed under us even if we were mid-abort. *)
+          (match c.phase with
+          | Await_funding_confirm | Refunding ->
+              c.phase <- Operational;
+              c.deadline <- None;
+              emit t ctx (Created c.cfg.id)
+          | _ -> ());
+          let spender_id = Tx.txid spender in
+          match
+            List.find_opt
+              (fun (txid, _, _) -> String.equal txid spender_id)
+              (enforceable_commit_txids c)
+          with
+          | Some (_, idx, owner) -> (
+              (* A valid commit: schedule the matching split after T. *)
+              (if c.commit_on_chain = None then
+                 let script = commit_script_for c ~owner ~i:idx in
+                 let recorded =
+                   match
+                     List.find_opt
+                       (fun (_, tx) -> String.equal (Tx.txid tx) spender_id)
+                       (Ledger.accepted ctx.ledger)
+                   with
+                   | Some (r, _) -> r
+                   | None -> ctx.round
+                 in
+                 c.commit_on_chain <-
+                   Some (recorded, Tx.outpoint_of spender 0, script, idx));
+              try_post_split t ctx c;
+              (* Did something spend the commit output? *)
+              let _, commit_op, _, _ = Option.get c.commit_on_chain in
+              match Ledger.spender_of ctx.ledger commit_op with
+              | None -> ()
+              | Some settlement ->
+                  let expected_st =
+                    outputs_equal settlement.Tx.outputs c.st
+                    ||
+                    match c.st' with
+                    | Some st' -> outputs_equal settlement.Tx.outputs st'
+                    | None -> false
+                  in
+                  if expected_st then settle t ctx c (Closed c.cfg.id)
+                  else begin
+                    (* Our old commit was punished (we must have been
+                       acting dishonestly) — or a forgery occurred. *)
+                    settle t ctx c
+                      (Protocol_error (c.cfg.id, "commit output claimed by revocation"))
+                  end)
+          | None ->
+              (* Not an enforceable commit: expected closure or fraud. *)
+              let expected_st =
+                outputs_equal spender.Tx.outputs c.st
+                ||
+                match c.st' with
+                | Some st' -> outputs_equal spender.Tx.outputs st'
+                | None -> false
+              in
+              if expected_st then settle t ctx c (Closed c.cfg.id)
+              else (
+                match c.punish_posted with
+                | Some rv ->
+                    (* Already reacting: settle once the revocation lands. *)
+                    if not (Ledger.is_unspent ctx.ledger fund_op) then
+                      let rv_op = Tx.outpoint_of rv 0 in
+                      if Ledger.find_utxo ctx.ledger rv_op <> None then
+                        settle t ctx c (Punished c.cfg.id)
+                | None -> punish t ctx c spender)))
+
+(** Create step 6: once the funding transaction is recorded, the
+    channel becomes operational. Also resolves the refund race — if the
+    funding lands despite a posted refund, the channel proceeds (all
+    state-0 data is already in hand). *)
+let check_funding_confirmed (t : t) (ctx : ctx) (c : chan) : unit =
+  match (c.phase, c.fund) with
+  | (Await_funding_confirm | Refunding), Some fund ->
+      if Ledger.is_unspent ctx.ledger (Tx.outpoint_of fund 0) then begin
+        c.phase <- Operational;
+        c.deadline <- None;
+        emit t ctx (Created c.cfg.id)
+      end
+  | _ -> ()
+
+(** Timeout transitions. *)
+let check_deadline (t : t) (ctx : ctx) (c : chan) : unit =
+  match c.deadline with
+  | Some d when ctx.round >= d -> (
+      c.deadline <- None;
+      match c.phase with
+      | Await_create_info | Await_create_com -> post_refund t ctx c
+      | Await_create_fund -> post_refund t ctx c
+      | Await_funding_confirm | Refunding ->
+          (* Neither the funding nor the refund made it: report and stop. *)
+          c.phase <- Done;
+          emit t ctx (Aborted c.cfg.id)
+      | Upd_await_info ->
+          (* Responder declined or vanished before revealing anything:
+             the update simply does not happen (consensus on update). *)
+          c.pending <- None;
+          c.phase <- Operational;
+          emit t ctx (Update_rejected c.cfg.id)
+      | Upd_await_com_initiator | Upd_await_com_responder
+      | Upd_await_revoke_initiator | Upd_await_revoke_responder ->
+          force_close t ctx c
+      | Close_await_ack -> force_close t ctx c
+      | Close_await_confirm ->
+          if c.outcome = None then
+            emit t ctx (Protocol_error (c.cfg.id, "close did not confirm in time"))
+      | Operational | Force_closed_waiting | Done -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver entry points.                                                *)
+
+(** Process one delivered protocol message. Ill-formed or unexpected
+    messages are dropped (protocol wrapper W_P of Appendix F). *)
+let handle_msg (t : t) (ctx : ctx) (env : Wire.msg Daric_chain.Network.envelope)
+    : unit =
+  let msg = env.payload in
+  match find_chan t (Wire.channel_id msg) with
+  | None -> ()
+  | Some c -> (
+      if not (String.equal env.sender c.cfg.peer) then ()
+      else
+        match (msg, c.phase) with
+        | Wire.Create_info { tid; keys; _ }, Await_create_info ->
+            on_create_info t ctx c ~tid ~keys
+        | Wire.Create_com { split_sig; commit_sig; _ }, Await_create_com ->
+            on_create_com t ctx c ~split_sig ~commit_sig
+        | Wire.Create_fund { fund_sig; _ }, Await_create_fund ->
+            on_create_fund t ctx c ~fund_sig
+        | Wire.Update_req { theta; tstp; _ }, Operational ->
+            on_update_req t ctx c ~theta ~tstp
+        | Wire.Update_info { split_sig; _ }, Upd_await_info -> (
+            match c.pending with
+            | Some _ -> ()
+            | None -> (
+                (* theta travelled in our own Update_req; we keep it in
+                   the deadline closure — reconstruct from the request *)
+                match c.requested_theta with
+                | Some theta -> on_update_info t ctx c ~split_sig ~theta
+                | None -> ()))
+        | Wire.Update_com_initiator { split_sig; commit_sig; _ },
+          Upd_await_com_initiator ->
+            on_update_com_initiator t ctx c ~split_sig ~commit_sig
+        | Wire.Update_com_responder { commit_sig; _ }, Upd_await_com_responder
+          ->
+            on_update_com_responder t ctx c ~commit_sig
+        | Wire.Revoke_initiator { rev_sig; _ }, Upd_await_revoke_initiator ->
+            on_revoke_initiator t ctx c ~rev_sig
+        | Wire.Revoke_responder { rev_sig; _ }, Upd_await_revoke_responder ->
+            on_revoke_responder t ctx c ~rev_sig
+        | Wire.Close_req { fin_sig; _ }, Operational ->
+            on_close_req t ctx c ~fin_sig
+        | Wire.Close_ack { fin_sig; _ }, Close_await_ack ->
+            on_close_ack t ctx c ~fin_sig
+        | _ -> Log.debug (fun m -> m "%s: dropping %s" t.pid (Wire.kind msg)))
+
+(** End-of-round processing: Punish daemon, split scheduling, timeouts. *)
+let end_of_round (t : t) (ctx : ctx) : unit =
+  List.iter
+    (fun (_, c) ->
+      if c.phase <> Done then begin
+        check_funding_confirmed t ctx c;
+        punish_daemon t ctx c;
+        if c.phase <> Done then begin
+          try_post_split t ctx c;
+          check_deadline t ctx c
+        end
+      end)
+    t.chans

@@ -1,0 +1,16 @@
+(** Durable channel state: serialize exactly what a Daric party must
+    retain per channel and restore it into a fresh party. The blob IS
+    the party's entire per-channel storage — constant-size in the
+    number of updates — and a restarted party can still update, close
+    and punish from it. Only quiescent channels (no update/closure in
+    flight) are persisted. *)
+
+val encode_chan : Party.chan -> (string, string) result
+(** Serialize a quiescent channel; [Error] names the blocking phase. *)
+
+val restore_chan : Party.t -> string -> (unit, string) result
+(** Restore a channel into a party that does not already track it.
+    Rejects malformed, truncated or padded blobs. *)
+
+val blob_size : Party.chan -> (int, string) result
+(** Size of the encoded blob in bytes. *)

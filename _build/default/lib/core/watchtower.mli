@@ -1,0 +1,48 @@
+(** Daric watchtower with O(1) per-channel storage: one fixed-size
+    record per channel — the latest floating revocation transaction
+    with both ANYPREVOUT signatures plus script-reconstruction
+    parameters — *replaced* on every update, never accumulated. *)
+
+module Tx = Daric_tx.Tx
+
+type record = {
+  channel_id : string;
+  funding : Tx.outpoint;
+  keys_a : Keys.pub;
+  keys_b : Keys.pub;
+  s0 : int;
+  rel_lock : int;
+  cash : int;
+  client_role : Keys.role;
+  revoked : int;  (** latest revoked state index (sn - 1) *)
+  rev_body : Tx.t;
+  sig_a : string;  (** revocation-branch signature, Alice position *)
+  sig_b : string;
+}
+
+type t
+
+val create : wid:string -> unit -> t
+
+val watch : t -> record -> unit
+(** Install or replace a channel's record (constant storage). *)
+
+val unwatch : t -> channel_id:string -> unit
+
+val punished : t -> string list
+(** Channels on which the tower has reacted. *)
+
+val record_bytes : record -> int
+(** Serialized bytes retained per channel — constant in the number of
+    updates (the Table 1 watchtower column). *)
+
+val storage_bytes : t -> int
+
+val end_of_round :
+  t -> round:int -> ledger:Daric_chain.Ledger.t -> post:(Tx.t -> unit) -> unit
+(** Scan guarded funding outputs; complete and post the revocation
+    transaction when a revoked counter-party commit appears. *)
+
+val record_for : Party.t -> id:string -> record option
+(** Build the current record from a party's channel state; [None]
+    until the first update (state 0 has nothing to revoke). *)

@@ -1,0 +1,1 @@
+lib/crypto/adaptor.ml: Daric_util Group Schnorr

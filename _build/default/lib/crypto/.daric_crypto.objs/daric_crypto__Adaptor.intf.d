@@ -1,0 +1,1 @@
+lib/crypto/adaptor.mli: Daric_util Group Schnorr

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Char Ripemd160 Sha256 String

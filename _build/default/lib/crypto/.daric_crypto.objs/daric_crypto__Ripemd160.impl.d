@@ -1,0 +1,1 @@
+lib/crypto/ripemd160.ml: Array Bytes Char Daric_util Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/ripemd160.mli:

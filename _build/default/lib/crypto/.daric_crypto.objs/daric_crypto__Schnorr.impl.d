@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Daric_util Group Hash String

@@ -1,0 +1,46 @@
+(** Schnorr adaptor signatures (pre-signatures) over {!Group}.
+
+    Used only by the Generalized-channel baseline [Aumayr et al. 2021];
+    Daric itself deliberately avoids adaptor signatures — reproducing
+    that distinction is part of Table 1/Table 3 (column "Ada. Sig.
+    Avoid." and the per-update exponentiation counts). *)
+
+type statement = Group.element
+(** Y = g^y for witness y. *)
+
+type witness = Group.scalar
+
+type pre_signature = { r : Group.element; s_pre : Group.scalar }
+
+(** [gen_statement rng] draws a witness/statement pair. *)
+let gen_statement (rng : Daric_util.Rng.t) : witness * statement =
+  let y = 1 + Daric_util.Rng.int rng (Group.q - 1) in
+  (y, Group.pow Group.g y)
+
+(** [pre_sign sk y_stmt msg] produces a pre-signature valid w.r.t. the
+    statement: it becomes a full Schnorr signature once adapted with the
+    witness. *)
+let pre_sign (sk : Schnorr.secret_key) (y_stmt : statement) (msg : string) :
+    pre_signature =
+  let k = Schnorr.nonce sk msg (Group.encode_element y_stmt) in
+  let r = Group.pow Group.g k in
+  let e = Schnorr.challenge (Group.mul r y_stmt) (Schnorr.public_key_of_secret sk) msg in
+  { r; s_pre = Group.scalar_add k (Group.scalar_mul e sk) }
+
+let pre_verify (pk : Schnorr.public_key) (y_stmt : statement) (msg : string)
+    (ps : pre_signature) : bool =
+  Group.is_element ps.r
+  &&
+  let e = Schnorr.challenge (Group.mul ps.r y_stmt) pk msg in
+  Group.pow Group.g ps.s_pre = Group.mul ps.r (Group.pow pk e)
+
+(** [adapt ps y] completes a pre-signature into a full signature. *)
+let adapt (ps : pre_signature) (y : witness) : Schnorr.signature =
+  { Schnorr.r = Group.mul ps.r (Group.pow Group.g y);
+    s = Group.scalar_add ps.s_pre y }
+
+(** [extract full ps] recovers the witness from a published full
+    signature and the corresponding pre-signature — this is how the
+    Generalized channel identifies the publisher of a revoked state. *)
+let extract (full : Schnorr.signature) (ps : pre_signature) : witness =
+  Group.scalar_sub full.Schnorr.s ps.s_pre

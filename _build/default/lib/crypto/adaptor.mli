@@ -1,0 +1,28 @@
+(** Schnorr adaptor signatures (pre-signatures).
+
+    Used only by the Generalized-channel baseline; Daric deliberately
+    avoids adaptor signatures, and reproducing that contrast is part of
+    Tables 1 and 3. *)
+
+type statement = Group.element
+(** Y = g^y for witness y. *)
+
+type witness = Group.scalar
+
+type pre_signature = { r : Group.element; s_pre : Group.scalar }
+
+val gen_statement : Daric_util.Rng.t -> witness * statement
+
+val pre_sign : Schnorr.secret_key -> statement -> string -> pre_signature
+(** [pre_sign sk y_stmt msg]: a pre-signature that becomes a full
+    Schnorr signature once adapted with the witness behind [y_stmt]. *)
+
+val pre_verify : Schnorr.public_key -> statement -> string -> pre_signature -> bool
+
+val adapt : pre_signature -> witness -> Schnorr.signature
+(** Complete a pre-signature into a full signature. *)
+
+val extract : Schnorr.signature -> pre_signature -> witness
+(** Recover the witness from a published full signature and the
+    corresponding pre-signature — how a Generalized channel identifies
+    the publisher of a revoked state. *)

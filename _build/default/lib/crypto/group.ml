@@ -1,0 +1,74 @@
+(** A small Schnorr group: the order-q subgroup of Z_p^* with
+    p = 2q + 1 a safe prime.
+
+    p = 2147483579 and q = 1073741789 are both prime, p < 2^31, so all
+    intermediate products fit in OCaml's 63-bit native integers. The
+    generator g = 4 is a quadratic residue and hence generates the
+    subgroup of order q.
+
+    This group is a *simulation stand-in* for secp256k1: it has the full
+    algebraic structure (so Schnorr and adaptor signatures verify
+    properly between independent parties) but only toy security. All
+    byte-size accounting uses the paper's 33/73-byte constants, not the
+    size of these elements. *)
+
+let p = 2147483579
+let q = 1073741789
+let g = 4
+
+type element = int
+(** Group element in [1, p-1], member of the order-q subgroup. *)
+
+type scalar = int
+(** Exponent in [0, q-1]. *)
+
+let mul (a : element) (b : element) : element = a * b mod p
+
+let pow (base : element) (e : scalar) : element =
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+  in
+  go 1 (base mod p) (((e mod q) + q) mod q)
+
+(** Fermat inverse in Z_p^*. *)
+let inv (a : element) : element =
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+  in
+  go 1 (a mod p) (p - 2)
+
+let scalar_add (a : scalar) (b : scalar) : scalar = (a + b) mod q
+let scalar_sub (a : scalar) (b : scalar) : scalar = ((a - b) mod q + q) mod q
+let scalar_mul (a : scalar) (b : scalar) : scalar = a * b mod q
+
+(** Reduce a digest to a scalar. *)
+let scalar_of_digest (d : string) : scalar = Hash.digest_to_int d mod q
+
+(** [is_element x] checks subgroup membership: x^q = 1 (and x != 0). *)
+let is_element (x : int) : bool = x > 0 && x < p && pow x q = 1
+
+(** Fixed-width serializations (elements and scalars are < 2^31). *)
+let encode_int32 (v : int) : string =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+let decode_int32 (s : string) : int =
+  if String.length s <> 4 then invalid_arg "Group.decode_int32";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[i]
+  done;
+  !v
+
+let encode_element = encode_int32
+let decode_element = decode_int32
+let encode_scalar = encode_int32

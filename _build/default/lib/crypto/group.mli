@@ -1,0 +1,48 @@
+(** A small Schnorr group: the order-q subgroup of Z_p^* for the safe
+    prime p = 2q + 1 with p = 2147483579, q = 1073741789, generator
+    g = 4.
+
+    A simulation stand-in for secp256k1: the full algebraic structure
+    (so Schnorr and adaptor signatures verify properly between
+    independent parties) at toy security. All byte-size accounting in
+    the repository uses the paper's 33/73-byte constants, never the
+    size of these elements. *)
+
+val p : int
+(** The group modulus (prime, < 2^31 so products fit native ints). *)
+
+val q : int
+(** The subgroup order (prime, p = 2q + 1). *)
+
+val g : int
+(** Generator of the order-q subgroup. *)
+
+type element = int
+(** Group element in [\[1, p-1\]], member of the order-q subgroup. *)
+
+type scalar = int
+(** Exponent in [\[0, q-1\]]. *)
+
+val mul : element -> element -> element
+val pow : element -> scalar -> element
+val inv : element -> element
+
+val scalar_add : scalar -> scalar -> scalar
+val scalar_sub : scalar -> scalar -> scalar
+val scalar_mul : scalar -> scalar -> scalar
+
+val scalar_of_digest : string -> scalar
+(** Reduce a hash digest to a scalar. *)
+
+val is_element : int -> bool
+(** Subgroup membership: x in (0, p) with x^q = 1. *)
+
+val encode_int32 : int -> string
+(** 4-byte big-endian encoding (values < 2^31). *)
+
+val decode_int32 : string -> int
+(** @raise Invalid_argument unless the input has exactly 4 bytes. *)
+
+val encode_element : element -> string
+val decode_element : string -> element
+val encode_scalar : scalar -> string

@@ -1,0 +1,21 @@
+(** Bitcoin-style hash combinators and domain-separated (tagged) hashing. *)
+
+(** Double SHA-256, as used for transaction ids. *)
+let hash256 (s : string) : string = Sha256.digest (Sha256.digest s)
+
+(** SHA-256 then RIPEMD-160, as used for P2WPKH witness programs. *)
+let hash160 (s : string) : string = Ripemd160.digest (Sha256.digest s)
+
+(** BIP-340 style tagged hash: SHA256(SHA256(tag) || SHA256(tag) || msg).
+    Used to domain-separate nonce derivation, challenges, etc. *)
+let tagged (tag : string) (msg : string) : string =
+  let th = Sha256.digest tag in
+  Sha256.digest (th ^ th ^ msg)
+
+(** Interpret the first 8 bytes of a digest as a non-negative int. *)
+let digest_to_int (d : string) : int =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int

@@ -1,0 +1,15 @@
+(** Bitcoin-style hash combinators and domain-separated hashing. *)
+
+val hash256 : string -> string
+(** Double SHA-256 (32 bytes) — transaction ids. *)
+
+val hash160 : string -> string
+(** SHA-256 then RIPEMD-160 (20 bytes) — P2WPKH programs. *)
+
+val tagged : string -> string -> string
+(** [tagged tag msg] is the BIP-340 style tagged hash
+    [SHA256(SHA256(tag) || SHA256(tag) || msg)], separating the domains
+    of nonces, challenges and sighashes. *)
+
+val digest_to_int : string -> int
+(** Interpret the first 8 bytes of a digest as a non-negative int. *)

@@ -1,0 +1,124 @@
+(** RIPEMD-160 (Dobbertin, Bosselaers, Preneel), pure OCaml.
+
+    Needed for Bitcoin-style HASH160 (P2WPKH witness programs).
+    Verified against the published test vectors in the test suite. *)
+
+let mask = 0xffffffff
+let add32 a b = (a + b) land mask
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+(* Selection of message word and rotation amounts, left and right lines. *)
+let rl =
+  [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 7; 4; 13; 1; 10;
+     6; 15; 3; 12; 0; 9; 5; 2; 14; 11; 8; 3; 10; 14; 4; 9; 15; 8; 1; 2; 7;
+     0; 6; 13; 11; 5; 12; 1; 9; 11; 10; 0; 8; 12; 4; 13; 3; 7; 15; 14; 5;
+     6; 2; 4; 0; 5; 9; 7; 12; 2; 10; 14; 1; 3; 8; 11; 6; 15; 13 |]
+
+let rr =
+  [| 5; 14; 7; 0; 9; 2; 11; 4; 13; 6; 15; 8; 1; 10; 3; 12; 6; 11; 3; 7; 0;
+     13; 5; 10; 14; 15; 8; 12; 4; 9; 1; 2; 15; 5; 1; 3; 7; 14; 6; 9; 11; 8;
+     12; 2; 10; 0; 4; 13; 8; 6; 4; 1; 3; 11; 15; 0; 5; 12; 2; 13; 9; 7; 10;
+     14; 12; 15; 10; 4; 1; 5; 8; 7; 6; 2; 13; 14; 0; 3; 9; 11 |]
+
+let sl =
+  [| 11; 14; 15; 12; 5; 8; 7; 9; 11; 13; 14; 15; 6; 7; 9; 8; 7; 6; 8; 13;
+     11; 9; 7; 15; 7; 12; 15; 9; 11; 7; 13; 12; 11; 13; 6; 7; 14; 9; 13;
+     15; 14; 8; 13; 6; 5; 12; 7; 5; 11; 12; 14; 15; 14; 15; 9; 8; 9; 14; 5;
+     6; 8; 6; 5; 12; 9; 15; 5; 11; 6; 8; 13; 12; 5; 12; 13; 14; 11; 8; 5; 6 |]
+
+let sr =
+  [| 8; 9; 9; 11; 13; 15; 15; 5; 7; 7; 8; 11; 14; 14; 12; 6; 9; 13; 15; 7;
+     12; 8; 9; 11; 7; 7; 12; 7; 6; 15; 13; 11; 9; 7; 15; 11; 8; 6; 6; 14;
+     12; 13; 5; 14; 13; 13; 7; 5; 15; 5; 8; 11; 14; 14; 6; 14; 6; 9; 12; 9;
+     12; 5; 15; 8; 8; 5; 12; 9; 12; 5; 14; 6; 8; 13; 6; 5; 15; 13; 11; 11 |]
+
+let f j x y z =
+  if j < 16 then x lxor y lxor z
+  else if j < 32 then (x land y) lor (lnot x land mask land z)
+  else if j < 48 then (x lor (lnot y land mask)) lxor z
+  else if j < 64 then (x land z) lor (y land (lnot z land mask))
+  else x lxor (y lor (lnot z land mask))
+
+let kl j =
+  if j < 16 then 0 else if j < 32 then 0x5a827999
+  else if j < 48 then 0x6ed9eba1 else if j < 64 then 0x8f1bbcdc
+  else 0xa953fd4e
+
+let kr j =
+  if j < 16 then 0x50a28be6 else if j < 32 then 0x5c4dd124
+  else if j < 48 then 0x6d703ef3 else if j < 64 then 0x7a6d76e9
+  else 0
+
+let compress (h : int array) (block : string) (off : int) =
+  let x = Array.make 16 0 in
+  for i = 0 to 15 do
+    let b = off + (4 * i) in
+    x.(i) <-
+      Char.code block.[b]
+      lor (Char.code block.[b + 1] lsl 8)
+      lor (Char.code block.[b + 2] lsl 16)
+      lor (Char.code block.[b + 3] lsl 24)
+  done;
+  let al = ref h.(0) and bl = ref h.(1) and cl = ref h.(2) in
+  let dl = ref h.(3) and el = ref h.(4) in
+  let ar = ref h.(0) and br = ref h.(1) and cr = ref h.(2) in
+  let dr = ref h.(3) and er = ref h.(4) in
+  for j = 0 to 79 do
+    (* left line *)
+    let t =
+      add32 (rotl (add32 (add32 !al (f j !bl !cl !dl)) (add32 x.(rl.(j)) (kl j))) sl.(j)) !el
+    in
+    al := !el;
+    el := !dl;
+    dl := rotl !cl 10;
+    cl := !bl;
+    bl := t;
+    (* right line: uses f(79-j) *)
+    let t =
+      add32 (rotl (add32 (add32 !ar (f (79 - j) !br !cr !dr)) (add32 x.(rr.(j)) (kr j))) sr.(j)) !er
+    in
+    ar := !er;
+    er := !dr;
+    dr := rotl !cr 10;
+    cr := !br;
+    br := t
+  done;
+  let t = add32 h.(1) (add32 !cl !dr) in
+  h.(1) <- add32 h.(2) (add32 !dl !er);
+  h.(2) <- add32 h.(3) (add32 !el !ar);
+  h.(3) <- add32 h.(4) (add32 !al !br);
+  h.(4) <- add32 h.(0) (add32 !bl !cr);
+  h.(0) <- t
+
+(** [digest s] is the 20-byte RIPEMD-160 digest of [s]. *)
+let digest (msg : string) : string =
+  let h = [| 0x67452301; 0xefcdab89; 0x98badcfe; 0x10325476; 0xc3d2e1f0 |] in
+  let len = String.length msg in
+  let rem = len mod 64 in
+  let pad_len = if rem < 56 then 56 - rem else 120 - rem in
+  let total = len + pad_len + 8 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  (* little-endian 64-bit bit count *)
+  let bits = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    Bytes.set buf
+      (len + pad_len + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done;
+  let data = Bytes.unsafe_to_string buf in
+  for b = 0 to (total / 64) - 1 do
+    compress h data (b * 64)
+  done;
+  let out = Bytes.create 20 in
+  for i = 0 to 4 do
+    let v = h.(i) in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let hexdigest (msg : string) : string = Daric_util.Hex.encode (digest msg)

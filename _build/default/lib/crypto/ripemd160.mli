@@ -1,0 +1,8 @@
+(** RIPEMD-160, pure OCaml. Needed for Bitcoin-style HASH160 (P2WPKH
+    witness programs); verified against the published test vectors. *)
+
+val digest : string -> string
+(** [digest s] is the 20-byte RIPEMD-160 digest of [s]. *)
+
+val hexdigest : string -> string
+(** Hex rendering of {!digest}. *)

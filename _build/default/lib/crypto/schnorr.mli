@@ -1,0 +1,47 @@
+(** Schnorr signatures over {!Group} with deterministic nonces.
+
+    Serialized sizes match the constants of the paper's Appendix H:
+    public keys are exactly 33 bytes, signatures exactly 73 bytes, so
+    the transactions built from them have byte-accurate witnesses. *)
+
+type secret_key = Group.scalar
+type public_key = Group.element
+
+type signature = { r : Group.element; s : Group.scalar }
+
+val public_key_size : int
+(** 33. *)
+
+val signature_size : int
+(** 73. *)
+
+val keygen : Daric_util.Rng.t -> secret_key * public_key
+val public_key_of_secret : secret_key -> public_key
+
+val encode_public_key : public_key -> string
+(** 33-byte encoding. *)
+
+val decode_public_key : string -> public_key option
+(** Returns [None] on malformed input or non-subgroup points. *)
+
+val encode_signature : signature -> string
+(** 73-byte encoding (the last byte is free for a SIGHASH flag). *)
+
+val decode_signature : string -> signature option
+
+val challenge : Group.element -> public_key -> string -> Group.scalar
+(** The Fiat-Shamir challenge e = H(R || pk || msg); exposed for the
+    adaptor-signature construction. *)
+
+val nonce : secret_key -> string -> string -> Group.scalar
+(** Deterministic nonce derivation; [aux] separates usage domains. *)
+
+val sign : secret_key -> string -> signature
+val verify : public_key -> string -> signature -> bool
+
+val sign_bytes : secret_key -> string -> string
+(** {!sign} composed with {!encode_signature}. *)
+
+val verify_bytes : string -> string -> string -> bool
+(** [verify_bytes pk_bytes msg sig_bytes] decodes and verifies;
+    [false] on any malformed input. *)

@@ -1,0 +1,111 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Implemented on 32-bit words carried in native ints; every word is
+    masked to 32 bits after arithmetic. Verified in the test suite
+    against the FIPS/NIST vectors. *)
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+let mask = 0xffffffff
+let ( &: ) a b = a land b
+let ( |: ) a b = a lor b
+let ( ^: ) a b = a lxor b
+let lnot32 a = lnot a &: mask
+let add32 a b = (a + b) &: mask
+let rotr x n = ((x lsr n) |: (x lsl (32 - n))) &: mask
+let shr x n = x lsr n
+
+type ctx = { h : int array }
+
+let init () : ctx =
+  { h =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |] }
+
+let compress (ctx : ctx) (block : string) (off : int) =
+  let w = Array.make 64 0 in
+  for t = 0 to 15 do
+    let i = off + (4 * t) in
+    w.(t) <-
+      (Char.code block.[i] lsl 24)
+      |: (Char.code block.[i + 1] lsl 16)
+      |: (Char.code block.[i + 2] lsl 8)
+      |: Char.code block.[i + 3]
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 ^: rotr w.(t - 15) 18 ^: shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 ^: rotr w.(t - 2) 19 ^: shr w.(t - 2) 10 in
+    w.(t) <- add32 (add32 w.(t - 16) s0) (add32 w.(t - 7) s1)
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^: rotr !e 11 ^: rotr !e 25 in
+    let ch = (!e &: !f) ^: (lnot32 !e &: !g) in
+    let t1 = add32 (add32 !hh s1) (add32 (add32 ch k.(t)) w.(t)) in
+    let s0 = rotr !a 2 ^: rotr !a 13 ^: rotr !a 22 in
+    let maj = (!a &: !b) ^: (!a &: !c) ^: (!b &: !c) in
+    let t2 = add32 s0 maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := add32 !d t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := add32 t1 t2
+  done;
+  h.(0) <- add32 h.(0) !a;
+  h.(1) <- add32 h.(1) !b;
+  h.(2) <- add32 h.(2) !c;
+  h.(3) <- add32 h.(3) !d;
+  h.(4) <- add32 h.(4) !e;
+  h.(5) <- add32 h.(5) !f;
+  h.(6) <- add32 h.(6) !g;
+  h.(7) <- add32 h.(7) !hh
+
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+let digest (msg : string) : string =
+  let ctx = init () in
+  let len = String.length msg in
+  (* Padded message: msg || 0x80 || zeros || 64-bit big-endian bit length. *)
+  let rem = len mod 64 in
+  let pad_len = if rem < 56 then 56 - rem else 120 - rem in
+  let total = len + pad_len + 8 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bits = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    Bytes.set buf
+      (total - 1 - i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done;
+  let data = Bytes.unsafe_to_string buf in
+  for b = 0 to (total / 64) - 1 do
+    compress ctx data (b * 64)
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+(** Hex digest, convenience for tests. *)
+let hexdigest (msg : string) : string = Daric_util.Hex.encode (digest msg)

@@ -1,0 +1,8 @@
+(** SHA-256 (FIPS 180-4), pure OCaml. Verified against the NIST test
+    vectors in the test suite. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+
+val hexdigest : string -> string
+(** Hex rendering of {!digest}, for tests and display. *)

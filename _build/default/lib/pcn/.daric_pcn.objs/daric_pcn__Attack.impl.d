@@ -1,0 +1,1 @@
+lib/pcn/attack.ml: Array Daric_chain Daric_core Daric_crypto Daric_schemes Daric_tx Daric_util Fmt List Option

@@ -1,0 +1,1 @@
+lib/pcn/attack.mli: Daric_tx

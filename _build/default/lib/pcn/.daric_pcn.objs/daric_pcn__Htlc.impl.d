@@ -1,0 +1,1 @@
+lib/pcn/htlc.ml: Daric_core Daric_crypto Daric_script Daric_tx

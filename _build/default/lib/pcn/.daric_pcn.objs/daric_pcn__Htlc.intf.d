@@ -1,0 +1,1 @@
+lib/pcn/htlc.mli: Daric_crypto Daric_script Daric_tx

@@ -1,0 +1,1 @@
+lib/pcn/multihop.ml: Daric_core Daric_crypto Daric_tx Htlc List

@@ -1,0 +1,1 @@
+lib/pcn/multihop.mli: Daric_core Daric_tx

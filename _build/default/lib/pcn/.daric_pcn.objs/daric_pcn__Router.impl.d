@@ -1,0 +1,1 @@
+lib/pcn/router.ml: Daric_core Daric_tx Hashtbl List Multihop Queue String

@@ -1,0 +1,1 @@
+lib/pcn/router.mli: Daric_core Multihop

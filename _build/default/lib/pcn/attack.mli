@@ -1,0 +1,62 @@
+(** The HTLC-security (channel-closure delay) attack of Section 6.1:
+    an adversary pins her victims' eltoo channels with one delay
+    transaction per block — outdated states spending every channel's
+    on-chain head, fee above the HTLC value so BIP-125 makes eviction
+    irrational — until the HTLC timelocks expire. Against Daric the
+    first replayed state forfeits the whole balance. *)
+
+module Tx = Daric_tx.Tx
+
+type config = {
+  n_channels : int;
+  htlc_value : int;  (** A, in satoshi *)
+  channel_capacity : int;
+  timelock_blocks : int;  (** HTLC expiry in blocks (paper scale: 144) *)
+  victim_fee : int;
+  race_win_prob : float;  (** adversary's post-expiry race odds *)
+  seed : int;
+}
+
+val default_config : config
+
+(** The paper's closed-form attack arithmetic. *)
+module Analytic : sig
+  val pair_vbytes : float
+  (** vbytes per channel input-output pair in a delay transaction. *)
+
+  val max_channels_per_delay_tx : ?max_vbytes:float -> unit -> int
+  (** ~715 under the 100,000-vbyte cap. *)
+
+  val delay_txs_before_expiry :
+    ?timelock_hours:float -> ?inclusion_minutes:float -> unit -> int
+  (** 144 at a 3-day timelock and one min-fee confirmation / 30 min. *)
+
+  val cost_over_a : unit -> int
+  val max_revenue_over_a : unit -> int
+  val profitable : unit -> bool
+end
+
+type eltoo_result = {
+  blocks : int;
+  delay_txs_confirmed : int;
+  adversary_fees_paid : int;
+  victim_overrides_rejected : int;
+  victims_escaped_in_time : int;
+  htlcs_claimed_by_adversary : int;
+  adversary_net : int;
+}
+
+val run_eltoo : config -> eltoo_result
+(** Simulate the attack on the economic ledger (fee market, BIP-125,
+    block capacity); one mempool tick = one block. *)
+
+type daric_result = {
+  old_commits_posted : int;
+  punished_within_window : int;
+  adversary_capacity_lost : int;
+  htlcs_claimed : int;  (** always 0 *)
+}
+
+val run_daric : config -> daric_result
+(** The same adversary against Daric channels: every replay is
+    punished, nothing is pinnable. *)

@@ -1,0 +1,68 @@
+(** Hash time-locked contract outputs, as added to Daric split
+    transactions for multi-hop payments (Section 8, "Extending Daric to
+    multi-hop payments").
+
+    The script is the 101-byte form of Appendix H.2:
+    [HASH160 <digest> EQUAL
+     IF <payee_pk> ELSE <T> CSV DROP <payer_pk> ENDIF CHECKSIG]
+    The payee claims with the preimage at any time; after the relative
+    timeout the payer claims back with any non-matching first item. *)
+
+module Tx = Daric_tx.Tx
+module Script = Daric_script.Script
+module Sighash = Daric_tx.Sighash
+module Schnorr = Daric_crypto.Schnorr
+module Keys = Daric_core.Keys
+
+type terms = {
+  amount : int;
+  digest : string;  (** hash160 of the payment preimage *)
+  payee_pk : Schnorr.public_key;
+  payer_pk : Schnorr.public_key;
+  timeout : int;  (** relative rounds until the payer can reclaim *)
+}
+
+let of_preimage ~(preimage : string) ~amount ~payee_pk ~payer_pk ~timeout :
+    terms =
+  { amount; digest = Daric_crypto.Hash.hash160 preimage; payee_pk; payer_pk;
+    timeout }
+
+let script (h : terms) : Script.t =
+  [ Script.Hash160; Push h.digest; Equal; If; Push (Keys.enc h.payee_pk); Else;
+    Num h.timeout; Csv; Drop; Push (Keys.enc h.payer_pk); Endif; Checksig ]
+
+(** The HTLC as a split-transaction output (P2WSH, 43 bytes). *)
+let output (h : terms) : Tx.output =
+  { Tx.value = h.amount; spk = Tx.P2wsh (Script.hash (script h)) }
+
+(** Redeem transaction: the payee claims with the preimage
+    (the Redeem' transaction of Appendix H.2: 212 witness bytes). *)
+let redeem (h : terms) ~(payee_sk : Schnorr.secret_key) ~(preimage : string)
+    ~(htlc_outpoint : Tx.outpoint) : Tx.t =
+  let body =
+    { Tx.inputs = [ Tx.input_of_outpoint htlc_outpoint ];
+      locktime = 0;
+      outputs =
+        [ { Tx.value = h.amount;
+            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payee_pk)) } ];
+      witnesses = [] }
+  in
+  let sg = Sighash.sign payee_sk All body ~input_index:0 in
+  { body with
+    Tx.witnesses = [ [ Tx.Data sg; Tx.Data preimage; Tx.Wscript (script h) ] ] }
+
+(** Claim-back transaction: the payer reclaims after the timeout
+    (the Claimback' transaction: 180 witness bytes). *)
+let claimback (h : terms) ~(payer_sk : Schnorr.secret_key)
+    ~(htlc_outpoint : Tx.outpoint) : Tx.t =
+  let body =
+    { Tx.inputs = [ Tx.input_of_outpoint htlc_outpoint ];
+      locktime = 0;
+      outputs =
+        [ { Tx.value = h.amount;
+            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payer_pk)) } ];
+      witnesses = [] }
+  in
+  let sg = Sighash.sign payer_sk All body ~input_index:0 in
+  { body with
+    Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript (script h) ] ] }

@@ -1,0 +1,32 @@
+(** Hash time-locked contract outputs for Daric split transactions
+    (Section 8, multi-hop payments). The 101-byte script of Appendix
+    H.2: the payee claims with the preimage, the payer reclaims after
+    the relative timeout. *)
+
+module Tx = Daric_tx.Tx
+module Script = Daric_script.Script
+module Schnorr = Daric_crypto.Schnorr
+
+type terms = {
+  amount : int;
+  digest : string;  (** hash160 of the payment preimage *)
+  payee_pk : Schnorr.public_key;
+  payer_pk : Schnorr.public_key;
+  timeout : int;  (** relative rounds until the payer can reclaim *)
+}
+
+val of_preimage :
+  preimage:string -> amount:int -> payee_pk:Schnorr.public_key ->
+  payer_pk:Schnorr.public_key -> timeout:int -> terms
+
+val script : terms -> Script.t
+val output : terms -> Tx.output
+
+val redeem :
+  terms -> payee_sk:Schnorr.secret_key -> preimage:string ->
+  htlc_outpoint:Tx.outpoint -> Tx.t
+(** The payee's claim (the Redeem' transaction: 212 witness bytes). *)
+
+val claimback :
+  terms -> payer_sk:Schnorr.secret_key -> htlc_outpoint:Tx.outpoint -> Tx.t
+(** The payer's post-timeout reclaim (Claimback': 180 witness bytes). *)

@@ -1,0 +1,134 @@
+(** Payment-channel network routing.
+
+    The paper's introduction motivates channels as the building block
+    of a payment-channel network where "each payment can be routed via
+    intermediaries". This module maintains a network of open Daric
+    channels, finds routes with sufficient directional liquidity
+    (breadth-first, fewest hops), and executes payments through
+    {!Multihop.pay} — retrying along alternative routes when a hop's
+    liquidity has shifted. *)
+
+module Tx = Daric_tx.Tx
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+
+type channel_edge = {
+  channel_id : string;
+  a : Party.t;  (** the Alice-role side *)
+  b : Party.t;
+}
+
+type t = {
+  driver : Driver.t;
+  mutable edges : channel_edge list;
+  mutable payments_attempted : int;
+  mutable payments_succeeded : int;
+}
+
+let create (driver : Driver.t) : t =
+  { driver; edges = []; payments_attempted = 0; payments_succeeded = 0 }
+
+let add_channel (t : t) ~(channel_id : string) ~(a : Party.t) ~(b : Party.t) :
+    unit =
+  t.edges <- { channel_id; a; b } :: t.edges
+
+(** Spendable balance of [pid] inside an edge, read from the channel's
+    current state (first output = Alice side, second = Bob side). *)
+let balance_of (e : channel_edge) (pid : string) : int =
+  match Party.find_chan e.a e.channel_id with
+  | Some c -> (
+      match c.Party.st with
+      | { Tx.value = va; _ } :: { Tx.value = vb; _ } :: _ ->
+          if String.equal pid e.a.Party.pid then va
+          else if String.equal pid e.b.Party.pid then vb
+          else 0
+      | _ -> 0)
+  | None -> 0
+
+let usable (t : t) (e : channel_edge) : bool =
+  Driver.channel_operational e.a ~id:e.channel_id
+  && Driver.channel_operational e.b ~id:e.channel_id
+  && (not (Driver.is_corrupted t.driver e.a.Party.pid))
+  && not (Driver.is_corrupted t.driver e.b.Party.pid)
+
+(** Parties adjacent to [pid] through edges with at least [amount] of
+    liquidity in the [pid] -> neighbour direction. *)
+let neighbours (t : t) (pid : string) ~(amount : int) :
+    (channel_edge * Party.t) list =
+  List.filter_map
+    (fun e ->
+      if not (usable t e) then None
+      else if String.equal e.a.Party.pid pid && balance_of e pid >= amount then
+        Some (e, e.b)
+      else if String.equal e.b.Party.pid pid && balance_of e pid >= amount then
+        Some (e, e.a)
+      else None)
+    t.edges
+
+(** Fewest-hop route with sufficient directional liquidity, avoiding
+    the channels in [excluding]. *)
+let find_route (t : t) ~(src : Party.t) ~(dst : Party.t) ~(amount : int)
+    ?(excluding = []) () : Multihop.hop list option =
+  let visited = Hashtbl.create 16 in
+  Hashtbl.replace visited src.Party.pid ();
+  let q = Queue.create () in
+  Queue.push (src, []) q;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty q) do
+    let node, path_rev = Queue.pop q in
+    List.iter
+      (fun ((e : channel_edge), next) ->
+        if
+          (not (Hashtbl.mem visited next.Party.pid))
+          && not (List.mem e.channel_id excluding)
+        then begin
+          Hashtbl.replace visited next.Party.pid ();
+          let hop =
+            { Multihop.channel_id = e.channel_id; payer = node; payee = next }
+          in
+          let path_rev = hop :: path_rev in
+          if String.equal next.Party.pid dst.Party.pid then
+            (if !result = None then result := Some (List.rev path_rev))
+          else Queue.push (next, path_rev) q
+        end)
+      (neighbours t node.Party.pid ~amount)
+  done;
+  !result
+
+type payment_result = {
+  delivered : bool;
+  route_length : int;
+  attempts : int;
+}
+
+(** Route and execute a payment, retrying along alternative routes
+    (excluding the failing channel) up to [max_attempts] times. *)
+let pay (t : t) ~(src : Party.t) ~(dst : Party.t) ~(amount : int)
+    ~(preimage : string) ?(timeout = 30) ?(max_attempts = 3) () :
+    payment_result =
+  t.payments_attempted <- t.payments_attempted + 1;
+  let rec attempt n excluding =
+    if n > max_attempts then { delivered = false; route_length = 0; attempts = n - 1 }
+    else
+      match find_route t ~src ~dst ~amount ~excluding () with
+      | None -> { delivered = false; route_length = 0; attempts = n - 1 }
+      | Some route ->
+          let o = Multihop.pay t.driver ~route ~amount ~preimage ~timeout in
+          if o.Multihop.delivered then begin
+            t.payments_succeeded <- t.payments_succeeded + 1;
+            { delivered = true; route_length = List.length route; attempts = n }
+          end
+          else
+            (* exclude the channel where locking stalled and retry *)
+            let failed_at = List.nth route o.Multihop.hops_locked in
+            attempt (n + 1) (failed_at.Multihop.channel_id :: excluding)
+  in
+  attempt 1 []
+
+let stats (t : t) : int * int = (t.payments_attempted, t.payments_succeeded)
+
+(** Total liquidity a node can spend across all its channels. *)
+let node_liquidity (t : t) (pid : string) : int =
+  List.fold_left
+    (fun acc e -> if usable t e then acc + balance_of e pid else acc)
+    0 t.edges

@@ -1,0 +1,42 @@
+(** Payment-channel network routing: maintain a graph of open Daric
+    channels, find fewest-hop routes with sufficient directional
+    liquidity, and execute payments with retry along alternatives. *)
+
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+
+type channel_edge = {
+  channel_id : string;
+  a : Party.t;  (** the Alice-role side *)
+  b : Party.t;
+}
+
+type t
+
+val create : Driver.t -> t
+val add_channel : t -> channel_id:string -> a:Party.t -> b:Party.t -> unit
+
+val balance_of : channel_edge -> string -> int
+(** A party's spendable balance inside an edge (its side of the
+    current channel state). *)
+
+val find_route :
+  t -> src:Party.t -> dst:Party.t -> amount:int -> ?excluding:string list ->
+  unit -> Multihop.hop list option
+(** Fewest-hop route whose every hop has [amount] of liquidity in the
+    payment direction; [None] if the network cannot carry it. *)
+
+type payment_result = {
+  delivered : bool;
+  route_length : int;
+  attempts : int;
+}
+
+val pay :
+  t -> src:Party.t -> dst:Party.t -> amount:int -> preimage:string ->
+  ?timeout:int -> ?max_attempts:int -> unit -> payment_result
+
+val stats : t -> int * int
+(** (payments attempted, payments succeeded). *)
+
+val node_liquidity : t -> string -> int

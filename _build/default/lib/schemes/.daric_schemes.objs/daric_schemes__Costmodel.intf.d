@@ -1,0 +1,1 @@
+lib/schemes/costmodel.mli:

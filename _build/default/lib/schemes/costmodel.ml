@@ -1,0 +1,225 @@
+(** Closed-form on-chain cost and operation-count models for the eight
+    payment channels of Table 3, transcribed from Appendix H.
+
+    Every entry records, as a function of the number m of HTLC outputs:
+    - the transactions published and their witness / non-witness bytes
+      for the dishonest-closure and non-collaborative-closure scenarios,
+    - the per-update signature / verification / exponentiation counts.
+
+    weight = 4 x non-witness + witness (weight units); the fractional
+    0.5m terms of Lightning's dishonest closure are kept as floats.
+    Cerberus, Sleepy and Outpost do not specify HTLC handling, so their
+    figures are only defined at m = 0 (as in the paper). *)
+
+type closure_cost = {
+  n_tx : float;  (** number of transactions (1+m etc.) *)
+  witness : float;  (** bytes *)
+  non_witness : float;  (** bytes *)
+}
+
+let weight (c : closure_cost) : float = (4. *. c.non_witness) +. c.witness
+
+type ops = { sign : float; verify : float; exp : float }
+
+type scheme = {
+  name : string;
+  supports_htlc : bool;
+  dishonest : m:int -> closure_cost;
+  non_collaborative : m:int -> closure_cost;
+  ops_per_update : m:int -> ops;
+  (* Table 1 qualitative columns *)
+  party_storage : string;  (** O-notation in n updates *)
+  watchtower_storage : string;
+  lifetime : string;
+  incentive_compatible : bool;
+  txs_per_k_apps : string;  (** growth with k recursive channel splits *)
+  avoids_adaptor_sigs : bool;
+  bounded_closure : bool;
+}
+
+let f = float_of_int
+
+(* H.1: Lightning. Dishonest: commit (224 + 269m? no: commit 224 wit /
+   125+43m nonwit) + revocation (157+246.5m wit / 82+41m nonwit).
+   Non-collab: commit + m/4 HTLC-timeout + m/4 HTLC-success + m/4
+   redeem + m/4 claimback = 224+269m wit / 125+131m nonwit. *)
+let lightning =
+  { name = "Lightning";
+    supports_htlc = true;
+    dishonest =
+      (fun ~m ->
+        { n_tx = 2.;
+          witness = 381. +. (246.5 *. f m);
+          non_witness = 207. +. (84. *. f m) });
+    non_collaborative =
+      (fun ~m ->
+        { n_tx = 1. +. f m;
+          witness = 224. +. (269. *. f m);
+          non_witness = 125. +. (131. *. f m) });
+    ops_per_update =
+      (fun ~m -> { sign = 2. +. (2. *. f m); verify = 1. +. (f m /. 2.); exp = 2. });
+    party_storage = "O(n)";
+    watchtower_storage = "O(n)";
+    lifetime = "unlimited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(2^k)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = true }
+
+(* H.2: Generalized channels. *)
+let generalized =
+  { name = "Generalized";
+    supports_htlc = true;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 2.; witness = 638.; non_witness = 176. });
+    non_collaborative =
+      (fun ~m ->
+        (* Appendix H.2 quotes 195m witness bytes but Table 3 uses the
+           696m total slope; the per-HTLC Redeem'/Claimback' pair is the
+           same 212+180 bytes as Daric's, i.e. 196m — we follow Table 3. *)
+        { n_tx = 2. +. f m;
+          witness = 624. +. (196. *. f m);
+          non_witness = 202. +. (125. *. f m) });
+    ops_per_update = (fun ~m:_ -> { sign = 3.; verify = 2.; exp = 1. });
+    party_storage = "O(n)";
+    watchtower_storage = "O(n)";
+    lifetime = "unlimited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(1)";
+    avoids_adaptor_sigs = false;
+    bounded_closure = true }
+
+(* H.5: FPPW. *)
+let fppw =
+  { name = "FPPW";
+    supports_htlc = true;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 2.; witness = 1121.; non_witness = 231. });
+    non_collaborative =
+      (fun ~m ->
+        { n_tx = 2. +. f m;
+          witness = 562. +. (196. *. f m);
+          non_witness = 250. +. (125. *. f m) });
+    ops_per_update = (fun ~m:_ -> { sign = 6.; verify = 10.; exp = 1. });
+    party_storage = "O(n)";
+    watchtower_storage = "O(n)";
+    lifetime = "unlimited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(1)";
+    avoids_adaptor_sigs = false;
+    bounded_closure = true }
+
+(* H.6: Cerberus (m = 0 only). *)
+let cerberus =
+  { name = "Cerberus";
+    supports_htlc = false;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 2.; witness = 758.; non_witness = 260. });
+    non_collaborative =
+      (fun ~m:_ -> { n_tx = 1.; witness = 224.; non_witness = 137. });
+    ops_per_update = (fun ~m:_ -> { sign = 3.; verify = 6.; exp = 0. });
+    party_storage = "O(n)";
+    watchtower_storage = "O(n)";
+    lifetime = "unlimited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(2^k)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = true }
+
+(* Outpost (Table 3 figures; weights back-computed from the quoted
+   2632 / 3018 WU assuming the same witness share as Cerberus-style
+   transactions: the paper's appendix section for Outpost is not more
+   specific). *)
+let outpost =
+  { name = "Outpost";
+    supports_htlc = false;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 3.; witness = 1032.; non_witness = 400. });
+    non_collaborative =
+      (fun ~m:_ -> { n_tx = 3.; witness = 1418.; non_witness = 400. });
+    ops_per_update = (fun ~m:_ -> { sign = 4.; verify = 4.; exp = 0. });
+    party_storage = "O(n)";
+    watchtower_storage = "O(log n)";
+    lifetime = "limited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(2^k)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = true }
+
+(* Sleepy channels (Table 3 figures). *)
+let sleepy =
+  { name = "Sleepy";
+    supports_htlc = false;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 3.; witness = 972.; non_witness = 300. });
+    non_collaborative =
+      (fun ~m:_ -> { n_tx = 3.; witness = 1358.; non_witness = 300. });
+    ops_per_update = (fun ~m:_ -> { sign = 5.; verify = 5.; exp = 0. });
+    party_storage = "O(n)";
+    watchtower_storage = "n/a";
+    lifetime = "limited";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(2^k)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = true }
+
+(* H.4: eltoo. Dishonest: old update + latest update + settlement (+
+   HTLC claims). *)
+let eltoo =
+  { name = "eltoo";
+    supports_htlc = true;
+    dishonest =
+      (fun ~m ->
+        { n_tx = 3.;
+          witness = 940. +. (196. *. f m);
+          non_witness = 332. +. (125. *. f m) });
+    non_collaborative =
+      (fun ~m ->
+        { n_tx = 2. +. f m;
+          witness = 636. +. (196. *. f m);
+          non_witness = 238. +. (125. *. f m) });
+    ops_per_update = (fun ~m:_ -> { sign = 2.; verify = 2.; exp = 1. });
+    party_storage = "O(1)";
+    watchtower_storage = "O(1)";
+    lifetime = "unlimited*";
+    incentive_compatible = false;
+    txs_per_k_apps = "O(1)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = false }
+
+(* H.3: Daric. *)
+let daric =
+  { name = "Daric";
+    supports_htlc = true;
+    dishonest =
+      (fun ~m:_ -> { n_tx = 2.; witness = 535.; non_witness = 176. });
+    non_collaborative =
+      (fun ~m ->
+        { n_tx = 2. +. f m;
+          witness = 535. +. (196. *. f m);
+          non_witness = 207. +. (125. *. f m) });
+    ops_per_update = (fun ~m:_ -> { sign = 4.; verify = 3.; exp = 0. });
+    party_storage = "O(1)";
+    watchtower_storage = "O(1)";
+    lifetime = "unlimited*";
+    incentive_compatible = true;
+    txs_per_k_apps = "O(1)";
+    avoids_adaptor_sigs = true;
+    bounded_closure = true }
+
+let all : scheme list =
+  [ lightning; generalized; fppw; cerberus; outpost; sleepy; eltoo; daric ]
+
+(** Paper-quoted Table 3 weight-unit strings, for side-by-side
+    comparison with the values our model computes. *)
+let paper_quoted (name : string) : (string * string) option =
+  match name with
+  | "Lightning" -> Some (">= 1209 + 582.5m", "724 + 793m")
+  | "Generalized" -> Some ("1342", "1432 + 696m")
+  | "FPPW" -> Some ("2045", "1562 + 696m")
+  | "Cerberus" -> Some ("1798", "772")
+  | "Outpost" -> Some ("2632", "3018")
+  | "Sleepy" -> Some ("2172", "2558")
+  | "eltoo" -> Some ("2268 + 696m", "1588 + 696m")
+  | "Daric" -> Some ("1239", "1363 + 696m")
+  | _ -> None

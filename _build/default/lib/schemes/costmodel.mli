@@ -1,0 +1,41 @@
+(** Closed-form on-chain cost and operation-count models for the eight
+    payment channels of Table 3, transcribed from Appendix H, as
+    functions of the number m of HTLC outputs. *)
+
+type closure_cost = { n_tx : float; witness : float; non_witness : float }
+
+val weight : closure_cost -> float
+(** 4 x non-witness + witness, in weight units. *)
+
+type ops = { sign : float; verify : float; exp : float }
+
+type scheme = {
+  name : string;
+  supports_htlc : bool;
+  dishonest : m:int -> closure_cost;
+  non_collaborative : m:int -> closure_cost;
+  ops_per_update : m:int -> ops;
+  party_storage : string;
+  watchtower_storage : string;
+  lifetime : string;
+  incentive_compatible : bool;
+  txs_per_k_apps : string;
+  avoids_adaptor_sigs : bool;
+  bounded_closure : bool;
+}
+
+val lightning : scheme
+val generalized : scheme
+val fppw : scheme
+val cerberus : scheme
+val outpost : scheme
+val sleepy : scheme
+val eltoo : scheme
+val daric : scheme
+
+val all : scheme list
+(** Table 3 row order. *)
+
+val paper_quoted : string -> (string * string) option
+(** The paper's quoted weight-unit strings (dishonest,
+    non-collaborative) for side-by-side display. *)

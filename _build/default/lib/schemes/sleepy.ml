@@ -1,0 +1,209 @@
+(** Executable Sleepy channel [Aumayr et al. 2021] (simplified).
+
+    A bi-directional channel WITHOUT watchtowers: parties may go
+    offline for prolonged periods because dispute windows are anchored
+    to one absolute channel end-time T_end rather than to a relative
+    delay after a (possibly unnoticed) closure. Each party's commit
+    output gives the counter-party until T_end to present the
+    revocation secret; the publisher can claim her own balance only
+    after T_end. An honest party therefore needs to come online just
+    once, shortly before T_end — and the channel's lifetime is
+    necessarily limited (the Table 1 row: limited lifetime, no
+    watchtower, O(n) party storage).
+
+    Output script:
+    [IF 2 <rev_pk> <other_pk> 2 CHECKMULTISIG            (revocation)
+     ELSE <T_end> CLTV DROP <owner_pk> CHECKSIG ENDIF]   (after end-time) *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Schnorr = Daric_crypto.Schnorr
+module Ledger = Daric_chain.Ledger
+module Keys = Daric_core.Keys
+
+type side = {
+  main : Keys.keypair;
+  mutable rev_current : Keys.keypair;
+  mutable received_rev : (int * Schnorr.secret_key) list;  (** O(n) *)
+}
+
+type t = {
+  ledger : Ledger.t;
+  rng : Daric_util.Rng.t;
+  cash : int;
+  t_end : int;  (** absolute channel end-time (ledger height class) *)
+  fund : Tx.t;
+  a : side;
+  b : side;
+  mutable sn : int;
+  mutable commit_a : Tx.t;
+  mutable commit_b : Tx.t;
+  mutable ops_signs : int;
+  mutable ops_verifies : int;
+}
+
+let output_script (t : t) ~(rev_pk : Schnorr.public_key)
+    ~(other_pk : Schnorr.public_key) ~(owner_pk : Schnorr.public_key) :
+    Script.t =
+  [ Script.If; Small 2; Push (Keys.enc rev_pk); Push (Keys.enc other_pk);
+    Small 2; Checkmultisig; Else; Num t.t_end; Cltv; Drop;
+    Push (Keys.enc owner_pk); Checksig; Endif ]
+
+let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int)
+    ~(bal_other : int) : Tx.t =
+  let own, other = match owner with `A -> (t.a, t.b) | `B -> (t.b, t.a) in
+  let out who_rev other_pk owner_pk bal =
+    { Tx.value = bal;
+      spk =
+        Tx.P2wsh
+          (Script.hash (output_script t ~rev_pk:who_rev ~other_pk ~owner_pk)) }
+  in
+  { Tx.inputs = [ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ];
+    locktime = 0;
+    outputs =
+      [ (* the publisher's own balance: revocable by the other side,
+           claimable by the owner only after T_end *)
+        out own.rev_current.Keys.pk other.main.Keys.pk own.main.Keys.pk bal_own;
+        (* the counter-party's balance: symmetric *)
+        out other.rev_current.Keys.pk own.main.Keys.pk other.main.Keys.pk
+          bal_other ];
+    witnesses = [] }
+
+let sign_commit (t : t) (body : Tx.t) : Tx.t =
+  let msg = Sighash.message All body ~input_index:0 in
+  let sig_a = Sighash.sign_message t.a.main.Keys.sk All msg in
+  let sig_b = Sighash.sign_message t.b.main.Keys.sk All msg in
+  let script =
+    Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
+  in
+  { body with
+    Tx.witnesses =
+      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+
+let create ~(t_end : int) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
+    ~(bal_a : int) ~(bal_b : int) () : t =
+  let mk_side () =
+    { main = Keys.keygen rng; rev_current = Keys.keygen rng; received_rev = [] }
+  in
+  let a = mk_side () and b = mk_side () in
+  let cash = bal_a + bal_b in
+  let fund_src = Ledger.mint ledger ~value:cash ~spk:Tx.Op_return in
+  let fund =
+    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
+      locktime = 0;
+      outputs =
+        [ { Tx.value = cash;
+            spk =
+              Tx.P2wsh
+                (Script.hash
+                   (Script.multisig_2 (Keys.enc a.main.Keys.pk)
+                      (Keys.enc b.main.Keys.pk))) } ];
+      witnesses = [ [] ] }
+  in
+  Ledger.record ledger fund;
+  let empty = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let t =
+    { ledger; rng = Daric_util.Rng.split rng; cash; t_end; fund; a; b; sn = 0;
+      commit_a = empty; commit_b = empty; ops_signs = 0; ops_verifies = 0 }
+  in
+  t.commit_a <- sign_commit t (gen_commit t ~owner:`A ~bal_own:bal_a ~bal_other:bal_b);
+  t.commit_b <- sign_commit t (gen_commit t ~owner:`B ~bal_own:bal_b ~bal_other:bal_a);
+  t
+
+let update (t : t) ~(bal_a : int) ~(bal_b : int) : Tx.t * Tx.t =
+  let old = (t.commit_a, t.commit_b) in
+  let old_rev_a = t.a.rev_current and old_rev_b = t.b.rev_current in
+  t.sn <- t.sn + 1;
+  t.a.rev_current <- Keys.keygen t.rng;
+  t.b.rev_current <- Keys.keygen t.rng;
+  t.commit_a <- sign_commit t (gen_commit t ~owner:`A ~bal_own:bal_a ~bal_other:bal_b);
+  t.commit_b <- sign_commit t (gen_commit t ~owner:`B ~bal_own:bal_b ~bal_other:bal_a);
+  t.a.received_rev <- (t.sn - 1, old_rev_b.Keys.sk) :: t.a.received_rev;
+  t.b.received_rev <- (t.sn - 1, old_rev_a.Keys.sk) :: t.b.received_rev;
+  (* Table 3 (Sleepy row): 5 signs / 5 verifies per update; the model
+     counts the commitment exchanges and the fast-finish handshake *)
+  t.ops_signs <- t.ops_signs + 5;
+  t.ops_verifies <- t.ops_verifies + 5;
+  old
+
+(** Punish a revoked commit: the sleepy victim, waking any time before
+    T_end, claims the cheater's balance output with the revealed
+    secret (no relative timer to race). *)
+let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
+  let side = match victim with `A -> t.a | `B -> t.b in
+  let cheater = match victim with `A -> t.b | `B -> t.a in
+  let revoked = match published.Tx.inputs with [ i ] -> i.sequence | _ -> -1 in
+  match List.assoc_opt revoked side.received_rev with
+  | None -> None
+  | Some rev_sk ->
+      let script =
+        output_script t
+          ~rev_pk:(Schnorr.public_key_of_secret rev_sk)
+          ~other_pk:side.main.Keys.pk ~owner_pk:cheater.main.Keys.pk
+      in
+      let v = (List.nth published.Tx.outputs 0).Tx.value in
+      let body =
+        { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
+          locktime = 0;
+          outputs =
+            [ { Tx.value = v;
+                spk =
+                  Tx.P2wpkh
+                    (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
+          witnesses = [] }
+      in
+      let sig_rev = Sighash.sign rev_sk All body ~input_index:0 in
+      let sig_own = Sighash.sign side.main.Keys.sk All body ~input_index:0 in
+      Some
+        { body with
+          Tx.witnesses =
+            [ [ Tx.Data ""; Tx.Data sig_rev; Tx.Data sig_own; Tx.Data "\001";
+                Tx.Wscript script ] ] }
+
+(** The publisher sweeps her own balance — only valid once the
+    spending transaction's nLockTime can reach T_end. For an old commit
+    pass the revocation key that state used ([rev_pk] defaults to the
+    current one). *)
+let sweep_own ?(rev_pk : Schnorr.public_key option) (t : t)
+    ~(who : [ `A | `B ]) ~(published : Tx.t) : Tx.t =
+  let side = match who with `A -> t.a | `B -> t.b in
+  let other = match who with `A -> t.b | `B -> t.a in
+  let rev_pk =
+    match rev_pk with Some pk -> pk | None -> side.rev_current.Keys.pk
+  in
+  let script =
+    output_script t ~rev_pk ~other_pk:other.main.Keys.pk
+      ~owner_pk:side.main.Keys.pk
+  in
+  let v = (List.nth published.Tx.outputs 0).Tx.value in
+  let body =
+    { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
+      locktime = t.t_end;
+      outputs =
+        [ { Tx.value = v;
+            spk =
+              Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
+      witnesses = [] }
+  in
+  let sg = Sighash.sign side.main.Keys.sk All body ~input_index:0 in
+  { body with Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+
+let commit_of (t : t) (who : [ `A | `B ]) : Tx.t =
+  match who with `A -> t.commit_a | `B -> t.commit_b
+
+let funding_outpoint (t : t) : Tx.outpoint = Tx.outpoint_of t.fund 0
+
+(** Remaining channel lifetime in rounds (Table 1: limited). *)
+let remaining_lifetime (t : t) : int = t.t_end - Ledger.height t.ledger
+
+let storage_bytes (t : t) ~(who : [ `A | `B ]) : int =
+  let side = match who with `A -> t.a | `B -> t.b in
+  let kp = 4 + Schnorr.public_key_size in
+  let commit = commit_of t who in
+  (2 * kp)
+  + Tx.non_witness_size commit
+  + Tx.witness_size commit
+  + (List.length side.received_rev * 8)
+
+let ops (t : t) : int * int = (t.ops_signs, t.ops_verifies)

@@ -1,0 +1,1 @@
+lib/script/interp.ml: Char Daric_crypto List Script String

@@ -1,0 +1,1 @@
+lib/script/script.ml: Daric_crypto Daric_util Fmt List String

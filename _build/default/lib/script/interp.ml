@@ -1,0 +1,174 @@
+(** Script interpreter.
+
+    Runs a script against an initial witness stack within a spending
+    context. Signature checking is delegated to a closure supplied by
+    the transaction-validation layer, which handles SIGHASH-flag message
+    selection (SIGHASH_ALL vs ANYPREVOUT vs ANYPREVOUT|SINGLE).
+
+    Timelock semantics follow BIP-65/BIP-112:
+    - CLTV succeeds iff the spending transaction's nLockTime is of the
+      same range class (block height < 500e6 vs timestamp) and at least
+      the script parameter. The ledger separately enforces that the
+      nLockTime itself has expired (check 5 of the ledger functionality).
+    - CSV succeeds iff at least the script parameter's number of rounds
+      have elapsed since the spent output was recorded on the ledger. *)
+
+type context = {
+  check_sig : pk_bytes:string -> sig_bytes:string -> bool;
+      (** full signature verification, including message selection *)
+  tx_locktime : int;  (** nLockTime of the spending transaction *)
+  input_age : int;  (** rounds since the spent output was recorded *)
+}
+
+type error =
+  | Stack_underflow
+  | Verify_failed
+  | Op_return
+  | Unbalanced_conditional
+  | Locktime_not_satisfied
+  | Sequence_not_satisfied
+  | Bad_multisig_arity
+  | Empty_final_stack
+  | False_final_stack
+
+let error_to_string = function
+  | Stack_underflow -> "stack underflow"
+  | Verify_failed -> "OP_VERIFY failed"
+  | Op_return -> "OP_RETURN executed"
+  | Unbalanced_conditional -> "unbalanced OP_IF/OP_ENDIF"
+  | Locktime_not_satisfied -> "OP_CHECKLOCKTIMEVERIFY not satisfied"
+  | Sequence_not_satisfied -> "OP_CHECKSEQUENCEVERIFY not satisfied"
+  | Bad_multisig_arity -> "invalid multisig arity"
+  | Empty_final_stack -> "empty stack at end of script"
+  | False_final_stack -> "false value on top of stack at end of script"
+
+exception Fail of error
+
+(* Stack items are byte strings. *)
+
+let item_of_int (v : int) : string =
+  if v = 0 then ""
+  else if v > 0 && v <= 16 then String.make 1 (Char.chr v)
+  else Daric_crypto.Group.encode_int32 v
+
+let int_of_item (s : string) : int =
+  match String.length s with
+  | 0 -> 0
+  | 1 -> Char.code s.[0]
+  | 4 -> Daric_crypto.Group.decode_int32 s
+  | _ -> raise (Fail Stack_underflow)
+
+let truthy (s : string) : bool = String.exists (fun c -> c <> '\000') s
+
+(* Locktimes below this threshold denote block heights; at or above it,
+   timestamps (Bitcoin consensus constant). *)
+let locktime_threshold = 500_000_000
+
+let same_locktime_class a b =
+  a < locktime_threshold = (b < locktime_threshold)
+
+let run (ctx : context) (script : Script.t) (initial_stack : string list) :
+    (unit, error) result =
+  let stack = ref initial_stack in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | [] -> raise (Fail Stack_underflow)
+    | x :: rest ->
+        stack := rest;
+        x
+  in
+  let peek () = match !stack with [] -> raise (Fail Stack_underflow) | x :: _ -> x in
+  (* Conditional-execution state: one bool per enclosing IF, true when
+     the current branch executes. *)
+  let exec_stack = ref [] in
+  let executing () = List.for_all (fun b -> b) !exec_stack in
+  let step (op : Script.op) =
+    match op with
+    | Script.If ->
+        if executing () then exec_stack := truthy (pop ()) :: !exec_stack
+        else exec_stack := false :: !exec_stack
+    | Notif ->
+        if executing () then exec_stack := (not (truthy (pop ()))) :: !exec_stack
+        else exec_stack := false :: !exec_stack
+    | Else -> (
+        match !exec_stack with
+        | [] -> raise (Fail Unbalanced_conditional)
+        | b :: rest -> exec_stack := (not b) :: rest)
+    | Endif -> (
+        match !exec_stack with
+        | [] -> raise (Fail Unbalanced_conditional)
+        | _ :: rest -> exec_stack := rest)
+    | _ when not (executing ()) -> ()
+    | Push d -> push d
+    | Num v -> push (item_of_int v)
+    | Small v -> push (item_of_int v)
+    | Verify -> if not (truthy (pop ())) then raise (Fail Verify_failed)
+    | Return -> raise (Fail Op_return)
+    | Dup -> push (peek ())
+    | Drop -> ignore (pop ())
+    | Swap ->
+        let a = pop () in
+        let b = pop () in
+        push a;
+        push b
+    | Size -> push (item_of_int (String.length (peek ())))
+    | Equal ->
+        let a = pop () in
+        let b = pop () in
+        push (item_of_int (if String.equal a b then 1 else 0))
+    | Equalverify ->
+        let a = pop () in
+        let b = pop () in
+        if not (String.equal a b) then raise (Fail Verify_failed)
+    | Hash160 -> push (Daric_crypto.Hash.hash160 (pop ()))
+    | Hash256 -> push (Daric_crypto.Hash.hash256 (pop ()))
+    | Sha256 -> push (Daric_crypto.Sha256.digest (pop ()))
+    | Ripemd160 -> push (Daric_crypto.Ripemd160.digest (pop ()))
+    | Checksig ->
+        let pk = pop () in
+        let sg = pop () in
+        push (item_of_int (if ctx.check_sig ~pk_bytes:pk ~sig_bytes:sg then 1 else 0))
+    | Checksigverify ->
+        let pk = pop () in
+        let sg = pop () in
+        if not (ctx.check_sig ~pk_bytes:pk ~sig_bytes:sg) then raise (Fail Verify_failed)
+    | Checkmultisig | Checkmultisigverify ->
+        let n = int_of_item (pop ()) in
+        if n < 1 || n > 16 then raise (Fail Bad_multisig_arity);
+        let pks = List.init n (fun _ -> pop ()) in
+        (* popping reverses push order; restore script order *)
+        let pks = List.rev pks in
+        let m = int_of_item (pop ()) in
+        if m < 1 || m > n then raise (Fail Bad_multisig_arity);
+        let sigs = List.rev (List.init m (fun _ -> pop ())) in
+        (* consume the historical extra (dummy) element *)
+        ignore (pop ());
+        (* each signature must match a pubkey, respecting pubkey order *)
+        let rec check sigs pks =
+          match (sigs, pks) with
+          | [], _ -> true
+          | _ :: _, [] -> false
+          | sg :: sigs', pk :: pks' ->
+              if ctx.check_sig ~pk_bytes:pk ~sig_bytes:sg then check sigs' pks'
+              else check sigs pks'
+        in
+        let ok = check sigs pks in
+        if op = Checkmultisig then push (item_of_int (if ok then 1 else 0))
+        else if not ok then raise (Fail Verify_failed)
+    | Cltv ->
+        let t = int_of_item (peek ()) in
+        if not (same_locktime_class t ctx.tx_locktime) || ctx.tx_locktime < t then
+          raise (Fail Locktime_not_satisfied)
+    | Csv ->
+        let t = int_of_item (peek ()) in
+        if ctx.input_age < t then raise (Fail Sequence_not_satisfied)
+  in
+  try
+    List.iter step script;
+    if !exec_stack <> [] then Error Unbalanced_conditional
+    else
+      match !stack with
+      | [] -> Error Empty_final_stack
+      | top :: _ -> if truthy top then Ok () else Error False_final_stack
+  with Fail e -> Error e

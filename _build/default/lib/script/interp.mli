@@ -1,0 +1,43 @@
+(** Script interpreter.
+
+    Runs a script against an initial witness stack within a spending
+    context. Signature checking is delegated to a closure supplied by
+    the transaction layer (which selects the SIGHASH message).
+    Timelocks follow BIP-65/BIP-112: CLTV checks the spending
+    transaction's nLockTime (same range class, at least the parameter);
+    CSV checks the age in rounds of the spent output. *)
+
+type context = {
+  check_sig : pk_bytes:string -> sig_bytes:string -> bool;
+  tx_locktime : int;  (** nLockTime of the spending transaction *)
+  input_age : int;  (** rounds since the spent output was recorded *)
+}
+
+type error =
+  | Stack_underflow
+  | Verify_failed
+  | Op_return
+  | Unbalanced_conditional
+  | Locktime_not_satisfied
+  | Sequence_not_satisfied
+  | Bad_multisig_arity
+  | Empty_final_stack
+  | False_final_stack
+
+val error_to_string : error -> string
+
+val item_of_int : int -> string
+(** Canonical stack encoding of a non-negative integer. *)
+
+val int_of_item : string -> int
+
+val truthy : string -> bool
+(** Script truth: any non-zero byte present. *)
+
+val locktime_threshold : int
+(** 500,000,000 — locktimes below are block heights, above are UNIX
+    timestamps. *)
+
+val run : context -> Script.t -> string list -> (unit, error) result
+(** [run ctx script stack] executes [script] on the initial [stack]
+    (head = top). Success requires a truthy top at the end. *)

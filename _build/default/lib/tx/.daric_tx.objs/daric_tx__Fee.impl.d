@@ -1,0 +1,1 @@
+lib/tx/fee.ml: Daric_crypto List Sighash Tx

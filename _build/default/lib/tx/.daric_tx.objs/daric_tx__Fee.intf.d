@@ -1,0 +1,1 @@
+lib/tx/fee.mli: Daric_crypto Tx

@@ -1,0 +1,1 @@
+lib/tx/sighash.mli: Daric_crypto Tx

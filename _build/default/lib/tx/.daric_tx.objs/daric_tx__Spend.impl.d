@@ -1,0 +1,1 @@
+lib/tx/spend.ml: Daric_crypto Daric_script List Sighash String Tx

@@ -1,0 +1,1 @@
+lib/tx/spend.mli: Daric_script Tx

@@ -1,0 +1,1 @@
+lib/tx/tx.mli: Daric_script Format

@@ -1,0 +1,39 @@
+(** Fee handling (Section 8, "Fee handling").
+
+    Daric's revocation (and commit) transactions have a single input
+    and a single output; because ANYPREVOUT may be combined with
+    SINGLE (BIP 143), a channel party can attach an extra input and a
+    change output to the latest revocation transaction right before
+    submitting it, leaving the difference to the miners — without
+    invalidating the counter-party's pre-signed ANYPREVOUT|SINGLE
+    witness on input 0. *)
+
+module Schnorr = Daric_crypto.Schnorr
+
+(** [attach tx ~source ~source_value ~fee ~key] appends the funding
+    input [source] (a P2WPKH output of [key] holding [source_value])
+    and a change output paying [source_value - fee] back to [key],
+    then signs the new input with SIGHASH_ALL. All pre-existing inputs
+    must carry ANYPREVOUT|SINGLE signatures for them to stay valid. *)
+let attach (tx : Tx.t) ~(source : Tx.outpoint) ~(source_value : int)
+    ~(fee : int) ~(key_sk : Schnorr.secret_key) : Tx.t =
+  if fee < 0 || fee > source_value then invalid_arg "Fee.attach: bad fee";
+  let pk = Schnorr.public_key_of_secret key_sk in
+  let change =
+    { Tx.value = source_value - fee;
+      spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key pk)) }
+  in
+  let tx' =
+    { tx with
+      Tx.inputs = tx.inputs @ [ Tx.input_of_outpoint source ];
+      outputs = tx.outputs @ [ change ] }
+  in
+  let idx = List.length tx'.inputs - 1 in
+  let sg = Sighash.sign key_sk All tx' ~input_index:idx in
+  { tx' with
+    Tx.witnesses =
+      tx.witnesses @ [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+
+(** Fee actually paid by a transaction given the values of its inputs. *)
+let paid ~(input_values : int list) (tx : Tx.t) : int =
+  List.fold_left ( + ) 0 input_values - Tx.total_output_value tx

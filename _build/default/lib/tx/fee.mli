@@ -1,0 +1,19 @@
+(** Fee handling (Section 8): attach an extra input and change output
+    to a transaction whose existing inputs carry ANYPREVOUT|SINGLE
+    signatures — they stay valid, the difference goes to the miners. *)
+
+val attach :
+  Tx.t ->
+  source:Tx.outpoint ->
+  source_value:int ->
+  fee:int ->
+  key_sk:Daric_crypto.Schnorr.secret_key ->
+  Tx.t
+(** [attach tx ~source ~source_value ~fee ~key_sk] appends the P2WPKH
+    funding input [source] and a change output paying
+    [source_value - fee] back to the key, signing the new input with
+    SIGHASH_ALL.
+    @raise Invalid_argument if [fee] is negative or exceeds the source. *)
+
+val paid : input_values:int list -> Tx.t -> int
+(** Fee actually paid given the values of the spent inputs. *)

@@ -1,0 +1,152 @@
+(** Transactions in the UTXO model of the paper (Section 2.1).
+
+    A transaction is the tuple (txid, Input, nLT, Output, Witness) with
+    txid := H([TX]) where the body [TX] := (Input, nLT, Output).
+
+    Weight accounting follows Bitcoin segwit rules with the byte-count
+    conventions of the paper's Appendix H (see {!Script.op_size}):
+    weight = 4 x non-witness bytes + witness bytes, and one vbyte equals
+    four weight units. *)
+
+module Script = Daric_script.Script
+
+type outpoint = { txid : string; vout : int }
+
+let outpoint_equal a b = String.equal a.txid b.txid && a.vout = b.vout
+
+let pp_outpoint ppf (o : outpoint) =
+  Fmt.pf ppf "%s:%d" (Daric_util.Hex.short o.txid) o.vout
+
+(** Output condition (scriptPubKey). *)
+type spk =
+  | P2wsh of string  (** 32-byte script hash; spend reveals the script *)
+  | P2wpkh of string  (** 20-byte pubkey hash *)
+  | Raw of Script.t  (** bare script (tests and funding sources) *)
+  | Op_return  (** provably unspendable *)
+
+type output = { value : int; spk : spk }
+(** [value] in satoshi. *)
+
+type input = { prevout : outpoint; sequence : int }
+
+(** One witness-stack element. *)
+type witness_elt =
+  | Data of string
+  | Wscript of Script.t  (** the revealed P2WSH witness script *)
+
+type witness = witness_elt list
+(** Bottom-to-top witness stack for one input (script last). *)
+
+type t = {
+  inputs : input list;
+  locktime : int;  (** nLockTime *)
+  outputs : output list;
+  witnesses : witness list;  (** parallel to [inputs] *)
+}
+
+let default_sequence = 0xffffffff
+
+let input_of_outpoint ?(sequence = default_sequence) prevout = { prevout; sequence }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization of the body [TX] = (Input, nLT, Output) for txids.   *)
+
+let spk_serialize (w : Daric_util.Byteio.Writer.t) (spk : spk) =
+  let module W = Daric_util.Byteio.Writer in
+  match spk with
+  | P2wsh h ->
+      W.byte w 0x00;
+      W.var_string w h
+  | P2wpkh h ->
+      W.byte w 0x01;
+      W.var_string w h
+  | Raw s ->
+      W.byte w 0x02;
+      W.var_string w (Script.serialize s)
+  | Op_return -> W.byte w 0x03
+
+let body_serialize (tx : t) : string =
+  let module W = Daric_util.Byteio.Writer in
+  let w = W.create () in
+  W.varint w (List.length tx.inputs);
+  List.iter
+    (fun (i : input) ->
+      W.var_string w i.prevout.txid;
+      W.u32 w i.prevout.vout;
+      W.u32 w i.sequence)
+    tx.inputs;
+  W.u32 w tx.locktime;
+  W.varint w (List.length tx.outputs);
+  List.iter
+    (fun (o : output) ->
+      W.u64 w (Int64.of_int o.value);
+      spk_serialize w o.spk)
+    tx.outputs;
+  W.contents w
+
+(** txid = H([TX]); 32 bytes. *)
+let txid (tx : t) : string = Daric_crypto.Hash.hash256 (body_serialize tx)
+
+let outpoint_of (tx : t) (vout : int) : outpoint = { txid = txid tx; vout }
+
+(** [TX] without inputs — the part authorized by ANYPREVOUT sigs
+    (the paper's notation ⌊TX⌋ = (nLT, Output)). *)
+let floating_body_serialize (tx : t) : string =
+  let module W = Daric_util.Byteio.Writer in
+  let w = W.create () in
+  W.u32 w tx.locktime;
+  W.varint w (List.length tx.outputs);
+  List.iter
+    (fun (o : output) ->
+      W.u64 w (Int64.of_int o.value);
+      spk_serialize w o.spk)
+    tx.outputs;
+  W.contents w
+
+(* ------------------------------------------------------------------ *)
+(* Weight accounting (Appendix H conventions).                        *)
+
+let output_size (o : output) : int =
+  (* 8 value bytes + 1 script-length byte + script *)
+  match o.spk with
+  | P2wpkh _ -> 8 + 1 + 22 (* OP_0 <20-byte hash>, 31 total *)
+  | P2wsh _ -> 8 + 1 + 34 (* OP_0 <32-byte hash>, 43 total *)
+  | Raw s -> 8 + 1 + Script.size s
+  | Op_return -> 8 + 1 + 1
+
+(** Non-witness serialized size in bytes: version(4) + input count(1) +
+    41 per input (36 outpoint + 1 empty scriptSig length + 4 sequence) +
+    output count(1) + outputs + locktime(4). *)
+let non_witness_size (tx : t) : int =
+  4 + 1
+  + (41 * List.length tx.inputs)
+  + 1
+  + List.fold_left (fun acc o -> acc + output_size o) 0 tx.outputs
+  + 4
+
+let witness_elt_size = function
+  | Data d -> if String.length d <= 1 then 1 else 1 + String.length d
+  | Wscript s -> 1 + Script.size s
+
+(** Witness serialized size: 2-byte segwit header plus, per input, a
+    1-byte element count and the elements. *)
+let witness_size (tx : t) : int =
+  2
+  + List.fold_left
+      (fun acc wit ->
+        acc + 1 + List.fold_left (fun a e -> a + witness_elt_size e) 0 wit)
+      0 tx.witnesses
+
+(** weight = 4 x non-witness + witness (weight units). *)
+let weight (tx : t) : int = (4 * non_witness_size tx) + witness_size tx
+
+(** Virtual size: one vbyte per four weight units, rounded up. *)
+let vbytes (tx : t) : int = (weight tx + 3) / 4
+
+let total_output_value (tx : t) : int =
+  List.fold_left (fun acc o -> acc + o.value) 0 tx.outputs
+
+let pp ppf (tx : t) =
+  Fmt.pf ppf "@[<v>tx %s (nLT=%d, %d in, %d out, %d WU)@]"
+    (Daric_util.Hex.short (txid tx))
+    tx.locktime (List.length tx.inputs) (List.length tx.outputs) (weight tx)

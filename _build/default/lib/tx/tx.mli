@@ -1,0 +1,75 @@
+(** Transactions in the UTXO model of the paper (Section 2.1):
+    TX = (txid, Input, nLT, Output, Witness) with txid = H(\[TX\]) over
+    the body \[TX\] = (Input, nLT, Output).
+
+    Weight accounting follows segwit rules with the byte-count
+    conventions of Appendix H: weight = 4 x non-witness bytes + witness
+    bytes; one vbyte is four weight units. *)
+
+module Script = Daric_script.Script
+
+type outpoint = { txid : string; vout : int }
+
+val outpoint_equal : outpoint -> outpoint -> bool
+val pp_outpoint : Format.formatter -> outpoint -> unit
+
+(** Output condition (scriptPubKey). *)
+type spk =
+  | P2wsh of string  (** 32-byte script hash; spending reveals the script *)
+  | P2wpkh of string  (** 20-byte pubkey hash *)
+  | Raw of Script.t  (** bare script (tests and funding sources) *)
+  | Op_return  (** provably unspendable *)
+
+type output = { value : int; spk : spk }
+(** [value] in satoshi. *)
+
+type input = { prevout : outpoint; sequence : int }
+
+type witness_elt =
+  | Data of string
+  | Wscript of Script.t  (** the revealed P2WSH witness script *)
+
+type witness = witness_elt list
+(** Bottom-to-top witness stack for one input (script last). *)
+
+type t = {
+  inputs : input list;
+  locktime : int;  (** nLockTime *)
+  outputs : output list;
+  witnesses : witness list;  (** parallel to [inputs] *)
+}
+
+val default_sequence : int
+val input_of_outpoint : ?sequence:int -> outpoint -> input
+
+val body_serialize : t -> string
+(** Serialization of the body \[TX\] = (Input, nLT, Output). *)
+
+val txid : t -> string
+(** txid = H(\[TX\]); 32 bytes. Witness data never affects it. *)
+
+val outpoint_of : t -> int -> outpoint
+
+val floating_body_serialize : t -> string
+(** The input-less body (nLT, Output) authorized by ANYPREVOUT
+    signatures. *)
+
+val output_size : output -> int
+(** Serialized output bytes: P2WPKH 31, P2WSH 43, ... *)
+
+val non_witness_size : t -> int
+(** version(4) + counts + 41/input + outputs + locktime(4). *)
+
+val witness_elt_size : witness_elt -> int
+
+val witness_size : t -> int
+(** 2-byte segwit header + per input: count byte + elements. *)
+
+val weight : t -> int
+(** 4 x non-witness + witness, in weight units. *)
+
+val vbytes : t -> int
+(** ceil(weight / 4). *)
+
+val total_output_value : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/byteio.ml: Buffer Char Int64 String

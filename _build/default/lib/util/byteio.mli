@@ -1,0 +1,43 @@
+(** Byte-oriented serialization: a growable writer and a cursor reader,
+    with Bitcoin-style little-endian integers and CompactSize varints. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val length : t -> int
+
+  val byte : t -> int -> unit
+  (** Append the low 8 bits of the argument. *)
+
+  val string : t -> string -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+
+  val varint : t -> int -> unit
+  (** Bitcoin CompactSize encoding.
+      @raise Invalid_argument on negative values. *)
+
+  val var_string : t -> string -> unit
+  (** Varint length prefix followed by the raw bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised by every reading function on insufficient input. *)
+
+  val create : string -> t
+  val remaining : t -> int
+  val at_end : t -> bool
+  val byte : t -> int
+  val string : t -> int -> string
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val varint : t -> int
+  val var_string : t -> string
+end

@@ -1,0 +1,12 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s] (2 chars/byte). *)
+
+val decode : string -> string
+(** [decode h] inverts {!encode}.
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val short : string -> string
+(** [short s] renders at most the first 4 bytes of [s] in hex — a
+    compact identifier for logs and charts. *)

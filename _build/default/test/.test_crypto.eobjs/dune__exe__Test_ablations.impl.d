@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Daric_chain Daric_core Daric_script Daric_tx Daric_util

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Daric_analysis Daric_core Daric_util List String

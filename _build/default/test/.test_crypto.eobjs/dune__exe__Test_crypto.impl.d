@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Daric_crypto Daric_util Fmt Gen List QCheck QCheck_alcotest String

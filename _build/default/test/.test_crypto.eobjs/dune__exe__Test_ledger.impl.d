@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Array Daric_chain Daric_crypto Daric_tx Daric_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_nesting.ml: Alcotest Daric_chain Daric_core Daric_tx Daric_util List QCheck QCheck_alcotest

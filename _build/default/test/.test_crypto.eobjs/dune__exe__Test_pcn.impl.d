@@ -1,0 +1,1 @@
+test/test_pcn.ml: Alcotest Daric_chain Daric_core Daric_crypto Daric_pcn Daric_script Daric_tx Daric_util Fmt List Option String

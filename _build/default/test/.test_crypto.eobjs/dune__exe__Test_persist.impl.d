@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Daric_chain Daric_core Daric_tx Option Result String

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Daric_chain Daric_core Daric_tx Fmt List Option

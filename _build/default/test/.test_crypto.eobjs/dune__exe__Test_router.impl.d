@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Array Daric_core Daric_pcn Daric_tx Fmt List

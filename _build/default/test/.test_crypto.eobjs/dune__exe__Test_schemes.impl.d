@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Daric_chain Daric_core Daric_schemes Daric_script Daric_tx Daric_util Fmt List Option QCheck QCheck_alcotest

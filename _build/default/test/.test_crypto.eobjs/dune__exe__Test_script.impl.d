@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Daric_core Daric_crypto Daric_script Daric_util Gen QCheck QCheck_alcotest String

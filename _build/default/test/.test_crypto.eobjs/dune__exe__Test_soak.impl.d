@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Daric_analysis Daric_core Daric_tx List Option

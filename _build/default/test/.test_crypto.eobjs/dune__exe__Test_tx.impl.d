@@ -1,0 +1,1 @@
+test/test_tx.ml: Alcotest Daric_core Daric_crypto Daric_script Daric_tx Daric_util List String

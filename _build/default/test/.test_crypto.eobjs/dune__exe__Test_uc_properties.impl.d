@@ -1,0 +1,1 @@
+test/test_uc_properties.ml: Alcotest Daric_chain Daric_core Daric_crypto Daric_tx Fmt List Option QCheck QCheck_alcotest String

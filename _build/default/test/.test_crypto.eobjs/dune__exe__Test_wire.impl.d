@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Daric_core Daric_tx Daric_util List QCheck QCheck_alcotest String

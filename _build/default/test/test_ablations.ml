@@ -1,0 +1,265 @@
+(* Ablation studies: remove one Daric design ingredient at a time and
+   demonstrate the concrete attack that becomes possible — justifying
+   the design decisions called out in DESIGN.md.
+
+   A. Two revocation key pairs (rv / rv'). If both commit variants used
+      the same revocation keys, a party could publish her OWN revoked
+      commit and immediately "punish" it with the revocation
+      transaction SHE holds, stealing the whole capacity before the
+      counter-party's revocation (a pure race she can win by network
+      advantage).
+
+   B. State ordering (CLTV(S0+i) + nLockTime). Without it, a revoked
+      floating split transaction could spend the LATEST commit,
+      rewinding the channel to an old balance distribution. *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Ledger = Daric_chain.Ledger
+module Keys = Daric_core.Keys
+module Txs = Daric_core.Txs
+module Rng = Daric_util.Rng
+
+let check_b = Alcotest.(check bool)
+
+let settle l n = for _ = 1 to n do ignore (Ledger.tick l) done
+
+type env = {
+  l : Ledger.t;
+  keys_a : Keys.t;
+  keys_b : Keys.t;
+  pub_a : Keys.pub;
+  pub_b : Keys.pub;
+  funding : Tx.outpoint;
+  cash : int;
+}
+
+let mk_env () =
+  let l = Ledger.create ~delta:1 () in
+  let rng = Rng.create ~seed:66 in
+  let keys_a = Keys.generate rng and keys_b = Keys.generate rng in
+  let pub_a = Keys.pub keys_a and pub_b = Keys.pub keys_b in
+  let cash = 100_000 in
+  let funding =
+    Ledger.mint l ~value:cash
+      ~spk:
+        (Tx.P2wsh
+           (Script.hash
+              (Txs.funding_script ~pk_a:pub_a.Keys.main_pk ~pk_b:pub_b.Keys.main_pk)))
+  in
+  { l; keys_a; keys_b; pub_a; pub_b; funding; cash }
+
+(* Sign and complete a commit body with both main keys. *)
+let complete_commit (e : env) (body : Tx.t) : Tx.t =
+  let msg = Txs.commit_message body in
+  Txs.complete_commit body
+    ~sig_a:(Sighash.sign_message e.keys_a.Keys.main.sk All msg)
+    ~sig_b:(Sighash.sign_message e.keys_b.Keys.main.sk All msg)
+    ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A: a single revocation key pair enables self-punishment.   *)
+
+(* Commit script variant where BOTH parties' commits carry the SAME
+   revocation keys (rv_a, rv_b). *)
+let single_pair_commit (e : env) ~(i : int) : Tx.t * Script.t =
+  let script =
+    Txs.commit_script ~abs_lock:(500_000_000 + i) ~rel_lock:3
+      ~rev_pk1:e.pub_a.Keys.rv_pk ~rev_pk2:e.pub_b.Keys.rv_pk
+      ~spl_pk1:e.pub_a.Keys.sp_pk ~spl_pk2:e.pub_b.Keys.sp_pk
+  in
+  ( { Tx.inputs = [ Tx.input_of_outpoint ~sequence:i e.funding ];
+      locktime = 0;
+      outputs = [ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ];
+      witnesses = [] },
+    script )
+
+let test_single_rev_pair_self_punish () =
+  let e = mk_env () in
+  (* state 0 commit of A under the single-pair variant; revoked when the
+     channel moved to state 1, so A's revocation transaction (paying A!)
+     exists with both rv-signatures *)
+  let commit_a0, script = single_pair_commit e ~i:0 in
+  let commit_a0 = complete_commit e commit_a0 in
+  let rv_a, _ =
+    Txs.gen_revoke ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~cash:e.cash ~s0:500_000_000 ~revoked:0
+  in
+  let msg = Txs.revoke_message rv_a in
+  (* under the ablation, the revocation branch of EVERY commit uses
+     (rv_a, rv_b) — and A holds B's rv-signature from the revocation
+     handshake *)
+  let sig_a = Sighash.sign_message e.keys_a.Keys.rv.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.rv.sk Anyprevout msg in
+  (* the dishonest A publishes her own revoked commit... *)
+  Ledger.post e.l commit_a0 ~delay:0;
+  settle e.l 1;
+  (* ...and instantly "punishes" herself, taking the full capacity *)
+  let theft =
+    Txs.complete_revocation rv_a ~commit_outpoint:(Tx.outpoint_of commit_a0 0)
+      ~commit_script:script ~sig1:sig_a ~sig2:sig_b
+  in
+  check_b "ABLATION: self-punishment steals the channel" true
+    (Ledger.validate e.l theft = Ok ());
+  check_b "thief gets everything" true (Tx.total_output_value theft = e.cash)
+
+let test_daric_two_pairs_block_self_punish () =
+  let e = mk_env () in
+  (* real Daric: A's commit carries (rv_a, rv_b); A's OWN revocation
+     transaction is signed under (rv'_a, rv'_b) and cannot spend it *)
+  let commit_a0_body, _ =
+    Txs.gen_commit ~funding:e.funding ~value:e.cash ~keys_a:e.pub_a
+      ~keys_b:e.pub_b ~s0:500_000_000 ~i:0 ~rel_lock:3
+  in
+  let commit_a0 = complete_commit e commit_a0_body in
+  let script =
+    Txs.commit_script_of ~role:Keys.Alice ~keys_a:e.pub_a ~keys_b:e.pub_b
+      ~s0:500_000_000 ~i:0 ~rel_lock:3
+  in
+  let rv_a, _ =
+    Txs.gen_revoke ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~cash:e.cash ~s0:500_000_000 ~revoked:0
+  in
+  let msg = Txs.revoke_message rv_a in
+  (* A's revocation tx signatures (rv' keys, as in the protocol) *)
+  let sig_a = Sighash.sign_message e.keys_a.Keys.rv'.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.rv'.sk Anyprevout msg in
+  Ledger.post e.l commit_a0 ~delay:0;
+  settle e.l 1;
+  let attempt =
+    Txs.complete_revocation rv_a ~commit_outpoint:(Tx.outpoint_of commit_a0 0)
+      ~commit_script:script ~sig1:sig_a ~sig2:sig_b
+  in
+  check_b "Daric: self-punishment rejected" true
+    (Ledger.validate e.l attempt <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablation B: dropping state ordering lets old splits rewind states.  *)
+
+(* Commit output script without the CLTV(S0+i) prefix. *)
+let unordered_commit_script (e : env) : Script.t =
+  [ Script.If; Small 2; Push (Keys.enc e.pub_a.Keys.rv_pk);
+    Push (Keys.enc e.pub_b.Keys.rv_pk); Small 2; Checkmultisig; Else; Num 3;
+    Csv; Drop; Small 2; Push (Keys.enc e.pub_a.Keys.sp_pk);
+    Push (Keys.enc e.pub_b.Keys.sp_pk); Small 2; Checkmultisig; Endif ]
+
+let test_no_ordering_old_split_rewinds () =
+  let e = mk_env () in
+  let script = unordered_commit_script e in
+  (* the LATEST commit (state 5, say) under the unordered variant *)
+  let commit_latest =
+    complete_commit e
+      { Tx.inputs = [ Tx.input_of_outpoint ~sequence:5 e.funding ];
+        locktime = 0;
+        outputs = [ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ];
+        witnesses = [] }
+  in
+  (* a REVOKED split from state 0 where A had 90k; without ordering the
+     split has no state-bearing nLockTime either *)
+  let old_theta =
+    Txs.balance_state ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~bal_a:90_000 ~bal_b:10_000
+  in
+  let old_split = { Tx.inputs = []; locktime = 0; outputs = old_theta; witnesses = [] } in
+  let msg = Txs.split_message old_split in
+  let sig_a = Sighash.sign_message e.keys_a.Keys.sp.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.sp.sk Anyprevout msg in
+  Ledger.post e.l commit_latest ~delay:0;
+  settle e.l 4 (* past the CSV delay *);
+  let rewind =
+    Txs.complete_split old_split
+      ~commit_outpoint:(Tx.outpoint_of commit_latest 0) ~commit_script:script
+      ~sig_a ~sig_b
+  in
+  check_b "ABLATION: revoked split spends the latest commit" true
+    (Ledger.validate e.l rewind = Ok ())
+
+let test_daric_ordering_blocks_old_split () =
+  let e = mk_env () in
+  (* real Daric: latest commit at state 5, old split at state 0 *)
+  let cm_a, _ =
+    Txs.gen_commit ~funding:e.funding ~value:e.cash ~keys_a:e.pub_a
+      ~keys_b:e.pub_b ~s0:500_000_000 ~i:5 ~rel_lock:3
+  in
+  let commit_latest = complete_commit e cm_a in
+  let script =
+    Txs.commit_script_of ~role:Keys.Alice ~keys_a:e.pub_a ~keys_b:e.pub_b
+      ~s0:500_000_000 ~i:5 ~rel_lock:3
+  in
+  let old_theta =
+    Txs.balance_state ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~bal_a:90_000 ~bal_b:10_000
+  in
+  let old_split = Txs.gen_split ~theta:old_theta ~s0:500_000_000 ~i:0 in
+  let msg = Txs.split_message old_split in
+  let sig_a = Sighash.sign_message e.keys_a.Keys.sp.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.sp.sk Anyprevout msg in
+  Ledger.post e.l commit_latest ~delay:0;
+  settle e.l 4;
+  let attempt =
+    Txs.complete_split old_split
+      ~commit_outpoint:(Tx.outpoint_of commit_latest 0) ~commit_script:script
+      ~sig_a ~sig_b
+  in
+  check_b "Daric: old split rejected (CLTV vs nLockTime)" true
+    (Ledger.validate e.l attempt <> Ok ());
+  (* while the CURRENT split passes *)
+  let new_theta =
+    Txs.balance_state ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~bal_a:10_000 ~bal_b:90_000
+  in
+  let new_split = Txs.gen_split ~theta:new_theta ~s0:500_000_000 ~i:5 in
+  let msg = Txs.split_message new_split in
+  let sig_a = Sighash.sign_message e.keys_a.Keys.sp.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.sp.sk Anyprevout msg in
+  let ok =
+    Txs.complete_split new_split
+      ~commit_outpoint:(Tx.outpoint_of commit_latest 0) ~commit_script:script
+      ~sig_a ~sig_b
+  in
+  check_b "current split accepted" true (Ledger.validate e.l ok = Ok ())
+
+(* Revocation transactions are similarly ordered: the revocation for
+   state n-1 cannot touch the state-n commit. *)
+let test_ordering_blocks_old_revocation () =
+  let e = mk_env () in
+  let cm_a, _ =
+    Txs.gen_commit ~funding:e.funding ~value:e.cash ~keys_a:e.pub_a
+      ~keys_b:e.pub_b ~s0:500_000_000 ~i:5 ~rel_lock:3
+  in
+  let commit_latest = complete_commit e cm_a in
+  let script =
+    Txs.commit_script_of ~role:Keys.Alice ~keys_a:e.pub_a ~keys_b:e.pub_b
+      ~s0:500_000_000 ~i:5 ~rel_lock:3
+  in
+  let _, rv_b =
+    Txs.gen_revoke ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
+      ~cash:e.cash ~s0:500_000_000 ~revoked:4
+  in
+  let msg = Txs.revoke_message rv_b in
+  let sig_a = Sighash.sign_message e.keys_a.Keys.rv.sk Anyprevout msg in
+  let sig_b = Sighash.sign_message e.keys_b.Keys.rv.sk Anyprevout msg in
+  Ledger.post e.l commit_latest ~delay:0;
+  settle e.l 1;
+  let attempt =
+    Txs.complete_revocation rv_b ~commit_outpoint:(Tx.outpoint_of commit_latest 0)
+      ~commit_script:script ~sig1:sig_a ~sig2:sig_b
+  in
+  check_b "revocation for n-1 cannot spend commit n" true
+    (Ledger.validate e.l attempt <> Ok ())
+
+let () =
+  Alcotest.run "daric-ablations"
+    [ ( "revocation-keys",
+        [ Alcotest.test_case "single pair enables self-punish" `Quick
+            test_single_rev_pair_self_punish;
+          Alcotest.test_case "two pairs block it" `Quick
+            test_daric_two_pairs_block_self_punish ] );
+      ( "state-ordering",
+        [ Alcotest.test_case "no ordering: old split rewinds" `Quick
+            test_no_ordering_old_split_rewinds;
+          Alcotest.test_case "ordering blocks old split" `Quick
+            test_daric_ordering_blocks_old_split;
+          Alcotest.test_case "ordering blocks old revocation" `Quick
+            test_ordering_blocks_old_revocation ] ) ]

@@ -1,0 +1,167 @@
+(* Analysis-layer tests: the Section 6.2 thresholds, Table 1 storage
+   measurements, locktime/lifetime arithmetic and flowchart output. *)
+
+module I = Daric_analysis.Incentives
+module Tables = Daric_analysis.Tables
+module Locktime = Daric_core.Locktime
+module Flowchart = Daric_core.Flowchart
+
+let check_b = Alcotest.(check bool)
+let check_f = Alcotest.(check (float 1e-9))
+
+let test_thresholds_match_paper () =
+  (* eltoo with average fee/capacity: p > ~0.999 *)
+  check_f "eltoo avg" 0.998625
+    (I.eltoo_threshold ~fee:0.000055 ~capacity:0.04);
+  (* eltoo with minimum fee: p > ~0.9999 *)
+  check_b "eltoo min fee ~0.99995" true
+    (abs_float (I.eltoo_threshold ~fee:I.Constants.min_fee_btc ~capacity:0.04 -. 0.999948) < 1e-5);
+  (* Daric: p > 0.99 regardless of capacity *)
+  check_f "daric" 0.99 (I.daric_threshold ~reserve:0.01);
+  check_f "daric at 10x capacity" 0.99 (I.daric_threshold ~reserve:0.01)
+
+let test_threshold_capacity_dependence () =
+  let sweep = I.capacity_sweep () in
+  let eltoos = List.map (fun (_, e, _) -> e) sweep in
+  let darics = List.map (fun (_, _, d) -> d) sweep in
+  check_b "eltoo threshold strictly increases with capacity" true
+    (List.for_all2 (fun a b -> a < b) (List.tl (List.rev eltoos)) (List.rev eltoos |> List.tl |> List.map (fun _ -> 1.0)) |> fun _ ->
+     let rec incr = function a :: b :: tl -> a < b && incr (b :: tl) | _ -> true in
+     incr eltoos);
+  check_b "daric threshold constant" true
+    (List.for_all (fun d -> d = 0.99) darics)
+
+let test_coverage_variant () =
+  (* full coverage means no attack regardless of p *)
+  let t = I.daric_threshold_with_coverage ~reserve:0.01 ~coverage:0.5 in
+  check_f "daric with 50% coverage" 0.98 t;
+  check_b "eltoo with coverage still capacity-dependent" true
+    (I.eltoo_threshold_with_coverage ~fee:0.0000021 ~capacity:0.4 ~coverage:0.5
+    > I.eltoo_threshold_with_coverage ~fee:0.0000021 ~capacity:0.04 ~coverage:0.5)
+
+let test_expected_profit_sign_flip () =
+  let cap = 0.04 and fee = I.Constants.min_fee_btc in
+  let thr = I.eltoo_threshold ~fee ~capacity:cap in
+  check_b "profitable below threshold" true
+    (I.eltoo_expected_profit ~fee ~capacity:cap ~p:(thr -. 0.0001) > 0.);
+  check_b "unprofitable above threshold" true
+    (I.eltoo_expected_profit ~fee ~capacity:cap ~p:(thr +. 0.0001) < 0.);
+  let dthr = I.daric_threshold ~reserve:0.01 in
+  check_b "daric profitable below" true
+    (I.daric_expected_profit ~reserve:0.01 ~capacity:cap ~p:(dthr -. 0.001) > 0.);
+  check_b "daric unprofitable above" true
+    (I.daric_expected_profit ~reserve:0.01 ~capacity:cap ~p:(dthr +. 0.001) < 0.)
+
+let test_monte_carlo_agrees () =
+  let rng = Daric_util.Rng.create ~seed:5 in
+  let cap = 0.04 in
+  let emp = I.simulate_daric ~rng ~trials:100_000 ~p:0.5 ~reserve:0.01 ~capacity:cap in
+  let closed = I.daric_expected_profit ~reserve:0.01 ~capacity:cap ~p:0.5 in
+  check_b "MC within 5% of closed form" true
+    (abs_float (emp -. closed) < 0.05 *. abs_float closed)
+
+let test_min_punishment_usd () =
+  let v = I.daric_min_punishment_usd () in
+  check_b "around 20 USD" true (v > 15. && v < 25.)
+
+(* ---------------- Table 1 measurements ---------------- *)
+
+let test_storage_scaling () =
+  let p10 = Tables.storage_point ~n:10 in
+  let p50 = Tables.storage_point ~n:50 in
+  Alcotest.(check int) "daric party storage constant" p10.Tables.daric_party
+    p50.Tables.daric_party;
+  Alcotest.(check int) "daric watchtower storage constant"
+    p10.Tables.daric_watchtower p50.Tables.daric_watchtower;
+  Alcotest.(check int) "eltoo party storage constant" p10.Tables.eltoo_party
+    p50.Tables.eltoo_party;
+  check_b "lightning party storage grows" true
+    (p50.Tables.lightning_party > p10.Tables.lightning_party);
+  check_b "lightning watchtower grows" true
+    (p50.Tables.lightning_watchtower > p10.Tables.lightning_watchtower);
+  check_b "generalized party storage grows" true
+    (p50.Tables.generalized_party > p10.Tables.generalized_party)
+
+let test_measured_ops_match_table3 () =
+  let rows = Tables.measure_ops () in
+  let find n = List.find (fun r -> r.Tables.scheme = n) rows in
+  let expect name (s, v, e) =
+    let r = find name in
+    Alcotest.(check (triple int int int))
+      (name ^ " ops") (s, v, e)
+      (r.Tables.sign, r.Tables.verify, r.Tables.exp)
+  in
+  expect "Daric" (4, 3, 0);
+  expect "eltoo" (2, 2, 1);
+  expect "Lightning" (2, 1, 2);
+  expect "Generalized" (3, 2, 1)
+
+(* ---------------- locktime / lifetime ---------------- *)
+
+let test_locktime_encoding () =
+  Alcotest.(check int) "timestamp encoding" 500_000_123
+    (Locktime.of_state ~s0:500_000_000 123);
+  Alcotest.(check int) "roundtrip" 123
+    (Locktime.state_of ~s0:500_000_000 (Locktime.of_state ~s0:500_000_000 123));
+  check_b "height overflow detected" true
+    (try
+       ignore (Locktime.of_state ~s0:499_999_999 2);
+       false
+     with Invalid_argument _ -> true);
+  check_b "mode classification" true
+    (Locktime.mode_of 0 = Locktime.Block_height
+    && Locktime.mode_of 500_000_000 = Locktime.Timestamp)
+
+let test_lifetime_capacities () =
+  Alcotest.(check int) "~700k in height mode" 700_000
+    (Locktime.height_mode_capacity ~current_height:700_000);
+  check_b "~1.15e9 in timestamp mode" true
+    (Locktime.timestamp_mode_capacity ~current_time:1_650_000_000
+    = 1_150_000_000);
+  check_b "unlimited at 1 update/s" true
+    (Locktime.unlimited_lifetime ~seconds_per_update:1.0);
+  check_b "limited above 1 update/s" false
+    (Locktime.unlimited_lifetime ~seconds_per_update:0.5)
+
+let test_remaining_updates () =
+  check_b "timestamp mode tracks clock" true
+    (Locktime.remaining_updates ~s0:500_000_000 ~sn:0 ~height:0
+       ~time:600_000_000
+    = 100_000_000);
+  check_b "height mode tracks height" true
+    (Locktime.remaining_updates ~s0:0 ~sn:10 ~height:700 ~time:600_000_000 = 690)
+
+(* ---------------- flowcharts ---------------- *)
+
+let contains ~(sub : string) (s : string) : bool =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_flowchart_rendering () =
+  let dot = Flowchart.to_dot (Flowchart.daric_state ()) in
+  check_b "dot marks published nodes" true (contains ~sub:"peripheries=2" dot);
+  check_b "dot marks floating edges" true (contains ~sub:"style=dashed" dot);
+  let ascii = Flowchart.to_ascii (Flowchart.sample ()) in
+  check_b "ascii marks floating edges" true (contains ~sub:"~~>" ascii)
+
+let () =
+  Alcotest.run "daric-analysis"
+    [ ( "incentives",
+        [ Alcotest.test_case "paper thresholds" `Quick test_thresholds_match_paper;
+          Alcotest.test_case "capacity dependence" `Quick
+            test_threshold_capacity_dependence;
+          Alcotest.test_case "watchtower coverage" `Quick test_coverage_variant;
+          Alcotest.test_case "profit sign flip" `Quick
+            test_expected_profit_sign_flip;
+          Alcotest.test_case "monte carlo" `Quick test_monte_carlo_agrees;
+          Alcotest.test_case "min punishment usd" `Quick test_min_punishment_usd ] );
+      ( "table1",
+        [ Alcotest.test_case "storage scaling" `Quick test_storage_scaling;
+          Alcotest.test_case "measured ops" `Quick test_measured_ops_match_table3 ] );
+      ( "lifetime",
+        [ Alcotest.test_case "locktime encoding" `Quick test_locktime_encoding;
+          Alcotest.test_case "capacities" `Quick test_lifetime_capacities;
+          Alcotest.test_case "remaining updates" `Quick test_remaining_updates ] );
+      ( "flowchart",
+        [ Alcotest.test_case "rendering" `Quick test_flowchart_rendering ] ) ]

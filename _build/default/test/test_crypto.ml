@@ -1,0 +1,186 @@
+(* Crypto substrate tests: FIPS 180-4 and RIPEMD-160 vectors, group
+   laws, Schnorr signatures and Schnorr adaptor signatures. *)
+
+module Sha256 = Daric_crypto.Sha256
+module Ripemd160 = Daric_crypto.Ripemd160
+module Hash = Daric_crypto.Hash
+module Group = Daric_crypto.Group
+module Schnorr = Daric_crypto.Schnorr
+module Adaptor = Daric_crypto.Adaptor
+module Rng = Daric_util.Rng
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+
+let test_sha256_vectors () =
+  check_s "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hexdigest "");
+  check_s "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hexdigest "abc");
+  check_s "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hexdigest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_s "896-bit"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hexdigest
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  check_s "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hexdigest (String.make 1_000_000 'a'))
+
+(* Padding boundaries: lengths 55, 56, 63, 64, 65 exercise the one- vs
+   two-block padding logic. Reference values from any standard
+   implementation (python hashlib). *)
+let test_sha256_padding_boundaries () =
+  let cases =
+    [ (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+      (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+      (63, "7d3e74a05d7db15bce4ad9ec0658ea98e3f06eeecf16b4c6fff2da457ddc2f34");
+      (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+      (65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0") ]
+  in
+  List.iter
+    (fun (n, expected) ->
+      check_s (Fmt.str "len %d" n) expected (Sha256.hexdigest (String.make n 'a')))
+    cases
+
+let test_ripemd160_vectors () =
+  check_s "empty" "9c1185a5c5e9fc54612808977ee8f548b2258d31" (Ripemd160.hexdigest "");
+  check_s "a" "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe" (Ripemd160.hexdigest "a");
+  check_s "abc" "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc" (Ripemd160.hexdigest "abc");
+  check_s "message digest" "5d0689ef49d2fae572b881b123a85ffa21595f36"
+    (Ripemd160.hexdigest "message digest");
+  check_s "a..z" "f71c27109c692c1b56bbdceb5b9d2865b3708dbc"
+    (Ripemd160.hexdigest "abcdefghijklmnopqrstuvwxyz");
+  check_s "digits"
+    "9b752e45573d4b39f4dbd3323cab82bf63326bfb"
+    (Ripemd160.hexdigest
+       (String.concat "" (List.init 8 (fun _ -> "1234567890"))))
+
+let test_hash_combinators () =
+  check_b "hash256 = sha256^2" true
+    (Hash.hash256 "x" = Sha256.digest (Sha256.digest "x"));
+  check_b "hash160 = ripemd160(sha256)" true
+    (Hash.hash160 "x" = Ripemd160.digest (Sha256.digest "x"));
+  check_b "tagged domain separation" true
+    (Hash.tagged "a" "msg" <> Hash.tagged "b" "msg")
+
+let test_group_laws () =
+  check_b "p = 2q+1" true (Group.p = (2 * Group.q) + 1);
+  check_b "g in subgroup" true (Group.is_element Group.g);
+  check_b "g^q = 1" true (Group.pow Group.g Group.q = 1);
+  (* exponent laws on a sample *)
+  let rng = Rng.create ~seed:99 in
+  for _ = 1 to 50 do
+    let a = 1 + Rng.int rng (Group.q - 1) in
+    let b = 1 + Rng.int rng (Group.q - 1) in
+    check_b "g^(a+b) = g^a g^b" true
+      (Group.pow Group.g (Group.scalar_add a b)
+      = Group.mul (Group.pow Group.g a) (Group.pow Group.g b));
+    let x = Group.pow Group.g a in
+    check_b "x * x^-1 = 1" true (Group.mul x (Group.inv x) = 1)
+  done
+
+let test_schnorr_roundtrip () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 20 do
+    let sk, pk = Schnorr.keygen rng in
+    let msg = Rng.bytes rng 40 in
+    let sg = Schnorr.sign sk msg in
+    check_b "verifies" true (Schnorr.verify pk msg sg);
+    check_b "wrong message fails" false (Schnorr.verify pk (msg ^ "x") sg);
+    let sk2, pk2 = Schnorr.keygen rng in
+    ignore sk2;
+    check_b "wrong key fails" false (Schnorr.verify pk2 msg sg)
+  done
+
+let test_schnorr_encoding () =
+  let rng = Rng.create ~seed:2 in
+  let sk, pk = Schnorr.keygen rng in
+  let enc = Schnorr.encode_public_key pk in
+  Alcotest.(check int) "pubkey is 33 bytes" 33 (String.length enc);
+  check_b "pubkey roundtrip" true (Schnorr.decode_public_key enc = Some pk);
+  let sg = Schnorr.sign sk "m" in
+  let senc = Schnorr.encode_signature sg in
+  Alcotest.(check int) "signature is 73 bytes" 73 (String.length senc);
+  check_b "sig roundtrip" true (Schnorr.decode_signature senc = Some sg);
+  check_b "bytes verify" true (Schnorr.verify_bytes enc "m" senc)
+
+let test_signature_determinism () =
+  let rng = Rng.create ~seed:3 in
+  let sk, _ = Schnorr.keygen rng in
+  check_b "deterministic nonce" true (Schnorr.sign sk "m" = Schnorr.sign sk "m");
+  check_b "distinct messages, distinct sigs" true
+    (Schnorr.sign sk "m" <> Schnorr.sign sk "n")
+
+let test_adaptor () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 20 do
+    let sk, pk = Schnorr.keygen rng in
+    let y, ys = Adaptor.gen_statement rng in
+    let msg = Rng.bytes rng 32 in
+    let ps = Adaptor.pre_sign sk ys msg in
+    check_b "pre-verifies" true (Adaptor.pre_verify pk ys msg ps);
+    (* a pre-signature is NOT a valid signature *)
+    check_b "pre-sig not full sig" false
+      (Schnorr.verify pk msg { Schnorr.r = ps.Adaptor.r; s = ps.Adaptor.s_pre });
+    let full = Adaptor.adapt ps y in
+    check_b "adapted verifies" true (Schnorr.verify pk msg full);
+    Alcotest.(check int) "witness extraction" y (Adaptor.extract full ps)
+  done
+
+let test_adaptor_wrong_statement () =
+  let rng = Rng.create ~seed:5 in
+  let sk, pk = Schnorr.keygen rng in
+  let _, ys = Adaptor.gen_statement rng in
+  let y2, ys2 = Adaptor.gen_statement rng in
+  let ps = Adaptor.pre_sign sk ys "m" in
+  check_b "pre-verify with wrong statement fails" false
+    (Adaptor.pre_verify pk ys2 "m" ps);
+  check_b "adapting with wrong witness fails" false
+    (Schnorr.verify pk "m" (Adaptor.adapt ps y2))
+
+(* qcheck properties *)
+let prop_sign_verify =
+  QCheck.Test.make ~name:"schnorr sign/verify for arbitrary messages"
+    ~count:200
+    QCheck.(pair small_nat (string_of_size Gen.(0 -- 200)))
+    (fun (seed, msg) ->
+      let rng = Rng.create ~seed:(seed + 1) in
+      let sk, pk = Schnorr.keygen rng in
+      Schnorr.verify pk msg (Schnorr.sign sk msg))
+
+let prop_group_assoc =
+  QCheck.Test.make ~name:"group multiplication associativity" ~count:500
+    QCheck.(triple pos_int pos_int pos_int)
+    (fun (a, b, c) ->
+      let f x = 1 + (x mod (Group.p - 1)) in
+      let a = f a and b = f b and c = f c in
+      Group.mul (Group.mul a b) c = Group.mul a (Group.mul b c))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 100))
+    (fun s -> Daric_util.Hex.decode (Daric_util.Hex.encode s) = s)
+
+let () =
+  Alcotest.run "daric-crypto"
+    [ ( "hash",
+        [ Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "sha256 padding boundaries" `Quick
+            test_sha256_padding_boundaries;
+          Alcotest.test_case "ripemd160 vectors" `Quick test_ripemd160_vectors;
+          Alcotest.test_case "combinators" `Quick test_hash_combinators ] );
+      ( "group",
+        [ Alcotest.test_case "laws" `Quick test_group_laws;
+          QCheck_alcotest.to_alcotest prop_group_assoc ] );
+      ( "schnorr",
+        [ Alcotest.test_case "roundtrip" `Quick test_schnorr_roundtrip;
+          Alcotest.test_case "encodings" `Quick test_schnorr_encoding;
+          Alcotest.test_case "determinism" `Quick test_signature_determinism;
+          QCheck_alcotest.to_alcotest prop_sign_verify ] );
+      ( "adaptor",
+        [ Alcotest.test_case "pre-sign/adapt/extract" `Quick test_adaptor;
+          Alcotest.test_case "wrong statement" `Quick test_adaptor_wrong_statement ] );
+      ("util", [ QCheck_alcotest.to_alcotest prop_hex_roundtrip ]) ]

@@ -1,0 +1,279 @@
+(* Ledger functionality tests: the five validity checks of L(Δ,Σ),
+   adversarial delays, timelock classes, and the economic mempool
+   (fees, RBF, block capacity). *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Mempool = Daric_chain.Mempool
+module Schnorr = Daric_crypto.Schnorr
+module Sighash = Daric_tx.Sighash
+module Rng = Daric_util.Rng
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let keypair seed =
+  let rng = Rng.create ~seed in
+  Schnorr.keygen rng
+
+let p2wpkh pk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key pk))
+
+(** Spend a P2WPKH utxo to a new P2WPKH output. *)
+let spend_tx ~sk ~pk ~(from : Tx.outpoint) ~value ~to_pk ?(locktime = 0) () =
+  let tx =
+    { Tx.inputs = [ Tx.input_of_outpoint from ];
+      locktime;
+      outputs = [ { Tx.value; spk = p2wpkh to_pk } ];
+      witnesses = [] }
+  in
+  let sg = Sighash.sign sk All tx ~input_index:0 in
+  { tx with Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+
+let test_mint_and_spend () =
+  let l = Ledger.create ~delta:2 () in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  check_b "minted utxo exists" true (Ledger.is_unspent l op);
+  let tx = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 () in
+  Ledger.post l tx ~delay:0;
+  ignore (Ledger.tick l);
+  check_b "spent" false (Ledger.is_unspent l op);
+  check_b "new utxo" true (Ledger.is_unspent l { Tx.txid = Tx.txid tx; vout = 0 });
+  check_b "spender recorded" true (Ledger.spender_of l op <> None)
+
+let test_adversarial_delay () =
+  let l = Ledger.create ~delta:3 () in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  let tx = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 () in
+  Ledger.post l tx ~delay:3;
+  ignore (Ledger.tick l);
+  ignore (Ledger.tick l);
+  check_b "not yet accepted" true (Ledger.is_unspent l op);
+  ignore (Ledger.tick l);
+  check_b "accepted at delta" false (Ledger.is_unspent l op);
+  (* delay is clamped to delta *)
+  let l2 = Ledger.create ~delta:1 () in
+  let op2 = Ledger.mint l2 ~value:100 ~spk:(p2wpkh pk) in
+  let tx2 = spend_tx ~sk ~pk ~from:op2 ~value:100 ~to_pk:pk2 () in
+  Ledger.post l2 tx2 ~delay:100;
+  ignore (Ledger.tick l2);
+  check_b "clamped to delta=1" false (Ledger.is_unspent l2 op2)
+
+let test_validity_checks () =
+  let l = Ledger.create ~delta:1 () in
+  let sk, pk = keypair 1 in
+  let sk2, pk2 = keypair 2 in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  (* value conservation *)
+  let overspend = spend_tx ~sk ~pk ~from:op ~value:101 ~to_pk:pk2 () in
+  check_b "overspend rejected" true
+    (Ledger.validate l overspend = Error Ledger.Value_overspent);
+  (* missing input *)
+  let ghost = { Tx.txid = String.make 32 'x'; vout = 0 } in
+  let missing = spend_tx ~sk ~pk ~from:ghost ~value:1 ~to_pk:pk2 () in
+  (match Ledger.validate l missing with
+  | Error (Ledger.Missing_input _) -> ()
+  | _ -> Alcotest.fail "expected missing input");
+  (* wrong key *)
+  let stolen = spend_tx ~sk:sk2 ~pk:pk2 ~from:op ~value:100 ~to_pk:pk2 () in
+  (match Ledger.validate l stolen with
+  | Error (Ledger.Invalid_witness _) -> ()
+  | _ -> Alcotest.fail "expected invalid witness");
+  (* zero-value output *)
+  let dust = spend_tx ~sk ~pk ~from:op ~value:0 ~to_pk:pk2 () in
+  check_b "zero output rejected" true (Ledger.validate l dust = Error Ledger.Bad_output)
+
+let test_locktime_classes () =
+  let l = Ledger.create ~genesis_time:600_000_000 ~delta:1 () in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  (* height-class locktime in the future *)
+  let future_h = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 ~locktime:50 () in
+  check_b "future height rejected" true
+    (Ledger.validate l future_h = Error Ledger.Locktime_in_future);
+  for _ = 1 to 50 do ignore (Ledger.tick l) done;
+  check_b "height reached" true (Ledger.validate l future_h = Ok ());
+  (* timestamp-class: genesis 600e6 + 50 rounds > 500e6 threshold *)
+  let ts = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 ~locktime:600_000_049 () in
+  check_b "timestamp in past ok" true (Ledger.validate l ts = Ok ());
+  let ts_future =
+    spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 ~locktime:600_000_051 ()
+  in
+  check_b "timestamp in future rejected" true
+    (Ledger.validate l ts_future = Error Ledger.Locktime_in_future)
+
+let test_double_spend () =
+  let l = Ledger.create ~delta:1 () in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let _, pk3 = keypair 3 in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  let tx1 = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk2 () in
+  let tx2 = spend_tx ~sk ~pk ~from:op ~value:100 ~to_pk:pk3 () in
+  Ledger.post l tx1 ~delay:0;
+  Ledger.post l tx2 ~delay:0;
+  let events = Ledger.tick l in
+  let accepted =
+    List.filter (function Ledger.Accepted _ -> true | _ -> false) events
+  in
+  let rejected =
+    List.filter (function Ledger.Rejected _ -> true | _ -> false) events
+  in
+  check_i "exactly one accepted" 1 (List.length accepted);
+  check_i "exactly one rejected" 1 (List.length rejected)
+
+(* ---------------- economic mempool ---------------- *)
+
+let mk_mempool ?(config = Mempool.default_config) () =
+  let ledger = Ledger.create ~delta:0 () in
+  Mempool.create ~config ~ledger ()
+
+let test_fee_and_minrelay () =
+  let mp = mk_mempool () in
+  let l = Mempool.ledger mp in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let op = Ledger.mint l ~value:100_000 ~spk:(p2wpkh pk) in
+  (* zero fee -> below min relay *)
+  let free = spend_tx ~sk ~pk ~from:op ~value:100_000 ~to_pk:pk2 () in
+  check_b "free tx rejected" true
+    (Mempool.submit mp free = Error Mempool.Feerate_below_minimum);
+  (* pay 1 sat/vbyte *)
+  let paid = spend_tx ~sk ~pk ~from:op ~value:99_000 ~to_pk:pk2 () in
+  check_b "paid tx accepted" true (Mempool.submit mp paid = Ok ());
+  let confirmed = Mempool.tick mp in
+  check_i "confirmed in next block" 1 (List.length confirmed);
+  check_i "fees collected" 1_000 (Mempool.total_fees_collected mp)
+
+let test_rbf_rules () =
+  let mp = mk_mempool () in
+  let l = Mempool.ledger mp in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let _, pk3 = keypair 3 in
+  let op = Ledger.mint l ~value:1_000_000 ~spk:(p2wpkh pk) in
+  let tx_with_fee fee to_pk = spend_tx ~sk ~pk ~from:op ~value:(1_000_000 - fee) ~to_pk () in
+  check_b "original accepted" true (Mempool.submit mp (tx_with_fee 100_000 pk2) = Ok ());
+  (* conflicting tx with small fee increment: rejected by BIP-125 *)
+  check_b "insufficient replacement rejected" true
+    (Mempool.submit mp (tx_with_fee 100_001 pk3) = Error Mempool.Rbf_insufficient_fee);
+  (* paying more than the old fee plus relay for its own size: accepted *)
+  check_b "sufficient replacement accepted" true
+    (Mempool.submit mp (tx_with_fee 101_000 pk3) = Ok ());
+  check_i "pool holds one" 1 (Mempool.pool_size mp);
+  let confirmed = Mempool.tick mp in
+  (match confirmed with
+  | [ tx ] ->
+      check_b "the replacement confirmed" true
+        (List.exists
+           (fun (o : Tx.output) ->
+             o.spk = p2wpkh pk3)
+           tx.Tx.outputs)
+  | _ -> Alcotest.fail "expected one confirmation")
+
+let test_block_capacity () =
+  let config = { Mempool.default_config with block_vbytes = 300 } in
+  let mp = mk_mempool ~config () in
+  let l = Mempool.ledger mp in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  (* many independent txs, each ~100+ vbytes; only ~2 fit per block *)
+  let ops = List.init 6 (fun _ -> Ledger.mint l ~value:50_000 ~spk:(p2wpkh pk)) in
+  List.iter
+    (fun op ->
+      match Mempool.submit mp (spend_tx ~sk ~pk ~from:op ~value:49_000 ~to_pk:pk2 ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Mempool.submit_error_to_string e))
+    ops;
+  let b1 = List.length (Mempool.tick mp) in
+  check_b "capacity limits block" true (b1 < 6 && b1 >= 1);
+  let total = ref b1 in
+  for _ = 1 to 5 do
+    total := !total + List.length (Mempool.tick mp)
+  done;
+  check_i "all eventually confirm" 6 !total
+
+let test_higher_feerate_first () =
+  let mp = mk_mempool ~config:{ Mempool.default_config with block_vbytes = 150 } () in
+  let l = Mempool.ledger mp in
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let op_lo = Ledger.mint l ~value:50_000 ~spk:(p2wpkh pk) in
+  let op_hi = Ledger.mint l ~value:50_000 ~spk:(p2wpkh pk) in
+  let lo = spend_tx ~sk ~pk ~from:op_lo ~value:49_800 ~to_pk:pk2 () in
+  let hi = spend_tx ~sk ~pk ~from:op_hi ~value:40_000 ~to_pk:pk2 () in
+  check_b "lo in" true (Mempool.submit mp lo = Ok ());
+  check_b "hi in" true (Mempool.submit mp hi = Ok ());
+  (match Mempool.tick mp with
+  | [ tx ] -> check_b "high feerate first" true (Tx.txid tx = Tx.txid hi)
+  | _ -> Alcotest.fail "expected exactly one tx in the tight block");
+  ignore (Mempool.tick mp)
+
+let prop_delay_never_negative =
+  QCheck.Test.make ~name:"post accepts any delay value" ~count:100
+    QCheck.(int_range (-5) 50)
+    (fun d ->
+      let l = Ledger.create ~delta:3 () in
+      let sk, pk = keypair 1 in
+      let op = Ledger.mint l ~value:10 ~spk:(p2wpkh pk) in
+      let tx = spend_tx ~sk ~pk ~from:op ~value:10 ~to_pk:pk () in
+      Ledger.post l tx ~delay:d;
+      for _ = 1 to 4 do ignore (Ledger.tick l) done;
+      (* whatever the requested delay, the tx lands within delta *)
+      not (Ledger.is_unspent l op))
+
+(* Safety under fuzzing: random conflicting submissions and block
+   production never confirm a double spend, and ledger value never
+   increases. *)
+let prop_no_double_spend =
+  QCheck.Test.make ~name:"mempool never confirms double spends" ~count:50
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (n_txs, seed) ->
+      let n_txs = 2 + (n_txs mod 12) in
+      let rng = Rng.create ~seed:(seed + 1) in
+      let mp = mk_mempool ~config:{ Mempool.default_config with block_vbytes = 400 } () in
+      let l = Mempool.ledger mp in
+      let sk, pk = keypair 1 in
+      let _, pk2 = keypair 2 in
+      (* a few UTXOs, many conflicting spends of them *)
+      let ops = Array.init 3 (fun _ -> Ledger.mint l ~value:100_000 ~spk:(p2wpkh pk)) in
+      let minted = Ledger.total_value l in
+      for k = 1 to n_txs do
+        let op = ops.(Rng.int rng 3) in
+        let fee = 500 + Rng.int rng 50_000 in
+        let tx = spend_tx ~sk ~pk ~from:op ~value:(100_000 - fee) ~to_pk:pk2 () in
+        ignore (Mempool.submit mp tx);
+        if k mod 3 = 0 then ignore (Mempool.tick mp)
+      done;
+      for _ = 1 to 6 do
+        ignore (Mempool.tick mp)
+      done;
+      (* each original outpoint spent at most once, value only shrank
+         (fees), never grew *)
+      Array.for_all
+        (fun op ->
+          match Ledger.spender_of l op with
+          | None -> true
+          | Some _ -> not (Ledger.is_unspent l op))
+        ops
+      && Ledger.total_value l <= minted)
+
+let () =
+  Alcotest.run "daric-ledger"
+    [ ( "uc-ledger",
+        [ Alcotest.test_case "mint and spend" `Quick test_mint_and_spend;
+          Alcotest.test_case "adversarial delay" `Quick test_adversarial_delay;
+          Alcotest.test_case "validity checks" `Quick test_validity_checks;
+          Alcotest.test_case "locktime classes" `Quick test_locktime_classes;
+          Alcotest.test_case "double spend" `Quick test_double_spend;
+          QCheck_alcotest.to_alcotest prop_delay_never_negative ] );
+      ( "mempool",
+        [ Alcotest.test_case "fees and min relay" `Quick test_fee_and_minrelay;
+          Alcotest.test_case "rbf rules" `Quick test_rbf_rules;
+          Alcotest.test_case "block capacity" `Quick test_block_capacity;
+          Alcotest.test_case "feerate priority" `Quick test_higher_feerate_first;
+          QCheck_alcotest.to_alcotest prop_no_double_spend ] ) ]

@@ -1,0 +1,90 @@
+(* Nested channels (Section 8): a k-deep stack of Daric channels built
+   off-chain on top of one funding output, closed level by level on the
+   ledger — and the O(1)-per-level transaction growth of Table 1. *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Nesting = Daric_core.Nesting
+module Rng = Daric_util.Rng
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let test_stack_closes ~depth () =
+  let ledger = Ledger.create ~delta:1 () in
+  let rng = Rng.create ~seed:(90 + depth) in
+  let stack = Nesting.build ledger ~rng ~depth ~value:100_000 () in
+  let posted = Nesting.close_on_chain stack ledger in
+  check_i "two on-chain txs per level" (2 * depth) (List.length posted);
+  (* the innermost split pays the final balances *)
+  let final = List.nth posted ((2 * depth) - 1) in
+  check_b "final balances on chain" true
+    (List.map (fun (o : Tx.output) -> o.value) final.Tx.outputs
+    = [ 50_000; 50_000 ]);
+  (* value is conserved through every level *)
+  List.iter
+    (fun tx -> check_i "value conserved" 100_000 (Tx.total_output_value tx))
+    posted
+
+let test_depth_1 () = test_stack_closes ~depth:1 ()
+let test_depth_3 () = test_stack_closes ~depth:3 ()
+let test_depth_6 () = test_stack_closes ~depth:6 ()
+
+let test_commit_blocked_before_delay () =
+  (* the child's commit cannot fire before the parent level settled:
+     it needs the parent split's output to exist at all *)
+  let ledger = Ledger.create ~delta:1 () in
+  let rng = Rng.create ~seed:7 in
+  let stack = Nesting.build ledger ~rng ~depth:2 ~value:50_000 () in
+  match stack.Nesting.levels with
+  | [ outer; inner ] ->
+      let commit_outer = Nesting.completed_commit outer ~funding:stack.Nesting.base_funding in
+      Ledger.post ledger commit_outer ~delay:0;
+      ignore (Ledger.tick ledger);
+      (* split blocked by CSV *)
+      let split_outer =
+        Nesting.completed_split outer
+          ~commit_outpoint:(Tx.outpoint_of commit_outer 0)
+      in
+      check_b "outer split blocked before T" true
+        (Ledger.validate ledger split_outer <> Ok ());
+      (* the INNER commit cannot spend the outer commit output either:
+         its witness carries the inner 2-of-2 funding script, which does
+         not hash to the outer commit's script *)
+      let commit_inner =
+        Nesting.completed_commit inner ~funding:(Tx.outpoint_of commit_outer 0)
+      in
+      check_b "inner commit cannot jump a level" true
+        (Ledger.validate ledger commit_inner <> Ok ())
+  | _ -> Alcotest.fail "expected two levels"
+
+let test_tx_growth () =
+  (* Table 1, "# of Txs" column: Daric grows linearly with the number
+     of stacked applications, state-duplicating schemes exponentially *)
+  check_i "daric k=1" 3 (Nesting.txs_daric 1);
+  check_i "daric k=8" 24 (Nesting.txs_daric 8);
+  check_i "duplication k=1" 3 (Nesting.txs_with_state_duplication 1);
+  check_i "duplication k=8" 511 (Nesting.txs_with_state_duplication 8);
+  check_b "daric asymptotically cheaper" true
+    (Nesting.txs_daric 12 < Nesting.txs_with_state_duplication 12)
+
+let prop_any_depth_closes =
+  QCheck.Test.make ~name:"stacks of any depth close correctly" ~count:10
+    QCheck.(int_range 1 5)
+    (fun depth ->
+      let ledger = Ledger.create ~delta:1 () in
+      let rng = Rng.create ~seed:depth in
+      let stack = Nesting.build ledger ~rng ~depth ~value:64_000 () in
+      let posted = Nesting.close_on_chain stack ledger in
+      List.length posted = 2 * depth)
+
+let () =
+  Alcotest.run "daric-nesting"
+    [ ( "nesting",
+        [ Alcotest.test_case "depth 1" `Quick test_depth_1;
+          Alcotest.test_case "depth 3" `Quick test_depth_3;
+          Alcotest.test_case "depth 6" `Quick test_depth_6;
+          Alcotest.test_case "level isolation" `Quick
+            test_commit_blocked_before_delay;
+          Alcotest.test_case "tx growth O(k) vs O(2^k)" `Quick test_tx_growth;
+          QCheck_alcotest.to_alcotest prop_any_depth_closes ] ) ]

@@ -1,0 +1,171 @@
+(* Persistence tests: a party restarted from its constant-size blob
+   can keep updating, close, and punish — the operational form of the
+   Table 1 O(1)-storage claim. *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Txs = Daric_core.Txs
+module Persist = Daric_core.Persist
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let session ?(seed = 5) () =
+  let d = Driver.create ~delta:1 ~seed () in
+  let alice = Party.create ~pid:"alice" ~seed:(seed + 1) () in
+  let bob = Party.create ~pid:"bob" ~seed:(seed + 2) () in
+  Driver.add_party d alice;
+  Driver.add_party d bob;
+  Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:60_000 ~bal_b:40_000 ();
+  assert (Driver.run_until_operational d ~id:"c" ~alice ~bob);
+  (d, alice, bob)
+
+let do_update d alice bob ~bal_a =
+  let c = Party.chan_exn alice "c" in
+  let pk_a, pk_b = Party.main_pks c in
+  let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a ~bal_b:(100_000 - bal_a) in
+  Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta
+
+let test_blob_roundtrip () =
+  let d, alice, bob = session () in
+  assert (do_update d alice bob ~bal_a:55_000);
+  let c = Party.chan_exn alice "c" in
+  match Persist.encode_chan c with
+  | Error e -> Alcotest.fail e
+  | Ok blob ->
+      let fresh = Party.create ~pid:"alice" ~seed:99 () in
+      (match Persist.restore_chan fresh blob with
+      | Error e -> Alcotest.fail e
+      | Ok () ->
+          let c' = Party.chan_exn fresh "c" in
+          check_i "sn restored" c.Party.sn c'.Party.sn;
+          check_b "state restored" true (Party.outputs_equal c.Party.st c'.Party.st);
+          check_b "keys restored" true
+            (c.Party.keys.Daric_core.Keys.main.sk
+            = c'.Party.keys.Daric_core.Keys.main.sk);
+          check_b "funding restored" true
+            (Tx.txid (Option.get c.Party.fund) = Tx.txid (Option.get c'.Party.fund));
+          check_b "revocation sigs restored" true
+            (c.Party.rev_sig_theirs = c'.Party.rev_sig_theirs))
+
+let test_blob_size_constant () =
+  let d, alice, bob = session () in
+  assert (do_update d alice bob ~bal_a:59_000);
+  let size_at_1 =
+    match Persist.blob_size (Party.chan_exn alice "c") with
+    | Ok n -> n
+    | Error e -> Alcotest.fail e
+  in
+  for k = 2 to 30 do
+    assert (do_update d alice bob ~bal_a:(60_000 - (100 * k)))
+  done;
+  let size_at_30 =
+    match Persist.blob_size (Party.chan_exn alice "c") with
+    | Ok n -> n
+    | Error e -> Alcotest.fail e
+  in
+  check_i "blob size constant across updates" size_at_1 size_at_30;
+  check_b "blob is small" true (size_at_30 < 2_500)
+
+(* The restored party continues operating: more updates and a close. *)
+let test_restored_party_operates () =
+  let d, alice, bob = session () in
+  assert (do_update d alice bob ~bal_a:50_000);
+  let blob =
+    match Persist.encode_chan (Party.chan_exn alice "c") with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  (* simulate a restart: replace alice by a fresh process sharing only
+     the blob; re-register under the same network identity *)
+  let alice2 = Party.create ~pid:"alice" ~seed:1234 () in
+  (match Persist.restore_chan alice2 blob with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let d2 = d in
+  (* swap the party object inside the driver by corrupting the old one
+     and driving the new one manually *)
+  Driver.corrupt d2 "alice";
+  (* the restored party can still enforce the latest state on chain *)
+  Party.force_close alice2 (Driver.ctx d2 "alice") (Party.chan_exn alice2 "c");
+  for _ = 1 to 15 do
+    Driver.step d2;
+    Party.end_of_round alice2 (Driver.ctx d2 "alice")
+  done;
+  check_b "restored party closed on chain" true
+    (Driver.saw_event alice2 (function Party.Closed _ -> true | _ -> false));
+  ignore bob
+
+(* The restored party can still punish. *)
+let test_restored_party_punishes () =
+  let d, alice, bob = session ~seed:11 () in
+  let old_commit = Option.get (Party.chan_exn bob "c").Party.commit_mine in
+  assert (do_update d alice bob ~bal_a:90_000);
+  let blob =
+    match Persist.encode_chan (Party.chan_exn alice "c") with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let alice2 = Party.create ~pid:"alice" ~seed:4321 () in
+  (match Persist.restore_chan alice2 blob with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Driver.corrupt d "alice";
+  Driver.corrupt d "bob";
+  Driver.adversary_post d old_commit;
+  for _ = 1 to 10 do
+    Driver.step d;
+    Party.end_of_round alice2 (Driver.ctx d "alice")
+  done;
+  check_b "restored party punished the replay" true
+    (Driver.saw_event alice2 (function Party.Punished _ -> true | _ -> false));
+  let rv = Option.get (Party.chan_exn alice2 "c").Party.punish_posted in
+  check_i "full capacity recovered" 100_000 (Tx.total_output_value rv)
+
+let test_reject_malformed () =
+  let d, alice, bob = session ~seed:21 () in
+  assert (do_update d alice bob ~bal_a:50_000);
+  let blob =
+    match Persist.encode_chan (Party.chan_exn alice "c") with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let fresh () = Party.create ~pid:"x" ~seed:7 () in
+  check_b "truncated rejected" true
+    (Persist.restore_chan (fresh ())
+       (String.sub blob 0 (String.length blob - 3))
+    |> Result.is_error);
+  check_b "padded rejected" true
+    (Persist.restore_chan (fresh ()) (blob ^ "zz") |> Result.is_error);
+  check_b "bad magic rejected" true
+    (Persist.restore_chan (fresh ()) ("XXXXXXX" ^ String.sub blob 7 (String.length blob - 7))
+    |> Result.is_error);
+  let p = fresh () in
+  check_b "first restore ok" true (Persist.restore_chan p blob |> Result.is_ok);
+  check_b "duplicate rejected" true
+    (Persist.restore_chan p blob |> Result.is_error)
+
+let test_reject_mid_update () =
+  let d, alice, bob = session ~seed:31 () in
+  let c = Party.chan_exn alice "c" in
+  let pk_a, pk_b = Party.main_pks c in
+  let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:10_000 ~bal_b:90_000 in
+  Party.request_update alice (Driver.ctx d "alice") ~id:"c" ~theta ();
+  Driver.step d;
+  check_b "mid-update persist refused" true
+    (Persist.encode_chan (Party.chan_exn alice "c") |> Result.is_error);
+  ignore bob
+
+let () =
+  Alcotest.run "daric-persist"
+    [ ( "persist",
+        [ Alcotest.test_case "roundtrip" `Quick test_blob_roundtrip;
+          Alcotest.test_case "constant blob size" `Quick test_blob_size_constant;
+          Alcotest.test_case "restored party closes" `Quick
+            test_restored_party_operates;
+          Alcotest.test_case "restored party punishes" `Quick
+            test_restored_party_punishes;
+          Alcotest.test_case "malformed rejected" `Quick test_reject_malformed;
+          Alcotest.test_case "mid-update refused" `Quick test_reject_mid_update ] ) ]

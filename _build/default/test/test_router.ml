@@ -1,0 +1,115 @@
+(* PCN router tests: route finding under liquidity constraints,
+   payment execution over real Daric channels, rerouting around
+   offline nodes, and liquidity shifting as payments flow. *)
+
+module Tx = Daric_tx.Tx
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Router = Daric_pcn.Router
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* Build this network (all channels 50k/50k):
+
+      n0 --- n1 --- n2 --- n3
+       \                  /
+        +------ n4 ------+          *)
+let build () =
+  let d = Driver.create ~delta:1 ~seed:101 () in
+  let nodes =
+    Array.init 5 (fun i ->
+        let p = Party.create ~pid:(Fmt.str "n%d" i) ~seed:(200 + i) () in
+        Driver.add_party d p;
+        p)
+  in
+  let r = Router.create d in
+  let link i j =
+    let id = Fmt.str "e%d%d" i j in
+    Driver.open_channel d ~id ~alice:nodes.(i) ~bob:nodes.(j) ~bal_a:50_000
+      ~bal_b:50_000 ();
+    assert (Driver.run_until_operational d ~id ~alice:nodes.(i) ~bob:nodes.(j));
+    Router.add_channel r ~channel_id:id ~a:nodes.(i) ~b:nodes.(j)
+  in
+  link 0 1;
+  link 1 2;
+  link 2 3;
+  link 0 4;
+  link 4 3;
+  (d, nodes, r)
+
+let test_shortest_route () =
+  let _, nodes, r = build () in
+  match Router.find_route r ~src:nodes.(0) ~dst:nodes.(3) ~amount:10_000 () with
+  | None -> Alcotest.fail "no route"
+  | Some route ->
+      check_i "two hops via n4" 2 (List.length route)
+
+let test_liquidity_constraint () =
+  let _, nodes, r = build () in
+  (* 60k exceeds every single channel's 50k side *)
+  check_b "oversized payment unroutable" true
+    (Router.find_route r ~src:nodes.(0) ~dst:nodes.(3) ~amount:60_000 () = None);
+  check_b "exact liquidity routable" true
+    (Router.find_route r ~src:nodes.(0) ~dst:nodes.(3) ~amount:50_000 () <> None)
+
+let test_payment_end_to_end () =
+  let _, nodes, r = build () in
+  let res =
+    Router.pay r ~src:nodes.(0) ~dst:nodes.(3) ~amount:20_000
+      ~preimage:"invoice-1" ()
+  in
+  check_b "delivered" true res.Router.delivered;
+  check_i "one attempt" 1 res.Router.attempts;
+  (* liquidity moved: n0 spent 20k, n3 gained 20k *)
+  check_i "n0 liquidity down" (100_000 - 20_000) (Router.node_liquidity r "n0");
+  check_i "n3 liquidity up" (100_000 + 20_000) (Router.node_liquidity r "n3")
+
+let test_reroute_around_offline () =
+  let d, nodes, r = build () in
+  (* n4 goes offline: the short route dies, BFS finds n1-n2 *)
+  Driver.corrupt d "n4";
+  (match Router.find_route r ~src:nodes.(0) ~dst:nodes.(3) ~amount:10_000 () with
+  | None -> Alcotest.fail "no route around offline node"
+  | Some route -> check_i "three hops via n1,n2" 3 (List.length route));
+  let res =
+    Router.pay r ~src:nodes.(0) ~dst:nodes.(3) ~amount:10_000
+      ~preimage:"invoice-2" ()
+  in
+  check_b "delivered around offline node" true res.Router.delivered;
+  check_i "long route used" 3 res.Router.route_length
+
+let test_liquidity_exhaustion_reroutes () =
+  let _, nodes, r = build () in
+  (* drain the n0->n4 direction with two 25k payments, then pay again:
+     the third must go via n1-n2 *)
+  let pay k =
+    Router.pay r ~src:nodes.(0) ~dst:nodes.(3) ~amount:25_000
+      ~preimage:(Fmt.str "inv-%d" k) ()
+  in
+  let r1 = pay 1 and r2 = pay 2 in
+  check_b "first two delivered" true (r1.Router.delivered && r2.Router.delivered);
+  let r3 = pay 3 in
+  check_b "third delivered" true r3.Router.delivered;
+  check_i "third took the long route" 3 r3.Router.route_length;
+  let att, ok = Router.stats r in
+  check_b "stats track" true (att = 3 && ok = 3)
+
+let test_unknown_destination () =
+  let d, nodes, r = build () in
+  let stranger = Party.create ~pid:"stranger" ~seed:999 () in
+  Driver.add_party d stranger;
+  check_b "unreachable destination" true
+    (Router.find_route r ~src:nodes.(0) ~dst:stranger ~amount:1 () = None)
+
+let () =
+  Alcotest.run "daric-router"
+    [ ( "router",
+        [ Alcotest.test_case "shortest route" `Quick test_shortest_route;
+          Alcotest.test_case "liquidity constraint" `Quick test_liquidity_constraint;
+          Alcotest.test_case "payment end-to-end" `Quick test_payment_end_to_end;
+          Alcotest.test_case "reroute around offline" `Quick
+            test_reroute_around_offline;
+          Alcotest.test_case "liquidity exhaustion" `Quick
+            test_liquidity_exhaustion_reroutes;
+          Alcotest.test_case "unknown destination" `Quick test_unknown_destination ] ) ]

@@ -1,0 +1,219 @@
+(* Script interpreter tests: stack semantics, conditionals, multisig,
+   timelocks, and the Appendix-H byte-size conventions. *)
+
+module Script = Daric_script.Script
+module Interp = Daric_script.Interp
+module Schnorr = Daric_crypto.Schnorr
+module Rng = Daric_util.Rng
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let no_sig ~pk_bytes:_ ~sig_bytes:_ = false
+
+let ctx ?(check_sig = no_sig) ?(tx_locktime = 0) ?(input_age = 0) () =
+  { Interp.check_sig; tx_locktime; input_age }
+
+let ok script stack = Interp.run (ctx ()) script stack = Ok ()
+let run_with c script stack = Interp.run c script stack
+
+let test_push_equal () =
+  check_b "equal true" true (ok [ Script.Push "x"; Push "x"; Equal ] []);
+  check_b "equal false ends false" true
+    (run_with (ctx ()) [ Script.Push "x"; Push "y"; Equal ] []
+    = Error Interp.False_final_stack);
+  check_b "equalverify passes" true
+    (ok [ Script.Push "x"; Push "x"; Equalverify; Small 1 ] []);
+  check_b "equalverify fails" true
+    (run_with (ctx ()) [ Script.Push "x"; Push "y"; Equalverify; Small 1 ] []
+    = Error Interp.Verify_failed)
+
+let test_stack_ops () =
+  check_b "dup" true (ok [ Script.Push "a"; Dup; Equal ] []);
+  check_b "drop" true (ok [ Script.Small 1; Push "junk"; Drop ] []);
+  check_b "swap" true
+    (ok [ Script.Push "a"; Push "b"; Swap; Push "a"; Equalverify; Small 1; Drop; Small 1 ] []);
+  check_b "size" true
+    (ok [ Script.Push "abc"; Size; Small 3; Equalverify; Drop; Small 1 ] []);
+  check_b "underflow" true
+    (run_with (ctx ()) [ Script.Drop ] [] = Error Interp.Stack_underflow)
+
+let test_truthiness () =
+  check_b "empty is false" true
+    (run_with (ctx ()) [ Script.Push "" ] [] = Error Interp.False_final_stack);
+  check_b "zero bytes are false" true
+    (run_with (ctx ()) [ Script.Push "\000\000" ] []
+    = Error Interp.False_final_stack);
+  check_b "nonzero is true" true (ok [ Script.Push "\000\001" ] []);
+  check_b "empty final stack" true
+    (run_with (ctx ()) [] [] = Error Interp.Empty_final_stack)
+
+let test_conditionals () =
+  let branch sel =
+    [ Script.If; Push "then"; Else; Push "else"; Endif; Push "then"; Equal ]
+    |> fun s -> run_with (ctx ()) s [ sel ]
+  in
+  check_b "true branch" true (branch "\001" = Ok ());
+  check_b "false branch" true (branch "" = Error Interp.False_final_stack);
+  check_b "notif" true (ok [ Script.Notif; Small 1; Else; Small 0; Endif ] [ "" ]);
+  check_b "nested" true
+    (ok
+       [ Script.If; If; Small 1; Else; Small 0; Endif; Else; Small 0; Endif ]
+       [ "\001"; "\001" ]);
+  check_b "unbalanced detected" true
+    (run_with (ctx ()) [ Script.If; Small 1 ] [ "\001" ]
+    = Error Interp.Unbalanced_conditional);
+  check_b "op_return aborts" true
+    (run_with (ctx ()) [ Script.Return ] [] = Error Interp.Op_return)
+
+let test_hash_opcodes () =
+  let h = Daric_crypto.Sha256.digest "data" in
+  check_b "sha256" true (ok [ Script.Push "data"; Sha256; Push h; Equal ] []);
+  let h2 = Daric_crypto.Hash.hash256 "data" in
+  check_b "hash256" true (ok [ Script.Push "data"; Hash256; Push h2; Equal ] []);
+  let h160 = Daric_crypto.Hash.hash160 "data" in
+  check_b "hash160" true (ok [ Script.Push "data"; Hash160; Push h160; Equal ] [])
+
+(* A check_sig closure backed by real Schnorr keys. *)
+let sig_env () =
+  let rng = Rng.create ~seed:11 in
+  let sk1, pk1 = Schnorr.keygen rng in
+  let sk2, pk2 = Schnorr.keygen rng in
+  let msg = "spend-me" in
+  let check_sig ~pk_bytes ~sig_bytes = Schnorr.verify_bytes pk_bytes msg sig_bytes in
+  let enc = Schnorr.encode_public_key in
+  ( ctx ~check_sig (),
+    enc pk1,
+    enc pk2,
+    Schnorr.sign_bytes sk1 msg,
+    Schnorr.sign_bytes sk2 msg )
+
+let test_checksig () =
+  let c, pk1, _, sig1, sig2 = sig_env () in
+  check_b "valid" true (run_with c [ Script.Push pk1; Checksig ] [ sig1 ] = Ok ());
+  check_b "wrong sig" true
+    (run_with c [ Script.Push pk1; Checksig ] [ sig2 ]
+    = Error Interp.False_final_stack);
+  check_b "checksigverify" true
+    (run_with c [ Script.Push pk1; Checksigverify; Small 1 ] [ sig1 ] = Ok ())
+
+let test_multisig () =
+  let c, pk1, pk2, sig1, sig2 = sig_env () in
+  let ms = [ Script.Small 2; Push pk1; Push pk2; Small 2; Checkmultisig ] in
+  (* The interpreter's initial stack lists the top first: the witness
+     (dummy, sig1, sig2) bottom-to-top arrives as [sig2; sig1; dummy]. *)
+  check_b "2-of-2 valid" true (run_with c ms [ sig2; sig1; "" ] = Ok ());
+  check_b "order matters" true
+    (run_with c ms [ sig1; sig2; "" ] = Error Interp.False_final_stack);
+  check_b "missing dummy underflows" true
+    (run_with c ms [ sig2; sig1 ] = Error Interp.Stack_underflow);
+  let ms12 = [ Script.Small 1; Push pk1; Push pk2; Small 2; Checkmultisig ] in
+  check_b "1-of-2 with first key" true (run_with c ms12 [ sig1; "" ] = Ok ());
+  check_b "1-of-2 with second key" true (run_with c ms12 [ sig2; "" ] = Ok ());
+  let bad = [ Script.Small 3; Push pk1; Push pk2; Small 2; Checkmultisig ] in
+  check_b "m > n rejected" true
+    (run_with c bad [ sig2; sig2; sig1; "" ] = Error Interp.Bad_multisig_arity)
+
+let test_cltv () =
+  let script t = [ Script.Num t; Cltv; Drop; Small 1 ] in
+  check_b "locktime satisfied" true
+    (run_with (ctx ~tx_locktime:100 ()) (script 50) [] = Ok ());
+  check_b "locktime equal ok" true
+    (run_with (ctx ~tx_locktime:50 ()) (script 50) [] = Ok ());
+  check_b "locktime too small" true
+    (run_with (ctx ~tx_locktime:49 ()) (script 50) []
+    = Error Interp.Locktime_not_satisfied);
+  (* class mismatch: height-class param vs timestamp-class nLockTime *)
+  check_b "class mismatch rejected" true
+    (run_with (ctx ~tx_locktime:600_000_000 ()) (script 50) []
+    = Error Interp.Locktime_not_satisfied);
+  check_b "timestamp class ok" true
+    (run_with (ctx ~tx_locktime:600_000_000 ()) (script 500_000_123) [] = Ok ())
+
+let test_csv () =
+  let script t = [ Script.Num t; Csv; Drop; Small 1 ] in
+  check_b "age satisfied" true (run_with (ctx ~input_age:5 ()) (script 3) [] = Ok ());
+  check_b "age equal" true (run_with (ctx ~input_age:3 ()) (script 3) [] = Ok ());
+  check_b "age too young" true
+    (run_with (ctx ~input_age:2 ()) (script 3) []
+    = Error Interp.Sequence_not_satisfied)
+
+(* Appendix-H size conventions. *)
+let test_sizes () =
+  let pk = String.make 33 'k' in
+  check_i "2-of-2 multisig script is 71 bytes" 71
+    (Script.size (Script.multisig_2 pk pk));
+  check_i "p2pk script is 35 bytes" 35 (Script.size (Script.p2pk pk));
+  check_i "commit script is 157 bytes" 157
+    (Script.size
+       (Daric_core.Txs.commit_script ~abs_lock:500_000_000 ~rel_lock:144
+          ~rev_pk1:1 ~rev_pk2:1 ~spl_pk1:1 ~spl_pk2:1))
+
+let test_serialize_injective () =
+  let s1 = [ Script.Push "ab"; Small 2 ] in
+  let s2 = [ Script.Push "a"; Push "b"; Small 2 ] in
+  check_b "distinct scripts hash differently" true (Script.hash s1 <> Script.hash s2)
+
+let prop_small_push_roundtrip =
+  QCheck.Test.make ~name:"item_of_int/int_of_item roundtrip" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun v -> Interp.int_of_item (Interp.item_of_int v) = v)
+
+(* Fuzz: arbitrary scripts on arbitrary stacks never escape the
+   Result type — the interpreter is total. *)
+let gen_op : Script.op QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> Script.Push s) (string_size (0 -- 40));
+        map (fun v -> Script.Num v) (0 -- 1_000_000_000);
+        map (fun v -> Script.Small v) (0 -- 16);
+        oneofl
+          [ Script.If; Notif; Else; Endif; Verify; Return; Dup; Drop; Swap;
+            Size; Equal; Equalverify; Hash160; Hash256; Sha256; Ripemd160;
+            Checksig; Checksigverify; Checkmultisig; Checkmultisigverify;
+            Cltv; Csv ] ])
+
+let prop_interp_total =
+  QCheck.Test.make ~name:"interpreter never raises" ~count:2000
+    QCheck.(
+      pair
+        (make Gen.(list_size (0 -- 30) gen_op))
+        (list_of_size Gen.(0 -- 8) (string_of_size Gen.(0 -- 8))))
+    (fun (script, stack) ->
+      match
+        Interp.run
+          { Interp.check_sig = (fun ~pk_bytes:_ ~sig_bytes:_ -> false);
+            tx_locktime = 17;
+            input_age = 3 }
+          script stack
+      with
+      | Ok () | Error _ -> true)
+
+let prop_serialize_stable =
+  QCheck.Test.make ~name:"script hash deterministic" ~count:300
+    QCheck.(make Gen.(list_size (0 -- 20) gen_op))
+    (fun script -> Script.hash script = Script.hash script)
+
+let () =
+  Alcotest.run "daric-script"
+    [ ( "stack",
+        [ Alcotest.test_case "push/equal" `Quick test_push_equal;
+          Alcotest.test_case "stack ops" `Quick test_stack_ops;
+          Alcotest.test_case "truthiness" `Quick test_truthiness ] );
+      ( "control",
+        [ Alcotest.test_case "conditionals" `Quick test_conditionals;
+          Alcotest.test_case "hash opcodes" `Quick test_hash_opcodes ] );
+      ( "signatures",
+        [ Alcotest.test_case "checksig" `Quick test_checksig;
+          Alcotest.test_case "multisig" `Quick test_multisig ] );
+      ( "timelocks",
+        [ Alcotest.test_case "cltv" `Quick test_cltv;
+          Alcotest.test_case "csv" `Quick test_csv ] );
+      ( "sizes",
+        [ Alcotest.test_case "appendix-H sizes" `Quick test_sizes;
+          Alcotest.test_case "injective serialization" `Quick
+            test_serialize_injective;
+          QCheck_alcotest.to_alcotest prop_small_push_roundtrip ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest prop_interp_total;
+          QCheck_alcotest.to_alcotest prop_serialize_stable ] ) ]

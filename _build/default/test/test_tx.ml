@@ -1,0 +1,323 @@
+(* Transaction-layer tests: txids, sighash flags (floating
+   transactions), witness verification and weight accounting against
+   the Appendix-H closed forms. *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Spend = Daric_tx.Spend
+module Script = Daric_script.Script
+module Schnorr = Daric_crypto.Schnorr
+module Txs = Daric_core.Txs
+module Keys = Daric_core.Keys
+module Rng = Daric_util.Rng
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let dummy_outpoint c = { Tx.txid = String.make 32 c; vout = 0 }
+
+let p2wpkh_out value pk =
+  { Tx.value;
+    spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key pk)) }
+
+let test_txid_excludes_witness () =
+  let rng = Rng.create ~seed:1 in
+  let _, pk = Schnorr.keygen rng in
+  let tx =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 7;
+      outputs = [ p2wpkh_out 100 pk ];
+      witnesses = [] }
+  in
+  let tx' = { tx with Tx.witnesses = [ [ Tx.Data "w" ] ] } in
+  check_b "same txid with/without witness" true (Tx.txid tx = Tx.txid tx');
+  let tx'' = { tx with Tx.locktime = 8 } in
+  check_b "locktime changes txid" true (Tx.txid tx <> Tx.txid tx'')
+
+let test_sighash_flags () =
+  let rng = Rng.create ~seed:2 in
+  let _, pk = Schnorr.keygen rng in
+  let mk inputs =
+    { Tx.inputs; locktime = 500_000_001; outputs = [ p2wpkh_out 5 pk ];
+      witnesses = [] }
+  in
+  let tx1 = mk [ Tx.input_of_outpoint (dummy_outpoint 'a') ] in
+  let tx2 = mk [ Tx.input_of_outpoint (dummy_outpoint 'b') ] in
+  check_b "SIGHASH_ALL covers inputs" true
+    (Sighash.message All tx1 ~input_index:0 <> Sighash.message All tx2 ~input_index:0);
+  check_b "ANYPREVOUT ignores inputs" true
+    (Sighash.message Anyprevout tx1 ~input_index:0
+    = Sighash.message Anyprevout tx2 ~input_index:0);
+  check_b "flags are domain-separated" true
+    (Sighash.message All tx1 ~input_index:0
+    <> Sighash.message Anyprevout tx1 ~input_index:0)
+
+let test_anyprevout_single () =
+  let rng = Rng.create ~seed:3 in
+  let _, pk = Schnorr.keygen rng in
+  let base =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 0;
+      outputs = [ p2wpkh_out 5 pk ];
+      witnesses = [] }
+  in
+  (* adding a fee output beyond the signed index does not change the
+     APO|SINGLE message (Section 8, fee handling) *)
+  let with_fee = { base with Tx.outputs = base.outputs @ [ p2wpkh_out 3 pk ] } in
+  check_b "extra output invisible to APO|SINGLE" true
+    (Sighash.message Anyprevout_single base ~input_index:0
+    = Sighash.message Anyprevout_single with_fee ~input_index:0);
+  check_b "but visible to plain APO" true
+    (Sighash.message Anyprevout base ~input_index:0
+    <> Sighash.message Anyprevout with_fee ~input_index:0)
+
+let test_p2wpkh_spend () =
+  let rng = Rng.create ~seed:4 in
+  let sk, pk = Schnorr.keygen rng in
+  let spent = p2wpkh_out 50 pk in
+  let tx =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 0;
+      outputs = [ p2wpkh_out 50 pk ];
+      witnesses = [] }
+  in
+  let sg = Sighash.sign sk All tx ~input_index:0 in
+  let tx =
+    { tx with
+      Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  in
+  check_b "valid spend" true
+    (Spend.verify_input tx ~input_index:0 ~spent ~input_age:0 = Ok ());
+  (* tampering with outputs invalidates the SIGHASH_ALL signature *)
+  let tampered = { tx with Tx.outputs = [ p2wpkh_out 49 pk ] } in
+  check_b "tampered outputs rejected" true
+    (Spend.verify_input tampered ~input_index:0 ~spent ~input_age:0 <> Ok ())
+
+let test_p2wsh_spend () =
+  let rng = Rng.create ~seed:5 in
+  let sk1, pk1 = Schnorr.keygen rng in
+  let sk2, pk2 = Schnorr.keygen rng in
+  let script =
+    Script.multisig_2 (Schnorr.encode_public_key pk1) (Schnorr.encode_public_key pk2)
+  in
+  let spent = { Tx.value = 50; spk = Tx.P2wsh (Script.hash script) } in
+  let tx =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 0;
+      outputs = [ p2wpkh_out 50 pk1 ];
+      witnesses = [] }
+  in
+  let s1 = Sighash.sign sk1 All tx ~input_index:0 in
+  let s2 = Sighash.sign sk2 All tx ~input_index:0 in
+  let good =
+    { tx with
+      Tx.witnesses = [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2; Tx.Wscript script ] ] }
+  in
+  check_b "valid multisig spend" true
+    (Spend.verify_input good ~input_index:0 ~spent ~input_age:0 = Ok ());
+  let wrong_script =
+    { tx with
+      Tx.witnesses =
+        [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2;
+            Tx.Wscript (Script.p2pk (Schnorr.encode_public_key pk1)) ] ] }
+  in
+  check_b "script hash mismatch" true
+    (Spend.verify_input wrong_script ~input_index:0 ~spent ~input_age:0
+    = Error Spend.Witness_script_mismatch);
+  let one_sig =
+    { tx with
+      Tx.witnesses = [ [ Tx.Data ""; Tx.Data s1; Tx.Data s1; Tx.Wscript script ] ] }
+  in
+  check_b "duplicated signature rejected" true
+    (Spend.verify_input one_sig ~input_index:0 ~spent ~input_age:0 <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Weight accounting: the Daric transactions we construct must weigh
+   exactly what Appendix H computes for them. *)
+
+let channel_txs () =
+  let rng = Rng.create ~seed:6 in
+  let keys_a = Keys.generate rng in
+  let keys_b = Keys.generate rng in
+  let pub_a = Keys.pub keys_a and pub_b = Keys.pub keys_b in
+  let fund =
+    Txs.gen_fund ~tid_a:(dummy_outpoint 'a') ~tid_b:(dummy_outpoint 'b')
+      ~cash:100 ~pk_a:pub_a.Keys.main_pk ~pk_b:pub_b.Keys.main_pk
+  in
+  let funding = Tx.outpoint_of fund 0 in
+  let cm_a, cm_b =
+    Txs.gen_commit ~funding ~value:100 ~keys_a:pub_a ~keys_b:pub_b
+      ~s0:500_000_000 ~i:3 ~rel_lock:144
+  in
+  (rng, keys_a, keys_b, pub_a, pub_b, fund, cm_a, cm_b)
+
+let test_commit_weight () =
+  let _, keys_a, keys_b, pub_a, pub_b, _, cm_a, _ = channel_txs () in
+  ignore keys_b;
+  let msg = Txs.commit_message cm_a in
+  let sig_a = Daric_tx.Sighash.sign_message keys_a.Keys.main.sk All msg in
+  let sig_b = Daric_tx.Sighash.sign_message keys_a.Keys.main.sk All msg in
+  let full =
+    Txs.complete_commit cm_a ~sig_a ~sig_b ~pk_a:pub_a.Keys.main_pk
+      ~pk_b:pub_b.Keys.main_pk
+  in
+  (* Appendix H.2/H.3: commit = 224 witness + 94 non-witness bytes. *)
+  check_i "commit witness bytes" 224 (Tx.witness_size full);
+  check_i "commit non-witness bytes" 94 (Tx.non_witness_size full);
+  check_i "commit weight" ((94 * 4) + 224) (Tx.weight full)
+
+let test_split_weight () =
+  let _, keys_a, keys_b, pub_a, pub_b, _, cm_a, _ = channel_txs () in
+  let theta =
+    Txs.balance_state ~pk_a:pub_a.Keys.main_pk ~pk_b:pub_b.Keys.main_pk
+      ~bal_a:40 ~bal_b:60
+  in
+  let split = Txs.gen_split ~theta ~s0:500_000_000 ~i:3 in
+  let msg = Txs.split_message split in
+  let sig_a = Daric_tx.Sighash.sign_message keys_a.Keys.sp.sk Anyprevout msg in
+  let sig_b = Daric_tx.Sighash.sign_message keys_b.Keys.sp.sk Anyprevout msg in
+  let script =
+    Txs.commit_script_of ~role:Keys.Alice ~keys_a:pub_a ~keys_b:pub_b
+      ~s0:500_000_000 ~i:3 ~rel_lock:144
+  in
+  let full =
+    Txs.complete_split split ~commit_outpoint:(Tx.outpoint_of cm_a 0)
+      ~commit_script:script ~sig_a ~sig_b
+  in
+  (* Appendix H.3: split (m = 0) = 311 witness + 113 non-witness. *)
+  check_i "split witness bytes" 311 (Tx.witness_size full);
+  check_i "split non-witness bytes" 113 (Tx.non_witness_size full)
+
+let test_revocation_weight () =
+  let _, keys_a, keys_b, pub_a, pub_b, _, _, cm_b = channel_txs () in
+  ignore keys_b;
+  let rv_a, _ =
+    Txs.gen_revoke ~pk_a:pub_a.Keys.main_pk ~pk_b:pub_b.Keys.main_pk ~cash:100
+      ~s0:500_000_000 ~revoked:3
+  in
+  let msg = Txs.revoke_message rv_a in
+  let sig1 = Daric_tx.Sighash.sign_message keys_a.Keys.rv'.sk Anyprevout msg in
+  let script =
+    Txs.commit_script_of ~role:Keys.Bob ~keys_a:pub_a ~keys_b:pub_b
+      ~s0:500_000_000 ~i:3 ~rel_lock:144
+  in
+  let full =
+    Txs.complete_revocation rv_a ~commit_outpoint:(Tx.outpoint_of cm_b 0)
+      ~commit_script:script ~sig1 ~sig2:sig1
+  in
+  (* Appendix H.3: revocation = 311 witness + 82 non-witness;
+     commit + revocation = 535 witness + 176 non-witness = 1239 WU. *)
+  check_i "revocation witness bytes" 311 (Tx.witness_size full);
+  check_i "revocation non-witness bytes" 82 (Tx.non_witness_size full);
+  check_i "dishonest-closure weight" 1239 ((4 * (94 + 82)) + 224 + 311)
+
+let test_vbytes_rounding () =
+  let _, _, _, _, _, fund, _, _ = channel_txs () in
+  check_i "vbytes = ceil(weight/4)" ((Tx.weight fund + 3) / 4) (Tx.vbytes fund)
+
+let test_fund_value_conservation () =
+  let _, _, _, _, _, fund, cm_a, _ = channel_txs () in
+  check_i "funding output holds the cash" 100 (Tx.total_output_value fund);
+  check_i "commit preserves value" 100 (Tx.total_output_value cm_a)
+
+(* ------------------------------------------------------------------ *)
+(* Fee handling (Section 8): attach a fee input/change to a
+   transaction whose channel input carries an ANYPREVOUT|SINGLE
+   signature. *)
+
+let test_fee_attach_preserves_apo_single () =
+  let rng = Rng.create ~seed:9 in
+  let sk, pk = Schnorr.keygen rng in
+  let fee_sk, fee_pk = Schnorr.keygen rng in
+  let base =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 0;
+      outputs = [ p2wpkh_out 500 pk ];
+      witnesses = [] }
+  in
+  (* channel signature with APO|SINGLE over (nLT, outputs[0]) *)
+  let chan_sig = Sighash.sign sk Anyprevout_single base ~input_index:0 in
+  let base =
+    { base with
+      Tx.witnesses = [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  in
+  let spent = p2wpkh_out 500 pk in
+  check_b "base tx valid" true
+    (Spend.verify_input base ~input_index:0 ~spent ~input_age:0 = Ok ());
+  let with_fee =
+    Daric_tx.Fee.attach base ~source:(dummy_outpoint 'f') ~source_value:300
+      ~fee:100 ~key_sk:fee_sk
+  in
+  check_i "two inputs" 2 (List.length with_fee.Tx.inputs);
+  check_i "change output" 200 ((List.nth with_fee.Tx.outputs 1).Tx.value);
+  (* the ORIGINAL signature still verifies on input 0 of the new tx *)
+  check_b "channel input still valid" true
+    (Spend.verify_input with_fee ~input_index:0 ~spent ~input_age:0 = Ok ());
+  (* and the fee input verifies too *)
+  let fee_spent = p2wpkh_out 300 fee_pk in
+  check_b "fee input valid" true
+    (Spend.verify_input with_fee ~input_index:1 ~spent:fee_spent ~input_age:0
+    = Ok ());
+  check_i "fee computed" 100
+    (Daric_tx.Fee.paid ~input_values:[ 500; 300 ] with_fee)
+
+let test_fee_attach_breaks_sighash_all () =
+  (* control: a SIGHASH_ALL channel signature does NOT survive fee
+     attachment — exactly why the paper needs ANYPREVOUT|SINGLE here *)
+  let rng = Rng.create ~seed:10 in
+  let sk, pk = Schnorr.keygen rng in
+  let fee_sk, _ = Schnorr.keygen rng in
+  let base =
+    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
+      locktime = 0;
+      outputs = [ p2wpkh_out 500 pk ];
+      witnesses = [] }
+  in
+  let chan_sig = Sighash.sign sk All base ~input_index:0 in
+  let base =
+    { base with
+      Tx.witnesses = [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  in
+  let with_fee =
+    Daric_tx.Fee.attach base ~source:(dummy_outpoint 'f') ~source_value:300
+      ~fee:100 ~key_sk:fee_sk
+  in
+  let spent = p2wpkh_out 500 pk in
+  check_b "ALL signature invalidated" true
+    (Spend.verify_input with_fee ~input_index:0 ~spent ~input_age:0 <> Ok ())
+
+let test_fee_rejects_bad_fee () =
+  let rng = Rng.create ~seed:11 in
+  let sk, _ = Schnorr.keygen rng in
+  let base = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  check_b "fee > value rejected" true
+    (try
+       ignore
+         (Daric_tx.Fee.attach base ~source:(dummy_outpoint 'f') ~source_value:10
+            ~fee:11 ~key_sk:sk);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "daric-tx"
+    [ ( "txid",
+        [ Alcotest.test_case "witness excluded" `Quick test_txid_excludes_witness ] );
+      ( "sighash",
+        [ Alcotest.test_case "flags" `Quick test_sighash_flags;
+          Alcotest.test_case "anyprevout|single" `Quick test_anyprevout_single ] );
+      ( "spend",
+        [ Alcotest.test_case "p2wpkh" `Quick test_p2wpkh_spend;
+          Alcotest.test_case "p2wsh multisig" `Quick test_p2wsh_spend ] );
+      ( "weights",
+        [ Alcotest.test_case "commit" `Quick test_commit_weight;
+          Alcotest.test_case "split" `Quick test_split_weight;
+          Alcotest.test_case "revocation" `Quick test_revocation_weight;
+          Alcotest.test_case "vbytes" `Quick test_vbytes_rounding;
+          Alcotest.test_case "value conservation" `Quick
+            test_fund_value_conservation ] );
+      ( "fee",
+        [ Alcotest.test_case "apo|single survives" `Quick
+            test_fee_attach_preserves_apo_single;
+          Alcotest.test_case "sighash_all breaks" `Quick
+            test_fee_attach_breaks_sighash_all;
+          Alcotest.test_case "bad fee rejected" `Quick test_fee_rejects_bad_fee ] ) ]

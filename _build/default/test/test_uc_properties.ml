@@ -1,0 +1,270 @@
+(* Universal-composability-style property probes (Section 5.2 /
+   Appendix A): randomized adversarial schedules against the concrete
+   protocol, checking the four properties the ideal functionality F
+   guarantees — consensus on creation, consensus on update, bounded
+   closure with punish, and optimistic update — plus ledger value
+   conservation.
+
+   The environment/adversary here is the qcheck generator: it picks
+   balance trajectories, when the corrupted party deviates, which
+   historical state it replays, ledger delays, and at which protocol
+   step cooperation stops. *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Txs = Daric_core.Txs
+module Keys = Daric_core.Keys
+
+let check_b = Alcotest.(check bool)
+
+(* Sum of P2WPKH outputs spendable by [pk] in the UTXO set. *)
+let spendable_by (l : Ledger.t) (pk : Daric_crypto.Schnorr.public_key) : int =
+  let h = Daric_crypto.Hash.hash160 (Daric_crypto.Schnorr.encode_public_key pk) in
+  Ledger.fold_utxos l
+    (fun _ u acc ->
+      match u.Ledger.output.Tx.spk with
+      | Tx.P2wpkh h' when String.equal h h' -> acc + u.Ledger.output.Tx.value
+      | _ -> acc)
+    0
+
+type session = {
+  d : Driver.t;
+  alice : Party.t;
+  bob : Party.t;
+  mutable commits_bob : (int * Tx.t) list;  (** what a cheating Bob kept *)
+}
+
+let cash = 100_000
+
+let run_session ~seed ~delta ~n_updates ~balances : session =
+  let d = Driver.create ~delta ~seed () in
+  let alice = Party.create ~pid:"alice" ~seed:(seed + 1) () in
+  let bob = Party.create ~pid:"bob" ~seed:(seed + 2) () in
+  Driver.add_party d alice;
+  Driver.add_party d bob;
+  Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:(cash / 2) ~bal_b:(cash / 2)
+    ~rel_lock:(delta + 2) ();
+  if not (Driver.run_until_operational d ~id:"c" ~alice ~bob) then
+    failwith "session: channel failed to open";
+  let s = { d; alice; bob; commits_bob = [] } in
+  let c = Party.chan_exn alice "c" in
+  let pk_a, pk_b = Party.main_pks c in
+  for k = 1 to n_updates do
+    (* Bob (the future cheater) archives his current commit *)
+    let cb = Party.chan_exn bob "c" in
+    s.commits_bob <-
+      (cb.Party.sn, Option.get cb.Party.commit_mine) :: s.commits_bob;
+    let bal_a = List.nth balances ((k - 1) mod List.length balances) in
+    let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a ~bal_b:(cash - bal_a) in
+    if not (Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta)
+    then failwith "session: update failed"
+  done;
+  s
+
+let alice_balance (s : session) : int =
+  match (Party.chan_exn s.alice "c").Party.st with
+  | { Tx.value; _ } :: _ -> value
+  | [] -> 0
+
+(* Property: whatever revoked state Bob replays, and whatever ledger
+   delay the adversary chooses, Alice ends up with at least her latest
+   balance — in fact with the full capacity (punishment). *)
+let prop_balance_security =
+  QCheck.Test.make ~name:"punish secures the full capacity" ~count:25
+    QCheck.(quad (int_range 1 6) (int_range 1 3) (int_range 0 1000) small_nat)
+    (fun (n_updates, delta, bal_seed, replay_choice) ->
+      let balances =
+        List.init 5 (fun i -> 1_000 + ((bal_seed * (i + 3)) mod 98_000))
+      in
+      let s = run_session ~seed:(bal_seed + (7 * n_updates)) ~delta ~n_updates ~balances in
+      let c = Party.chan_exn s.alice "c" in
+      let pk_a, _ = Party.main_pks c in
+      (* Bob replays a random revoked commit *)
+      let idx = replay_choice mod List.length s.commits_bob in
+      let _, old_commit = List.nth s.commits_bob idx in
+      Driver.corrupt s.d "bob";
+      Driver.adversary_post s.d old_commit;
+      Driver.run s.d (delta + (Party.chan_exn s.alice "c").Party.cfg.rel_lock + 6);
+      Driver.saw_event s.alice (function Party.Punished _ -> true | _ -> false)
+      && spendable_by (Driver.ledger s.d) pk_a >= cash)
+
+(* Property: bounded closure — a unilateral close by either side
+   resolves within T + 2*delta + slack rounds and pays the latest
+   state. *)
+let prop_bounded_closure =
+  QCheck.Test.make ~name:"unilateral close is bounded and pays st" ~count:25
+    QCheck.(triple (int_range 0 5) (int_range 1 3) (int_range 0 1000))
+    (fun (n_updates, delta, bal_seed) ->
+      let balances = List.init 5 (fun i -> 2_000 + ((bal_seed * (i + 1)) mod 96_000)) in
+      let s = run_session ~seed:(bal_seed + 13) ~delta ~n_updates ~balances in
+      let entitled = alice_balance s in
+      let c = Party.chan_exn s.alice "c" in
+      let pk_a, _ = Party.main_pks c in
+      let t_rel = c.Party.cfg.rel_lock in
+      Driver.corrupt s.d "bob";
+      Party.request_close s.alice (Driver.ctx s.d "alice") ~id:"c";
+      (* close request times out -> ForceClose -> commit -> T -> split *)
+      let bound = 2 + delta + t_rel + delta + 6 in
+      Driver.run s.d bound;
+      Driver.saw_event s.alice (function Party.Closed _ -> true | _ -> false)
+      && spendable_by (Driver.ledger s.d) pk_a >= entitled)
+
+(* Property: consensus on update — under arbitrary env rejection
+   patterns, either both parties advance to the same new state or the
+   protocol terminates safely (Alice keeps at least her entitled
+   balance from one of the two candidate states). *)
+let prop_consensus_on_update =
+  QCheck.Test.make ~name:"update rejections never fork the state" ~count:30
+    QCheck.(pair (int_range 0 31) (int_range 0 1000))
+    (fun (reject_mask, bal_seed) ->
+      let rejects bit = reject_mask land (1 lsl bit) <> 0 in
+      let env_bob =
+        { Party.accept_all with
+          Party.approve_update = (fun ~id:_ ~theta:_ -> not (rejects 0));
+          approve_setup' = (fun ~id:_ -> not (rejects 1));
+          approve_revoke' = (fun ~id:_ -> not (rejects 2)) }
+      in
+      let env_alice =
+        { Party.accept_all with
+          Party.approve_setup = (fun ~id:_ -> not (rejects 3));
+          approve_revoke = (fun ~id:_ -> not (rejects 4)) }
+      in
+      let d = Driver.create ~delta:1 ~seed:(bal_seed + 31) () in
+      let alice = Party.create ~env:env_alice ~pid:"alice" ~seed:1 () in
+      let bob = Party.create ~env:env_bob ~pid:"bob" ~seed:2 () in
+      Driver.add_party d alice;
+      Driver.add_party d bob;
+      Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:(cash / 2)
+        ~bal_b:(cash / 2) ();
+      if not (Driver.run_until_operational d ~id:"c" ~alice ~bob) then false
+      else begin
+        let c = Party.chan_exn alice "c" in
+        let pk_a, pk_b = Party.main_pks c in
+        let bal_a = 1_000 + (bal_seed mod 98_000) in
+        let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a ~bal_b:(cash - bal_a) in
+        Party.request_update alice (Driver.ctx d "alice") ~id:"c" ~theta ();
+        Driver.run d 30;
+        let ca = Party.chan_exn alice "c" and cb = Party.chan_exn bob "c" in
+        let both_operational =
+          ca.Party.phase = Party.Operational && cb.Party.phase = Party.Operational
+        in
+        if both_operational then
+          (* no fork: identical state number and state *)
+          ca.Party.sn = cb.Party.sn && Party.outputs_equal ca.Party.st cb.Party.st
+        else begin
+          (* some rejection forced an on-chain resolution: Alice must
+             end with her balance from the old or the new state *)
+          let ok_amount v = v >= min (cash / 2) bal_a in
+          Driver.run d 20;
+          ok_amount (spendable_by (Driver.ledger d) pk_a)
+          || (* channel may still be mid-close; the funding output then
+                still holds the full capacity *)
+          Ledger.is_unspent (Driver.ledger d)
+            (Tx.outpoint_of (Option.get ca.Party.fund) 0)
+        end
+      end)
+
+(* Property: optimistic update — honest sessions never touch the
+   ledger after funding, for any number of updates. *)
+let prop_optimistic_update =
+  QCheck.Test.make ~name:"honest updates are purely off-chain" ~count:20
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n_updates, bal_seed) ->
+      let balances = List.init 4 (fun i -> 500 + ((bal_seed * (i + 2)) mod 99_000)) in
+      let s = run_session ~seed:bal_seed ~delta:2 ~n_updates ~balances in
+      let txs = List.length (Ledger.accepted (Driver.ledger s.d)) in
+      (* 2 mints + 1 funding = 3 *)
+      txs = 3)
+
+(* Property: value conservation on the ledger under the whole protocol
+   (no transaction creates money). *)
+let prop_value_conservation =
+  QCheck.Test.make ~name:"ledger value conservation" ~count:15
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (n_updates, bal_seed) ->
+      let balances = [ 10_000; 40_000; 70_000 ] in
+      let s = run_session ~seed:(bal_seed + 5) ~delta:1 ~n_updates ~balances in
+      let total_before = Ledger.total_value (Driver.ledger s.d) in
+      (* force a full unilateral closure *)
+      Driver.corrupt s.d "bob";
+      Party.request_close s.alice (Driver.ctx s.d "alice") ~id:"c";
+      Driver.run s.d 25;
+      Ledger.total_value (Driver.ledger s.d) = total_before)
+
+(* Deterministic abort-at-every-message checks: kill the responder
+   right before each protocol message it would send; the initiator must
+   always resolve on chain with at least her entitled balance. *)
+let test_abort_matrix () =
+  (* abort after r rounds of the update flow, for every r covering each
+     message of the 6-step update exchange *)
+  List.iter
+    (fun abort_round ->
+      let d = Driver.create ~delta:1 ~seed:(900 + abort_round) () in
+      let alice = Party.create ~pid:"alice" ~seed:1 () in
+      let bob = Party.create ~pid:"bob" ~seed:2 () in
+      Driver.add_party d alice;
+      Driver.add_party d bob;
+      Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:60_000 ~bal_b:40_000 ();
+      assert (Driver.run_until_operational d ~id:"c" ~alice ~bob);
+      let c = Party.chan_exn alice "c" in
+      let pk_a, pk_b = Party.main_pks c in
+      let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:10_000 ~bal_b:90_000 in
+      Party.request_update alice (Driver.ctx d "alice") ~id:"c" ~theta ();
+      Driver.run d abort_round;
+      Driver.corrupt d "bob";
+      Driver.run d 30;
+      let resolved =
+        Driver.saw_event alice (function
+          | Party.Closed _ | Party.Punished _ -> true
+          | _ -> false)
+        ||
+        (* update never started from Bob's view: channel still open *)
+        (Party.chan_exn alice "c").Party.phase = Party.Operational
+      in
+      check_b (Fmt.str "abort at round +%d resolves" abort_round) true resolved;
+      (* Alice ends with her old or new balance, never less *)
+      let bal = spendable_by (Driver.ledger d) pk_a in
+      check_b
+        (Fmt.str "abort at round +%d keeps alice's funds (got %d)" abort_round bal)
+        true
+        (bal >= 10_000
+        || (Party.chan_exn alice "c").Party.phase = Party.Operational))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+(* Creation requires both parties: a lone INTRO must refund, not lock
+   funds forever. *)
+let test_consensus_on_creation () =
+  let d = Driver.create ~delta:1 ~seed:700 () in
+  let alice = Party.create ~pid:"alice" ~seed:1 () in
+  let bob = Party.create ~pid:"bob" ~seed:2 () in
+  Driver.add_party d alice;
+  Driver.add_party d bob;
+  (* Bob is corrupted from the start: he never answers createInfo *)
+  Driver.corrupt d "bob";
+  Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:60_000 ~bal_b:40_000 ();
+  Driver.run d 15;
+  check_b "no channel created" false
+    (Driver.saw_event alice (function Party.Created _ -> true | _ -> false));
+  (* Alice refunded herself: her funding source value is back under her key *)
+  let c = Party.chan_exn alice "c" in
+  let pk_a =
+    match c.Party.cfg.role with
+    | Keys.Alice -> (fst (Party.keys_ab c)).Keys.main_pk
+    | Keys.Bob -> (snd (Party.keys_ab c)).Keys.main_pk
+  in
+  check_b "funds refunded" true (spendable_by (Driver.ledger d) pk_a >= 60_000)
+
+let () =
+  Alcotest.run "daric-uc"
+    [ ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_balance_security;
+          QCheck_alcotest.to_alcotest prop_bounded_closure;
+          QCheck_alcotest.to_alcotest prop_consensus_on_update;
+          QCheck_alcotest.to_alcotest prop_optimistic_update;
+          QCheck_alcotest.to_alcotest prop_value_conservation ] );
+      ( "aborts",
+        [ Alcotest.test_case "abort matrix" `Quick test_abort_matrix;
+          Alcotest.test_case "consensus on creation" `Quick
+            test_consensus_on_creation ] ) ]

@@ -145,21 +145,82 @@ let run_lifetime () =
 
 let bench_tests () =
   let open Bechamel in
+  let module Group = Daric_crypto.Group in
+  let module Schnorr = Daric_crypto.Schnorr in
   let rng = Daric_util.Rng.create ~seed:1 in
-  let sk, pk = Daric_crypto.Schnorr.keygen rng in
+  let sk, pk = Schnorr.keygen rng in
   let msg = Daric_util.Rng.bytes rng 64 in
-  let sg = Daric_crypto.Schnorr.sign sk msg in
+  let sg = Schnorr.sign sk msg in
   let sign =
     Test.make ~name:"schnorr-sign"
-      (Staged.stage (fun () -> ignore (Daric_crypto.Schnorr.sign sk msg)))
+      (Staged.stage (fun () -> ignore (Schnorr.sign sk msg)))
   in
   let verify =
     Test.make ~name:"schnorr-verify"
-      (Staged.stage (fun () -> ignore (Daric_crypto.Schnorr.verify pk msg sg)))
+      (Staged.stage (fun () -> ignore (Schnorr.verify pk msg sg)))
+  in
+  (* the pre-optimization reference paths, kept runnable so every run
+     reports the before/after pair from the same machine *)
+  let verify_naive =
+    Test.make ~name:"schnorr-verify_naive"
+      (Staged.stage (fun () -> ignore (Schnorr.verify_naive pk msg sg)))
+  in
+  let batch_items =
+    List.init 64 (fun i ->
+        let sk, pk = Schnorr.keygen rng in
+        let m = Daric_util.Rng.bytes rng 64 in
+        ignore i;
+        (pk, m, Schnorr.sign sk m))
+  in
+  let batch =
+    Test.make ~name:"schnorr-batch-verify-64"
+      (Staged.stage (fun () -> assert (Schnorr.batch_verify batch_items)))
+  in
+  let batch_naive =
+    Test.make ~name:"schnorr-batch-verify-64_naive"
+      (Staged.stage (fun () ->
+           assert
+             (List.for_all (fun (pk, m, s) -> Schnorr.verify_naive pk m s)
+                batch_items)))
+  in
+  let exp = 987_654_321 in
+  let pow_fixed =
+    Test.make ~name:"group-pow-g"
+      (Staged.stage (fun () -> ignore (Group.pow_g exp)))
+  in
+  let pow_naive =
+    Test.make ~name:"group-pow-g_naive"
+      (Staged.stage (fun () -> ignore (Group.pow Group.g exp)))
+  in
+  let member = Group.pow_g 123_456 in
+  let is_elt_qr =
+    Test.make ~name:"group-is-element"
+      (Staged.stage (fun () -> assert (Group.is_element_fast member)))
+  in
+  let is_elt_naive =
+    Test.make ~name:"group-is-element_naive"
+      (Staged.stage (fun () -> assert (Group.is_element member)))
   in
   let sha =
     Test.make ~name:"sha256-64B"
       (Staged.stage (fun () -> ignore (Daric_crypto.Sha256.digest msg)))
+  in
+  let txid_tx =
+    { Tx.inputs =
+        [ Tx.input_of_outpoint { Tx.txid = String.make 32 'x'; vout = 0 } ];
+      locktime = 500_000_123;
+      outputs =
+        [ { Tx.value = 50_000; spk = Tx.P2wpkh (String.make 20 'h') };
+          { Tx.value = 50_000; spk = Tx.P2wsh (String.make 32 's') } ];
+      witnesses = [] }
+  in
+  let txid_memo =
+    Test.make ~name:"txid"
+      (Staged.stage (fun () -> ignore (Tx.txid txid_tx)))
+  in
+  let txid_naive =
+    Test.make ~name:"txid_naive"
+      (Staged.stage (fun () -> ignore (Tx.txid_uncached txid_tx)))
   in
   (* one full Daric channel update round-trip (both parties, all
      messages, no chain interaction) — the per-payment cost *)
@@ -224,18 +285,53 @@ let bench_tests () =
                ignore (Daric_schemes.Costmodel.weight (s.dishonest ~m:10)))
              Daric_schemes.Costmodel.all))
   in
-  [ sign; verify; sha; daric_update; eltoo_update; ln_update; gc_update;
-    weights ]
+  [ sign; verify; verify_naive; batch; batch_naive; pow_fixed; pow_naive;
+    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive; daric_update;
+    eltoo_update; ln_update; gc_update; weights ]
 
-let run_micro () =
-  section "Micro-benchmarks (Bechamel)";
+(* Machine-readable perf trajectory: a flat name -> ns/run map written
+   next to the run so successive PRs can diff the same entries. *)
+let bench_json_file = "BENCH_crypto.json"
+
+let write_bench_json ~(quota_s : float) (entries : (string * float) list) :
+    unit =
+  let oc = open_out bench_json_file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"daric-bench-crypto/1\",\n";
+  pf "  \"quota_s\": %g,\n" quota_s;
+  pf "  \"unit\": \"ns/run\",\n";
+  pf "  \"entries\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      pf "    %S: %.1f%s\n" name est
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  pf "  }\n}\n";
+  close_out oc
+
+(* Every entry the perf-acceptance checks depend on must survive into
+   the JSON; a missing one means the harness bit-rotted. *)
+let required_entries =
+  [ "schnorr-sign"; "schnorr-verify"; "schnorr-verify_naive";
+    "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive";
+    "daric-channel-update" ]
+
+let run_micro ~smoke () =
+  section
+    (if smoke then "Micro-benchmarks (Bechamel, smoke quota)"
+     else "Micro-benchmarks (Bechamel)");
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let quota_s = if smoke then 0.1 else 0.5 in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota_s) ~kde:(Some 500) ()
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
   in
+  let entries = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -243,17 +339,33 @@ let run_micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "%-28s %12.0f ns/run@." name est
-          | _ -> Fmt.pr "%-28s (no estimate)@." name)
+          | Some [ est ] -> entries := (name, est) :: !entries
+          | _ -> ())
         results)
-    (bench_tests ())
+    (bench_tests ());
+  (* sorted-name order: Hashtbl.iter order is seed-dependent, sorted
+     output is diffable run-to-run *)
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
+  in
+  List.iter (fun (name, est) -> Fmt.pr "%-32s %12.0f ns/run@." name est) entries;
+  write_bench_json ~quota_s entries;
+  Fmt.pr "wrote %s@." bench_json_file;
+  let missing =
+    List.filter (fun r -> not (List.mem_assoc r entries)) required_entries
+  in
+  if missing <> [] then begin
+    Fmt.epr "missing bench entries: %a@." Fmt.(list ~sep:comma string) missing;
+    exit 1
+  end
 
 (* ---------------- driver ---------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
   let all = args = [] in
   let want x = all || List.mem x args in
   if want "table1" then run_table1 ~full ();
@@ -272,4 +384,4 @@ let () =
             (Daric_analysis.Pcn_sim.run Daric_analysis.Pcn_sim.default_config)
             ~dir:"results" ])
   end;
-  if want "micro" then run_micro ()
+  if want "micro" then run_micro ~smoke ()

@@ -43,7 +43,7 @@ let () =
         in
         assert (Driver.update_channel d ~id ~initiator:alice ~responder:bob ~theta);
         (match Watchtower.record_for alice ~id with
-        | Some r -> Watchtower.watch wt r
+        | Some r -> assert (Watchtower.watch wt r)
         | None -> assert false);
         Fmt.pr "%s update %d -> tower stores %d bytes total (%d channels)@." id
           k (Watchtower.storage_bytes wt) n_channels
@@ -62,7 +62,7 @@ let () =
   let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:60_000 ~bal_b:40_000 in
   assert (Driver.update_channel d ~id ~initiator:alice ~responder:bob ~theta);
   (match Watchtower.record_for alice ~id with
-  | Some r -> Watchtower.watch wt r
+  | Some r -> assert (Watchtower.watch wt r)
   | None -> assert false);
   Driver.corrupt d alice.Party.pid;
   Driver.corrupt d bob.Party.pid;

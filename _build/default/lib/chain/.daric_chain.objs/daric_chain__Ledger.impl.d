@@ -1,1 +1,1 @@
-lib/chain/ledger.ml: Daric_script Daric_tx Fmt Hashtbl List Map String
+lib/chain/ledger.ml: Daric_crypto Daric_script Daric_tx Fmt Hashtbl List Map String

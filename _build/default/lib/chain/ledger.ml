@@ -110,7 +110,12 @@ let spender_of (t : t) (o : Tx.outpoint) : Tx.t option =
 (** All accepted transactions with their recording round, oldest first. *)
 let accepted (t : t) : (int * Tx.t) list = List.rev t.accepted
 
-let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
+(* Shared shape of validation; [verify_witness] is either the inline
+   verifier or the deferring one. *)
+let validate_gen (t : t) (tx : Tx.t)
+    ~(verify_witness :
+       Tx.t -> input_index:int -> spent:Tx.output -> input_age:int ->
+       (unit, Spend.error) result) : (unit, reject_reason) result =
   let txid = Tx.txid tx in
   if Hashtbl.mem t.txids txid then Error Duplicate_txid
   else if not (locktime_expired t tx.locktime) then Error Locktime_in_future
@@ -131,12 +136,47 @@ let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
           | Some utxo -> (
               let input_age = t.round - utxo.recorded in
               match
-                Spend.verify_input tx ~input_index:i ~spent:utxo.output ~input_age
+                verify_witness tx ~input_index:i ~spent:utxo.output ~input_age
               with
               | Error e -> Error (Invalid_witness (i, e))
               | Ok () -> check_inputs (i + 1) rest (total_in + utxo.output.value)))
     in
     check_inputs 0 tx.inputs 0
+
+let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
+  validate_gen t tx ~verify_witness:Spend.verify_input
+
+(** Batched witness validation: every signature check across all of
+    [tx]'s inputs is deferred, then discharged in a single
+    {!Daric_crypto.Schnorr.batch_verify} multi-exponentiation. Any
+    rejection — a script error in the deferred pass or a rejecting
+    batch — falls back to the inline {!validate}, whose per-input
+    verification is authoritative and isolates the invalid witness
+    (its index lands in [Invalid_witness]). Accepts exactly the same
+    transactions as {!validate}: assuming a deferred check true can
+    only make the deferred pass accept more often, and the batch then
+    rejects unless every assumed check really holds. *)
+let validate_batched (t : t) (tx : Tx.t) : (unit, reject_reason) result =
+  let deferred = ref [] in
+  let result =
+    validate_gen t tx
+      ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
+        Spend.verify_input_deferred tx ~input_index ~spent ~input_age
+          ~defer:(fun d -> deferred := d :: !deferred))
+  in
+  match result with
+  | Error _ -> validate t tx
+  | Ok () -> (
+      match !deferred with
+      | [] -> Ok ()
+      | ds ->
+          let items =
+            List.rev_map
+              (fun d -> Daric_tx.Sighash.(d.d_pk, d.d_msg, d.d_sig))
+              ds
+          in
+          if Daric_crypto.Schnorr.batch_verify items then Ok ()
+          else validate t tx)
 
 let record (t : t) (tx : Tx.t) =
   let txid = Tx.txid tx in
@@ -188,7 +228,7 @@ let tick (t : t) : event list =
   t.pending <- later;
   List.iter
     (fun (_, tx) ->
-      match validate t tx with
+      match validate_batched t tx with
       | Ok () -> record t tx
       | Error reason -> t.events <- Rejected (tx, reason) :: t.events)
     due;

@@ -59,7 +59,15 @@ val accepted : t -> (int * Tx.t) list
 (** All accepted transactions with recording rounds, oldest first. *)
 
 val validate : t -> Tx.t -> (unit, reject_reason) result
-(** The five validity checks against the current state. *)
+(** The five validity checks against the current state, witnesses
+    verified inline per input. *)
+
+val validate_batched : t -> Tx.t -> (unit, reject_reason) result
+(** Same acceptance set as {!validate}, but all signature checks are
+    deferred and discharged in one
+    {!Daric_crypto.Schnorr.batch_verify}; on any rejection it falls
+    back to {!validate}, which isolates the invalid witness index.
+    {!tick} validates through this path. *)
 
 val record : t -> Tx.t -> unit
 (** Record a transaction unconditionally (block production and

@@ -1,1 +1,1 @@
-lib/core/watchtower.ml: Daric_chain Daric_crypto Daric_script Daric_tx Keys List Party String Txs
+lib/core/watchtower.ml: Char Daric_chain Daric_crypto Daric_script Daric_tx Keys List Party String Txs

@@ -38,10 +38,45 @@ type t = {
 
 let create ~(wid : string) () : t = { wid; records = []; punished = [] }
 
+(** Check a client record's two revocation-branch signatures in one
+    {!Daric_crypto.Schnorr.batch_verify}. The record guards against the
+    *counter-party's* commits, whose revocation branch carries the rv
+    keys (owner Alice) or rv' keys (owner Bob); both signatures cover
+    the ANYPREVOUT message of the floating revocation body. A tower
+    that skipped this would store garbage it can never post. *)
+let record_valid (r : record) : bool =
+  let owner = Keys.other_role r.client_role in
+  let rv1, rv2 =
+    match owner with
+    | Keys.Alice -> (r.keys_a.Keys.rv_pk, r.keys_b.Keys.rv_pk)
+    | Keys.Bob -> (r.keys_a.Keys.rv'_pk, r.keys_b.Keys.rv'_pk)
+  in
+  let item pk sig_bytes =
+    if String.length sig_bytes <> Daric_crypto.Schnorr.signature_size then None
+    else
+      match
+        ( Daric_tx.Sighash.flag_of_byte
+            (Char.code sig_bytes.[String.length sig_bytes - 1]),
+          Daric_crypto.Schnorr.decode_signature sig_bytes )
+      with
+      | Some flag, Some sg ->
+          Some (pk, Daric_tx.Sighash.message flag r.rev_body ~input_index:0, sg)
+      | _ -> None
+  in
+  match (item rv1 r.sig_a, item rv2 r.sig_b) with
+  | Some a, Some b -> Daric_crypto.Schnorr.batch_verify [ a; b ]
+  | _ -> false
+
 (** Install or replace the record for a channel — the client calls this
-    after each update. Storage stays constant per channel. *)
-let watch (t : t) (r : record) : unit =
-  t.records <- (r.channel_id, r) :: List.remove_assoc r.channel_id t.records
+    after each update. Storage stays constant per channel. Records
+    whose signatures do not batch-verify are rejected (returns [false])
+    and the previous record, if any, is kept. *)
+let watch (t : t) (r : record) : bool =
+  if not (record_valid r) then false
+  else begin
+    t.records <- (r.channel_id, r) :: List.remove_assoc r.channel_id t.records;
+    true
+  end
 
 let unwatch (t : t) ~(channel_id : string) : unit =
   t.records <- List.remove_assoc channel_id t.records

@@ -24,8 +24,14 @@ type t
 
 val create : wid:string -> unit -> t
 
-val watch : t -> record -> unit
-(** Install or replace a channel's record (constant storage). *)
+val record_valid : record -> bool
+(** Batch-verify the record's two revocation-branch signatures against
+    the counter-party commit's revocation keys. *)
+
+val watch : t -> record -> bool
+(** Install or replace a channel's record (constant storage). Returns
+    [false] — keeping the previous record — when {!record_valid}
+    rejects the signatures. *)
 
 val unwatch : t -> channel_id:string -> unit
 

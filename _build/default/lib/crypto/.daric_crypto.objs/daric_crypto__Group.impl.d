@@ -1,1 +1,1 @@
-lib/crypto/group.ml: Bytes Char Hash String
+lib/crypto/group.ml: Array Bytes Char Hash List String

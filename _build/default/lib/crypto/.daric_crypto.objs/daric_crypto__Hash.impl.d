@@ -1,1 +1,1 @@
-lib/crypto/hash.ml: Char Ripemd160 Sha256 String
+lib/crypto/hash.ml: Char Hashtbl Ripemd160 Sha256 String

@@ -1,1 +1,1 @@
-lib/crypto/schnorr.ml: Daric_util Group Hash String
+lib/crypto/schnorr.ml: Buffer Daric_util Group Hash Hashtbl List String

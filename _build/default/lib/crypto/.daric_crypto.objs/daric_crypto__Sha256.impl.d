@@ -1,1 +1,1 @@
-lib/crypto/sha256.ml: Array Bytes Char Daric_util Int64 String
+lib/crypto/sha256.ml: Array Bytes Char Daric_util String

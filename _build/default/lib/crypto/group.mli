@@ -24,8 +24,31 @@ type scalar = int
 (** Exponent in [\[0, q-1\]]. *)
 
 val mul : element -> element -> element
+
 val pow : element -> scalar -> element
+(** Generic square-and-multiply; the reference path the fast
+    exponentiations below are tested against. *)
+
 val inv : element -> element
+
+type precomp
+(** Fixed-base window table for one base: [precomp] for base b holds
+    b^(j * 2^(w*i)) so b^e costs at most [ceil(30/w)] multiplications. *)
+
+val precompute : element -> precomp
+val pow_precomp : precomp -> scalar -> element
+
+val pow_g : scalar -> element
+(** g^e through a module-initialisation-time table for the generator —
+    the hot path of [keygen], [sign] and the g^s side of [verify]. *)
+
+val dbl_pow : element -> scalar -> element -> scalar -> element
+(** [dbl_pow a ea b eb] = a^ea * b^eb by Shamir's trick: one shared
+    squaring ladder instead of two independent exponentiations. *)
+
+val multi_pow : (element * scalar) list -> element
+(** Straus interleaved multi-exponentiation of a product of powers;
+    shares one squaring ladder across every term (batch verification). *)
 
 val scalar_add : scalar -> scalar -> scalar
 val scalar_sub : scalar -> scalar -> scalar
@@ -35,7 +58,16 @@ val scalar_of_digest : string -> scalar
 (** Reduce a hash digest to a scalar. *)
 
 val is_element : int -> bool
-(** Subgroup membership: x in (0, p) with x^q = 1. *)
+(** Subgroup membership: x in (0, p) with x^q = 1 (reference path, one
+    full modexp). *)
+
+val jacobi : int -> int -> int
+(** Jacobi symbol (a/n) for odd positive n; -1, 0 or 1. *)
+
+val is_element_fast : int -> bool
+(** Same predicate as {!is_element} without the modexp: for the safe
+    prime p = 2q + 1 the order-q subgroup is the quadratic residues, so
+    membership is the Jacobi symbol (x/p) = 1 (Euler's criterion). *)
 
 val encode_int32 : int -> string
 (** 4-byte big-endian encoding (values < 2^31). *)

@@ -6,11 +6,34 @@ let hash256 (s : string) : string = Sha256.digest (Sha256.digest s)
 (** SHA-256 then RIPEMD-160, as used for P2WPKH witness programs. *)
 let hash160 (s : string) : string = Ripemd160.digest (Sha256.digest s)
 
-(** BIP-340 style tagged hash: SHA256(SHA256(tag) || SHA256(tag) || msg).
-    Used to domain-separate nonce derivation, challenges, etc. *)
-let tagged (tag : string) (msg : string) : string =
+(** Uncached BIP-340 style tagged hash:
+    SHA256(SHA256(tag) || SHA256(tag) || msg). Reference path. *)
+let tagged_uncached (tag : string) (msg : string) : string =
   let th = Sha256.digest tag in
   Sha256.digest (th ^ th ^ msg)
+
+(* The repository uses a small fixed set of domain-separation tags
+   ("daric/challenge", "daric/nonce", "daric/sighash", ...), so the
+   64-byte prefix SHA256(tag) || SHA256(tag) of each tagged hash is
+   cached — one full digest saved per call. *)
+let tag_prefix_cache : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let tag_prefix (tag : string) : string =
+  match Hashtbl.find_opt tag_prefix_cache tag with
+  | Some p -> p
+  | None ->
+      let th = Sha256.digest tag in
+      let p = th ^ th in
+      if Hashtbl.length tag_prefix_cache >= 256 then
+        Hashtbl.reset tag_prefix_cache;
+      Hashtbl.add tag_prefix_cache tag p;
+      p
+
+(** BIP-340 style tagged hash: SHA256(SHA256(tag) || SHA256(tag) || msg).
+    Used to domain-separate nonce derivation, challenges, etc.
+    Equal to {!tagged_uncached}; the per-tag prefix is memoized. *)
+let tagged (tag : string) (msg : string) : string =
+  Sha256.digest (tag_prefix tag ^ msg)
 
 (** Interpret the first 8 bytes of a digest as a non-negative int. *)
 let digest_to_int (d : string) : int =

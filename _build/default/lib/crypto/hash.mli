@@ -9,7 +9,12 @@ val hash160 : string -> string
 val tagged : string -> string -> string
 (** [tagged tag msg] is the BIP-340 style tagged hash
     [SHA256(SHA256(tag) || SHA256(tag) || msg)], separating the domains
-    of nonces, challenges and sighashes. *)
+    of nonces, challenges and sighashes. The per-tag 64-byte prefix is
+    memoized (the repository uses a small fixed tag set). *)
+
+val tagged_uncached : string -> string -> string
+(** Reference path of {!tagged} recomputing the tag digest every call;
+    the property tests assert pointwise agreement. *)
 
 val digest_to_int : string -> int
 (** Interpret the first 8 bytes of a digest as a non-negative int. *)

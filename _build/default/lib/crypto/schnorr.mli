@@ -22,12 +22,18 @@ val encode_public_key : public_key -> string
 (** 33-byte encoding. *)
 
 val decode_public_key : string -> public_key option
-(** Returns [None] on malformed input or non-subgroup points. *)
+(** Returns [None] on malformed input (including non-zero filler
+    bytes — each key has exactly one encoding) or non-subgroup points.
+    Validated keys are cached, so repeat decodes of the same key skip
+    the membership check. *)
 
 val encode_signature : signature -> string
 (** 73-byte encoding (the last byte is free for a SIGHASH flag). *)
 
 val decode_signature : string -> signature option
+(** [None] unless the input is 73 bytes with all-zero padding (the
+    final byte excepted — it carries the SIGHASH flag): each signature
+    has exactly one encoding per flag, so witnesses are non-malleable. *)
 
 val challenge : Group.element -> public_key -> string -> Group.scalar
 (** The Fiat-Shamir challenge e = H(R || pk || msg); exposed for the
@@ -37,7 +43,25 @@ val nonce : secret_key -> string -> string -> Group.scalar
 (** Deterministic nonce derivation; [aux] separates usage domains. *)
 
 val sign : secret_key -> string -> signature
+
 val verify : public_key -> string -> signature -> bool
+(** Fast path: Jacobi-symbol membership and one Shamir double
+    exponentiation. Agrees pointwise with {!verify_naive}. *)
+
+val verify_naive : public_key -> string -> signature -> bool
+(** Reference path (two independent ladders, x^q membership); kept for
+    property tests and the [_naive] bench baselines. *)
+
+val batch_verify : (public_key * string * signature) list -> bool
+(** Random-linear-combination batch verification: accepts iff (up to a
+    2^-24 soundness error against adversarially crafted batches) every
+    triple individually verifies. N triples cost roughly one
+    multi-exponentiation instead of N full verifies. *)
+
+val batch_verify_detailed :
+  (public_key * string * signature) list -> (unit, int list) result
+(** Isolating form of {!batch_verify}: on rejection, returns the
+    non-empty sorted indices of every individually-invalid triple. *)
 
 val sign_bytes : secret_key -> string -> string
 (** {!sign} composed with {!encode_signature}. *)

@@ -26,27 +26,36 @@ let add32 a b = (a + b) &: mask
 let rotr x n = ((x lsr n) |: (x lsl (32 - n))) &: mask
 let shr x n = x lsr n
 
-type ctx = { h : int array }
+type ctx = { h : int array; w : int array }
+(** [w] is the 64-word message schedule, allocated once per context and
+    reused by every [compress] call instead of per block. *)
 
 let init () : ctx =
   { h =
       [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
-         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |] }
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    w = Array.make 64 0 }
 
+(* Hot path: bounds checks are skipped (offsets are validated by the
+   caller) and masking is deferred — all inputs are 32-bit, so sums of
+   up to five terms stay well inside the 63-bit native int and only the
+   final assignment masks back to 32 bits. *)
 let compress (ctx : ctx) (block : string) (off : int) =
-  let w = Array.make 64 0 in
+  let w = ctx.w in
+  let code i = Char.code (String.unsafe_get block i) in
   for t = 0 to 15 do
     let i = off + (4 * t) in
-    w.(t) <-
-      (Char.code block.[i] lsl 24)
-      |: (Char.code block.[i + 1] lsl 16)
-      |: (Char.code block.[i + 2] lsl 8)
-      |: Char.code block.[i + 3]
+    Array.unsafe_set w t
+      ((code i lsl 24) |: (code (i + 1) lsl 16) |: (code (i + 2) lsl 8)
+      |: code (i + 3))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 ^: rotr w.(t - 15) 18 ^: shr w.(t - 15) 3 in
-    let s1 = rotr w.(t - 2) 17 ^: rotr w.(t - 2) 19 ^: shr w.(t - 2) 10 in
-    w.(t) <- add32 (add32 w.(t - 16) s0) (add32 w.(t - 7) s1)
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 ^: rotr w15 18 ^: shr w15 3 in
+    let s1 = rotr w2 17 ^: rotr w2 19 ^: shr w2 10 in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1)
+      &: mask)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
@@ -54,18 +63,20 @@ let compress (ctx : ctx) (block : string) (off : int) =
   for t = 0 to 63 do
     let s1 = rotr !e 6 ^: rotr !e 11 ^: rotr !e 25 in
     let ch = (!e &: !f) ^: (lnot32 !e &: !g) in
-    let t1 = add32 (add32 !hh s1) (add32 (add32 ch k.(t)) w.(t)) in
+    let t1 =
+      !hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t
+    in
     let s0 = rotr !a 2 ^: rotr !a 13 ^: rotr !a 22 in
     let maj = (!a &: !b) ^: (!a &: !c) ^: (!b &: !c) in
-    let t2 = add32 s0 maj in
+    let t2 = s0 + maj in
     hh := !g;
     g := !f;
     f := !e;
-    e := add32 !d t1;
+    e := (!d + t1) &: mask;
     d := !c;
     c := !b;
     b := !a;
-    a := add32 t1 t2
+    a := (t1 + t2) &: mask
   done;
   h.(0) <- add32 h.(0) !a;
   h.(1) <- add32 h.(1) !b;
@@ -76,27 +87,33 @@ let compress (ctx : ctx) (block : string) (off : int) =
   h.(6) <- add32 h.(6) !g;
   h.(7) <- add32 h.(7) !hh
 
-(** [digest s] is the 32-byte SHA-256 digest of [s]. *)
+(** [digest s] is the 32-byte SHA-256 digest of [s].
+
+    Full 64-byte blocks are compressed in place from [msg] — the input
+    is never copied into a padded buffer. Only the tail (the remaining
+    bytes, the 0x80 marker, zeros and the 64-bit big-endian bit length)
+    lands in a small scratch of at most two blocks. *)
 let digest (msg : string) : string =
   let ctx = init () in
   let len = String.length msg in
-  (* Padded message: msg || 0x80 || zeros || 64-bit big-endian bit length. *)
-  let rem = len mod 64 in
-  let pad_len = if rem < 56 then 56 - rem else 120 - rem in
-  let total = len + pad_len + 8 in
-  let buf = Bytes.make total '\000' in
-  Bytes.blit_string msg 0 buf 0 len;
-  Bytes.set buf len '\x80';
-  let bits = Int64.of_int (len * 8) in
+  let full = len / 64 in
+  for b = 0 to full - 1 do
+    compress ctx msg (b * 64)
+  done;
+  let rem = len - (full * 64) in
+  let tail_blocks = if rem < 56 then 1 else 2 in
+  let tail = Bytes.make (tail_blocks * 64) '\000' in
+  Bytes.blit_string msg (full * 64) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  let bits = len * 8 in
   for i = 0 to 7 do
-    Bytes.set buf
-      (total - 1 - i)
-      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+    Bytes.set tail
+      ((tail_blocks * 64) - 1 - i)
+      (Char.chr ((bits lsr (8 * i)) land 0xff))
   done;
-  let data = Bytes.unsafe_to_string buf in
-  for b = 0 to (total / 64) - 1 do
-    compress ctx data (b * 64)
-  done;
+  let tail_s = Bytes.unsafe_to_string tail in
+  compress ctx tail_s 0;
+  if tail_blocks = 2 then compress ctx tail_s 64;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in

@@ -1,1 +1,1 @@
-lib/tx/sighash.ml: Bytes Char Daric_crypto List String Tx
+lib/tx/sighash.ml: Bytes Char Daric_crypto Hashtbl List String Tx

@@ -1,1 +1,1 @@
-lib/tx/spend.mli: Daric_script Tx
+lib/tx/spend.mli: Daric_script Sighash Tx

@@ -1,1 +1,1 @@
-lib/tx/tx.ml: Daric_crypto Daric_script Daric_util Fmt Int64 List String
+lib/tx/tx.ml: Daric_crypto Daric_script Daric_util Fmt Hashtbl Int64 List String

@@ -26,10 +26,7 @@ let flag_of_byte = function
   | 0x43 -> Some Anyprevout_single
   | _ -> None
 
-(** Message hashed and signed for a given flag.
-    [input_index] selects the authorized output under
-    [Anyprevout_single]. *)
-let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
+let message_uncached (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
   let payload =
     match flag with
     | All -> "all/" ^ Tx.body_serialize tx
@@ -40,6 +37,37 @@ let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
         "apos/" ^ Tx.floating_body_serialize single
   in
   Daric_crypto.Hash.tagged "daric/sighash" payload
+
+(* Sighash digests are memoized per flag on exactly the body parts each
+   flag authorizes (bodies are immutable after construction): the same
+   commit/split/revocation message is hashed by signer, peer, watchtower
+   and ledger alike. Bounded; reset wholesale when full. *)
+type msg_key =
+  | K_all of Tx.input list * int * Tx.output list
+  | K_apo of int * Tx.output list
+  | K_apos of int * Tx.output  (** (nLT, the one authorized output) *)
+
+let msg_cache : (msg_key, string) Hashtbl.t = Hashtbl.create 1024
+let msg_cache_max = 1 lsl 16
+
+(** Message hashed and signed for a given flag.
+    [input_index] selects the authorized output under
+    [Anyprevout_single]. *)
+let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
+  let key =
+    match flag with
+    | All -> K_all (tx.Tx.inputs, tx.Tx.locktime, tx.Tx.outputs)
+    | Anyprevout -> K_apo (tx.Tx.locktime, tx.Tx.outputs)
+    | Anyprevout_single ->
+        K_apos (tx.Tx.locktime, List.nth tx.Tx.outputs input_index)
+  in
+  match Hashtbl.find_opt msg_cache key with
+  | Some m -> m
+  | None ->
+      let m = message_uncached flag tx ~input_index in
+      if Hashtbl.length msg_cache >= msg_cache_max then Hashtbl.reset msg_cache;
+      Hashtbl.add msg_cache key m;
+      m
 
 (** Sign a transaction for one input; returns the 73-byte flagged
     signature suitable for a witness element. *)
@@ -75,3 +103,30 @@ let check (tx : Tx.t) ~(input_index : int) ~(pk_bytes : string)
   | Some flag ->
       let msg = message flag tx ~input_index in
       Daric_crypto.Schnorr.verify_bytes pk_bytes msg sig_bytes
+
+type deferred = {
+  d_pk : Daric_crypto.Schnorr.public_key;
+  d_msg : string;
+  d_sig : Daric_crypto.Schnorr.signature;
+}
+
+(** Deferred form of {!check}: performs every structural step (flag
+    extraction, strict decoding, message selection) but returns the
+    decoded triple instead of paying the two-exponentiation verify, so
+    a validator can gather triples across inputs and transactions and
+    discharge them in one {!Daric_crypto.Schnorr.batch_verify}. [None]
+    means the witness is structurally invalid ([check] = false). *)
+let check_deferred (tx : Tx.t) ~(input_index : int) ~(pk_bytes : string)
+    ~(sig_bytes : string) : deferred option =
+  if String.length sig_bytes <> Daric_crypto.Schnorr.signature_size then None
+  else
+    match flag_of_byte (Char.code sig_bytes.[String.length sig_bytes - 1]) with
+    | None -> None
+    | Some flag -> (
+        match
+          ( Daric_crypto.Schnorr.decode_public_key pk_bytes,
+            Daric_crypto.Schnorr.decode_signature sig_bytes )
+        with
+        | Some pk, Some sg ->
+            Some { d_pk = pk; d_msg = message flag tx ~input_index; d_sig = sg }
+        | _ -> None)

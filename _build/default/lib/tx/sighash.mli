@@ -15,7 +15,11 @@ val flag_byte : flag -> int
 val flag_of_byte : int -> flag option
 
 val message : flag -> Tx.t -> input_index:int -> string
-(** The message hashed and signed for a given flag. *)
+(** The message hashed and signed for a given flag. Memoized per flag
+    on the body parts that flag authorizes (bodies are immutable). *)
+
+val message_uncached : flag -> Tx.t -> input_index:int -> string
+(** Recompute without the memo table (reference for property tests). *)
 
 val sign :
   Daric_crypto.Schnorr.secret_key -> flag -> Tx.t -> input_index:int -> string
@@ -32,3 +36,18 @@ val check : Tx.t -> input_index:int -> pk_bytes:string -> sig_bytes:string -> bo
 (** Full signature check for the script interpreter: extract the flag,
     recompute the matching message over the spending transaction,
     verify. *)
+
+type deferred = {
+  d_pk : Daric_crypto.Schnorr.public_key;
+  d_msg : string;
+  d_sig : Daric_crypto.Schnorr.signature;
+}
+(** A decoded, structurally validated signature check whose
+    exponentiations have been postponed for batch verification. *)
+
+val check_deferred :
+  Tx.t -> input_index:int -> pk_bytes:string -> sig_bytes:string ->
+  deferred option
+(** {!check} minus the group exponentiations: [None] iff the check is
+    structurally invalid; [Some d] must later be discharged with
+    {!Daric_crypto.Schnorr.batch_verify} (or [verify]) on [d]. *)

@@ -84,8 +84,37 @@ let body_serialize (tx : t) : string =
     tx.outputs;
   W.contents w
 
-(** txid = H([TX]); 32 bytes. *)
-let txid (tx : t) : string = Daric_crypto.Hash.hash256 (body_serialize tx)
+(* txid memoization: tx bodies are immutable after construction and the
+   protocol recomputes the same txids constantly (every ledger lookup,
+   outpoint derivation and pp). The cache key is exactly the data the
+   txid depends on — (Input, nLT, Output) — so structurally equal bodies
+   share one digest while witness completion ({tx with witnesses = _})
+   never misses. Bounded: reset wholesale when full. *)
+type body_key = {
+  k_inputs : input list;
+  k_locktime : int;
+  k_outputs : output list;
+}
+
+let txid_cache : (body_key, string) Hashtbl.t = Hashtbl.create 1024
+let txid_cache_max = 1 lsl 16
+
+let txid_uncached (tx : t) : string =
+  Daric_crypto.Hash.hash256 (body_serialize tx)
+
+(** txid = H([TX]); 32 bytes. Memoized on the immutable body. *)
+let txid (tx : t) : string =
+  let key =
+    { k_inputs = tx.inputs; k_locktime = tx.locktime; k_outputs = tx.outputs }
+  in
+  match Hashtbl.find_opt txid_cache key with
+  | Some id -> id
+  | None ->
+      let id = txid_uncached tx in
+      if Hashtbl.length txid_cache >= txid_cache_max then
+        Hashtbl.reset txid_cache;
+      Hashtbl.add txid_cache key id;
+      id
 
 let outpoint_of (tx : t) (vout : int) : outpoint = { txid = txid tx; vout }
 

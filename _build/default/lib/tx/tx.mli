@@ -46,7 +46,12 @@ val body_serialize : t -> string
 (** Serialization of the body \[TX\] = (Input, nLT, Output). *)
 
 val txid : t -> string
-(** txid = H(\[TX\]); 32 bytes. Witness data never affects it. *)
+(** txid = H(\[TX\]); 32 bytes. Witness data never affects it.
+    Memoized on the (immutable) body — agrees with {!txid_uncached}. *)
+
+val txid_uncached : t -> string
+(** Recompute the digest without consulting the memo table (reference
+    path for the property tests). *)
 
 val outpoint_of : t -> int -> outpoint
 

@@ -1,1 +1,1 @@
-test/test_crypto.ml: Alcotest Daric_crypto Daric_util Fmt Gen List QCheck QCheck_alcotest String
+test/test_crypto.ml: Alcotest Bytes Daric_crypto Daric_tx Daric_util Fmt Gen List QCheck QCheck_alcotest String

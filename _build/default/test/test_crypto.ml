@@ -164,6 +164,236 @@ let prop_hex_roundtrip =
     QCheck.(string_of_size Gen.(0 -- 100))
     (fun s -> Daric_util.Hex.decode (Daric_util.Hex.encode s) = s)
 
+(* ------------------------------------------------------------------ *)
+(* Fast-path vs reference-path agreement.                              *)
+
+let prop_pow_g =
+  QCheck.Test.make ~name:"pow_g agrees with pow" ~count:500 QCheck.int
+    (fun e ->
+      let e = ((e mod Group.q) + Group.q) mod Group.q in
+      Group.pow_g e = Group.pow Group.g e)
+
+let prop_pow_precomp =
+  QCheck.Test.make ~name:"pow_precomp agrees with pow" ~count:200
+    QCheck.(pair pos_int pos_int)
+    (fun (b, e) ->
+      let base = Group.pow_g (1 + (b mod (Group.q - 1))) in
+      let e = e mod Group.q in
+      Group.pow_precomp (Group.precompute base) e = Group.pow base e)
+
+let prop_dbl_pow =
+  QCheck.Test.make ~name:"dbl_pow agrees with two pows" ~count:300
+    QCheck.(quad pos_int pos_int pos_int pos_int)
+    (fun (a, ea, b, eb) ->
+      let elt x = Group.pow_g (1 + (x mod (Group.q - 1))) in
+      let a = elt a and b = elt b in
+      let ea = ea mod Group.q and eb = eb mod Group.q in
+      Group.dbl_pow a ea b eb = Group.mul (Group.pow a ea) (Group.pow b eb))
+
+let prop_multi_pow =
+  QCheck.Test.make ~name:"multi_pow agrees with folded pows" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 12) (pair pos_int pos_int))
+    (fun raw ->
+      let terms =
+        List.map
+          (fun (b, e) ->
+            (Group.pow_g (1 + (b mod (Group.q - 1))), e mod Group.q))
+          raw
+      in
+      Group.multi_pow terms
+      = List.fold_left
+          (fun acc (b, e) -> Group.mul acc (Group.pow b e))
+          1 terms)
+
+let prop_membership_fast =
+  QCheck.Test.make ~name:"is_element_fast agrees with is_element"
+    ~count:500 QCheck.int (fun x ->
+      let x = 1 + (abs x mod (Group.p + 5)) in
+      Group.is_element_fast x = Group.is_element x)
+
+let test_membership_edge_cases () =
+  (* subgroup members are exactly the quadratic residues *)
+  check_b "g member (fast)" true (Group.is_element_fast Group.g);
+  check_b "1 member" true (Group.is_element_fast 1);
+  (* p = 3 mod 4, so -1 = p-1 is a non-residue: outside the subgroup *)
+  check_b "p-1 not member (fast)" false (Group.is_element_fast (Group.p - 1));
+  check_b "p-1 not member (reference)" false (Group.is_element (Group.p - 1));
+  check_b "0 rejected" false (Group.is_element_fast 0);
+  check_b "p rejected" false (Group.is_element_fast Group.p);
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 200 do
+    (* g^x is always a member; g^x * (p-1) never is *)
+    let m = Group.pow_g (1 + Rng.int rng (Group.q - 1)) in
+    check_b "member accepted" true (Group.is_element_fast m);
+    let nm = Group.mul m (Group.p - 1) in
+    check_b "non-member rejected (fast)" false (Group.is_element_fast nm);
+    check_b "non-member rejected (reference)" false (Group.is_element nm)
+  done
+
+let prop_tagged_cache =
+  QCheck.Test.make ~name:"tagged agrees with tagged_uncached" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 20)) (string_of_size Gen.(0 -- 100)))
+    (fun (tag, msg) -> Hash.tagged tag msg = Hash.tagged_uncached tag msg)
+
+let prop_verify_equiv =
+  QCheck.Test.make ~name:"verify agrees with verify_naive" ~count:200
+    QCheck.(pair small_nat (string_of_size Gen.(0 -- 80)))
+    (fun (seed, msg) ->
+      let rng = Rng.create ~seed:(seed + 7) in
+      let sk, pk = Schnorr.keygen rng in
+      let sg = Schnorr.sign sk msg in
+      (* valid signature: both accept *)
+      Schnorr.verify pk msg sg = Schnorr.verify_naive pk msg sg
+      && Schnorr.verify pk msg sg
+      (* corrupted s: both reject *)
+      && (let bad = { sg with Schnorr.s = Group.scalar_add sg.Schnorr.s 1 } in
+          Schnorr.verify pk msg bad = Schnorr.verify_naive pk msg bad
+          && not (Schnorr.verify pk msg bad))
+      (* corrupted R: both reject *)
+      && (let bad = { sg with Schnorr.r = Group.pow_g 12345 } in
+          Schnorr.verify pk msg bad = Schnorr.verify_naive pk msg bad
+          && not (Schnorr.verify pk msg bad))
+      (* wrong message: both reject *)
+      && Schnorr.verify pk (msg ^ "!") sg
+         = Schnorr.verify_naive pk (msg ^ "!") sg
+         && not (Schnorr.verify pk (msg ^ "!") sg))
+
+let batch_of_rng rng n =
+  List.init n (fun _ ->
+      let sk, pk = Schnorr.keygen rng in
+      let msg = Rng.bytes rng 32 in
+      (pk, msg, Schnorr.sign sk msg))
+
+let corrupt_at i items =
+  List.mapi
+    (fun j ((pk, msg, sg) as item) ->
+      if j = i then (pk, msg, { sg with Schnorr.s = Group.scalar_add sg.Schnorr.s 1 })
+      else item)
+    items
+
+let test_batch_verify () =
+  let rng = Rng.create ~seed:21 in
+  check_b "empty batch accepts" true (Schnorr.batch_verify []);
+  List.iter
+    (fun n ->
+      let items = batch_of_rng rng n in
+      check_b (Fmt.str "valid batch of %d accepts" n) true
+        (Schnorr.batch_verify items);
+      check_b (Fmt.str "detailed ok for %d" n) true
+        (Schnorr.batch_verify_detailed items = Ok ());
+      (* corrupting any single element must be caught and pinpointed *)
+      for i = 0 to min (n - 1) 3 do
+        let bad = corrupt_at i items in
+        check_b (Fmt.str "batch of %d, bad %d rejects" n i) false
+          (Schnorr.batch_verify bad);
+        check_b (Fmt.str "batch of %d, bad %d pinpointed" n i) true
+          (Schnorr.batch_verify_detailed bad = Error [ i ])
+      done)
+    [ 1; 2; 3; 8; 32 ];
+  (* several bad elements: all reported, in order *)
+  let items = batch_of_rng rng 10 in
+  let bad = corrupt_at 2 (corrupt_at 7 items) in
+  check_b "multiple bad indices pinpointed" true
+    (Schnorr.batch_verify_detailed bad = Error [ 2; 7 ])
+
+let prop_batch_verify_equiv =
+  QCheck.Test.make ~name:"batch_verify iff all individually verify"
+    ~count:100
+    QCheck.(pair small_nat (list_of_size Gen.(0 -- 8) bool))
+    (fun (seed, flips) ->
+      let rng = Rng.create ~seed:(seed + 31) in
+      let items =
+        List.map
+          (fun flip ->
+            let sk, pk = Schnorr.keygen rng in
+            let msg = Rng.bytes rng 24 in
+            let sg = Schnorr.sign sk msg in
+            let sg =
+              if flip then { sg with Schnorr.s = Group.scalar_add sg.Schnorr.s 1 }
+              else sg
+            in
+            (pk, msg, sg))
+          flips
+      in
+      Schnorr.batch_verify items
+      = List.for_all (fun (pk, msg, sg) -> Schnorr.verify pk msg sg) items)
+
+let test_strict_encodings () =
+  let rng = Rng.create ~seed:41 in
+  let sk, pk = Schnorr.keygen rng in
+  let sg = Schnorr.sign sk "m" in
+  let senc = Schnorr.encode_signature sg in
+  (* the last byte carries the SIGHASH flag: still decodes *)
+  let flagged = Bytes.of_string senc in
+  Bytes.set flagged 72 '\x01';
+  check_b "flag byte allowed" true
+    (Schnorr.decode_signature (Bytes.to_string flagged) <> None);
+  (* any non-zero interior padding byte is rejected *)
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string senc in
+      Bytes.set b i '\x01';
+      check_b (Fmt.str "non-zero padding byte %d rejected" i) true
+        (Schnorr.decode_signature (Bytes.to_string b) = None))
+    [ 8; 9; 40; 70; 71 ];
+  check_b "wrong length rejected" true
+    (Schnorr.decode_signature (senc ^ "\x00") = None);
+  (* public keys: non-zero filler bytes are rejected *)
+  let penc = Schnorr.encode_public_key pk in
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string penc in
+      Bytes.set b i '\x01';
+      check_b (Fmt.str "non-zero filler byte %d rejected" i) true
+        (Schnorr.decode_public_key (Bytes.to_string b) = None))
+    [ 1; 2; 15; 28 ];
+  (* a non-subgroup "key" is rejected by decode *)
+  let bad_pk = Bytes.of_string penc in
+  Bytes.blit_string (Group.encode_element (Group.p - 1)) 0 bad_pk 29 4;
+  check_b "non-subgroup key rejected" true
+    (Schnorr.decode_public_key (Bytes.to_string bad_pk) = None)
+
+(* txid/sighash memoization: the cached digest always agrees with a
+   fresh recomputation, across distinct construction orders of equal
+   bodies and across witness changes (which must not affect the txid). *)
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+
+let test_txid_memo () =
+  let rng = Rng.create ~seed:51 in
+  for _ = 1 to 50 do
+    let mk_out () =
+      { Tx.value = 1 + Rng.int rng 100_000;
+        spk = Tx.P2wpkh (Rng.bytes rng 20) }
+    in
+    let mk_in () =
+      Tx.input_of_outpoint ~sequence:(Rng.int rng 0xffff)
+        { Tx.txid = Rng.bytes rng 32; vout = Rng.int rng 4 }
+    in
+    let inputs = List.init (1 + Rng.int rng 3) (fun _ -> mk_in ()) in
+    let outputs = List.init (1 + Rng.int rng 3) (fun _ -> mk_out ()) in
+    let locktime = Rng.int rng 1000 in
+    let tx = { Tx.inputs; locktime; outputs; witnesses = [] } in
+    check_b "txid = txid_uncached" true (Tx.txid tx = Tx.txid_uncached tx);
+    (* structurally equal body built separately: same txid *)
+    let tx' =
+      { Tx.inputs = List.map (fun i -> { i with Tx.sequence = i.Tx.sequence }) inputs;
+        locktime;
+        outputs = List.map (fun o -> { o with Tx.value = o.Tx.value }) outputs;
+        witnesses = [ [ Tx.Data "w" ] ] }
+    in
+    check_b "equal bodies share txid" true (Tx.txid tx = Tx.txid tx');
+    check_b "witness does not affect txid" true
+      (Tx.txid tx' = Tx.txid_uncached tx');
+    (* sighash messages agree with their uncached recomputation *)
+    List.iter
+      (fun flag ->
+        check_b "sighash memo agrees" true
+          (Sighash.message flag tx ~input_index:0
+          = Sighash.message_uncached flag tx ~input_index:0))
+      [ Sighash.All; Sighash.Anyprevout; Sighash.Anyprevout_single ]
+  done
+
 let () =
   Alcotest.run "daric-crypto"
     [ ( "hash",
@@ -183,4 +413,18 @@ let () =
       ( "adaptor",
         [ Alcotest.test_case "pre-sign/adapt/extract" `Quick test_adaptor;
           Alcotest.test_case "wrong statement" `Quick test_adaptor_wrong_statement ] );
+      ( "fastpath",
+        [ QCheck_alcotest.to_alcotest prop_pow_g;
+          QCheck_alcotest.to_alcotest prop_pow_precomp;
+          QCheck_alcotest.to_alcotest prop_dbl_pow;
+          QCheck_alcotest.to_alcotest prop_multi_pow;
+          QCheck_alcotest.to_alcotest prop_membership_fast;
+          Alcotest.test_case "membership edge cases" `Quick
+            test_membership_edge_cases;
+          QCheck_alcotest.to_alcotest prop_tagged_cache;
+          QCheck_alcotest.to_alcotest prop_verify_equiv;
+          Alcotest.test_case "batch verify" `Quick test_batch_verify;
+          QCheck_alcotest.to_alcotest prop_batch_verify_equiv;
+          Alcotest.test_case "strict encodings" `Quick test_strict_encodings;
+          Alcotest.test_case "txid/sighash memoization" `Quick test_txid_memo ] );
       ("util", [ QCheck_alcotest.to_alcotest prop_hex_roundtrip ]) ]

@@ -86,6 +86,42 @@ let test_validity_checks () =
   let dust = spend_tx ~sk ~pk ~from:op ~value:0 ~to_pk:pk2 () in
   check_b "zero output rejected" true (Ledger.validate l dust = Error Ledger.Bad_output)
 
+(* Batched validation must accept exactly what [validate] accepts, and
+   on rejection isolate the offending witness index via the fallback. *)
+let test_batched_validation () =
+  let l = Ledger.create ~delta:1 () in
+  let sk, pk = keypair 1 in
+  let sk2, pk2 = keypair 2 in
+  let ops = List.init 3 (fun _ -> Ledger.mint l ~value:100 ~spk:(p2wpkh pk)) in
+  let mk_tx ~signers =
+    let tx =
+      { Tx.inputs = List.map Tx.input_of_outpoint ops;
+        locktime = 0;
+        outputs = [ { Tx.value = 300; spk = p2wpkh pk2 } ];
+        witnesses = [] }
+    in
+    let witnesses =
+      List.mapi
+        (fun i (sk_i, pk_i) ->
+          let sg = Sighash.sign sk_i All tx ~input_index:i in
+          [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk_i) ])
+        signers
+    in
+    { tx with Tx.witnesses }
+  in
+  let good = mk_tx ~signers:[ (sk, pk); (sk, pk); (sk, pk) ] in
+  check_b "batched accepts valid multi-input tx" true
+    (Ledger.validate_batched l good = Ok ());
+  check_b "batched agrees with validate" true
+    (Ledger.validate_batched l good = Ledger.validate l good);
+  (* one bad witness among good ones: rejected, index isolated *)
+  let bad = mk_tx ~signers:[ (sk, pk); (sk2, pk2); (sk, pk) ] in
+  (match Ledger.validate_batched l bad with
+  | Error (Ledger.Invalid_witness (1, _)) -> ()
+  | _ -> Alcotest.fail "expected Invalid_witness at index 1");
+  check_b "batched rejection agrees with validate" true
+    (Ledger.validate_batched l bad = Ledger.validate l bad)
+
 let test_locktime_classes () =
   let l = Ledger.create ~genesis_time:600_000_000 ~delta:1 () in
   let sk, pk = keypair 1 in
@@ -268,6 +304,7 @@ let () =
         [ Alcotest.test_case "mint and spend" `Quick test_mint_and_spend;
           Alcotest.test_case "adversarial delay" `Quick test_adversarial_delay;
           Alcotest.test_case "validity checks" `Quick test_validity_checks;
+          Alcotest.test_case "batched validation" `Quick test_batched_validation;
           Alcotest.test_case "locktime classes" `Quick test_locktime_classes;
           Alcotest.test_case "double spend" `Quick test_double_spend;
           QCheck_alcotest.to_alcotest prop_delay_never_negative ] );

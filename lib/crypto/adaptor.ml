@@ -15,7 +15,7 @@ type pre_signature = { r : Group.element; s_pre : Group.scalar }
 (** [gen_statement rng] draws a witness/statement pair. *)
 let gen_statement (rng : Daric_util.Rng.t) : witness * statement =
   let y = 1 + Daric_util.Rng.int rng (Group.q - 1) in
-  (y, Group.pow Group.g y)
+  (y, Group.pow_g y)
 
 (** [pre_sign sk y_stmt msg] produces a pre-signature valid w.r.t. the
     statement: it becomes a full Schnorr signature once adapted with the
@@ -23,20 +23,20 @@ let gen_statement (rng : Daric_util.Rng.t) : witness * statement =
 let pre_sign (sk : Schnorr.secret_key) (y_stmt : statement) (msg : string) :
     pre_signature =
   let k = Schnorr.nonce sk msg (Group.encode_element y_stmt) in
-  let r = Group.pow Group.g k in
+  let r = Group.pow_g k in
   let e = Schnorr.challenge (Group.mul r y_stmt) (Schnorr.public_key_of_secret sk) msg in
   { r; s_pre = Group.scalar_add k (Group.scalar_mul e sk) }
 
 let pre_verify (pk : Schnorr.public_key) (y_stmt : statement) (msg : string)
     (ps : pre_signature) : bool =
-  Group.is_element ps.r
+  Group.is_element_fast ps.r
   &&
   let e = Schnorr.challenge (Group.mul ps.r y_stmt) pk msg in
-  Group.pow Group.g ps.s_pre = Group.mul ps.r (Group.pow pk e)
+  Group.dbl_pow Group.g ps.s_pre pk (Group.scalar_sub 0 e) = ps.r
 
 (** [adapt ps y] completes a pre-signature into a full signature. *)
 let adapt (ps : pre_signature) (y : witness) : Schnorr.signature =
-  { Schnorr.r = Group.mul ps.r (Group.pow Group.g y);
+  { Schnorr.r = Group.mul ps.r (Group.pow_g y);
     s = Group.scalar_add ps.s_pre y }
 
 (** [extract full ps] recovers the witness from a published full

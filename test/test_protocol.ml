@@ -220,7 +220,7 @@ let test_watchtower_punishes () =
   update_ok s ~id:"chan1" ~bal_a:80_000 ~bal_b:20_000;
   let wt = Watchtower.create ~wid:"wt1" () in
   (match Watchtower.record_for s.alice ~id:"chan1" with
-  | Some r -> Watchtower.watch wt r
+  | Some r -> assert (Watchtower.watch wt r)
   | None -> Alcotest.fail "no watchtower record after update");
   Driver.add_watchtower s.d wt;
   (* Both Alice (offline) and Bob (dishonest) stop acting. *)
@@ -244,7 +244,7 @@ let test_watchtower_ignores_latest () =
   update_ok s ~id:"chan1" ~bal_a:80_000 ~bal_b:20_000;
   let wt = Watchtower.create ~wid:"wt1" () in
   (match Watchtower.record_for s.alice ~id:"chan1" with
-  | Some r -> Watchtower.watch wt r
+  | Some r -> assert (Watchtower.watch wt r)
   | None -> Alcotest.fail "no record");
   Driver.add_watchtower s.d wt;
   Driver.corrupt s.d "alice";
@@ -423,7 +423,7 @@ let test_watchtower_mass_breach () =
         let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:70_000 ~bal_b:30_000 in
         assert (Driver.update_channel d ~id ~initiator:a ~responder:b ~theta);
         (match Watchtower.record_for a ~id with
-        | Some r -> Watchtower.watch wt r
+        | Some r -> assert (Watchtower.watch wt r)
         | None -> Alcotest.fail "no record");
         Driver.corrupt d a.Party.pid;
         Driver.corrupt d b.Party.pid;

@@ -11,9 +11,9 @@
      dune exec bench/main.exe -- table1 --full   # Table 1 up to n = 1000 *)
 
 module Tx = Daric_tx.Tx
-module Party = Daric_core.Party
-module Driver = Daric_core.Driver
-module Txs = Daric_core.Txs
+module I = Daric_schemes.Scheme_intf
+module Harness = Daric_schemes.Harness
+module Registry = Daric_schemes.Registry
 
 let section title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -53,69 +53,51 @@ let run_attack ~full () =
 
 (* Empirical bounded closure: rounds from a fraud (or unilateral
    close) to final resolution, swept over the ledger delay and the
-   dispute window T. The paper's bound is Delta for punishment and
-   T + Delta for closure. *)
+   dispute window T, via the generic scenario engine. The paper's
+   bound is Delta for punishment and T + Delta for closure. *)
 let run_bounded_closure () =
   section "Experiment UC: bounded closure latency (rounds)";
+  let (module S : I.SCHEME) = Registry.find_exn "Daric" in
   Fmt.pr "%-8s %-8s %-14s %-14s %-14s@." "delta" "T" "punish<=delta"
     "close<=T+delta" "measured(p,c)";
   List.iter
     (fun (delta, t_rel) ->
-      (* punishment latency *)
-      let d = Driver.create ~delta ~seed:(delta * 10 + t_rel) () in
-      let alice = Party.create ~pid:"alice" ~seed:1 () in
-      let bob = Party.create ~pid:"bob" ~seed:2 () in
-      Driver.add_party d alice;
-      Driver.add_party d bob;
-      Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:50_000 ~bal_b:50_000
-        ~rel_lock:t_rel ();
-      assert (Driver.run_until_operational d ~id:"c" ~alice ~bob);
-      let cb = Party.chan_exn bob "c" in
-      let old_commit = Option.get cb.Party.commit_mine in
-      let c = Party.chan_exn alice "c" in
-      let pk_a, pk_b = Party.main_pks c in
-      let theta = Txs.balance_state ~pk_a ~pk_b ~bal_a:60_000 ~bal_b:40_000 in
-      assert (Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta);
-      Driver.corrupt d "bob";
-      Driver.adversary_post d old_commit;
-      let fraud_round = Driver.round d in
-      let rec wait_punish n =
-        if Driver.saw_event alice (function Party.Punished _ -> true | _ -> false)
-        then Driver.round d - fraud_round
-        else if n = 0 then -1
-        else begin
-          Driver.step d;
-          wait_punish (n - 1)
-        end
+      let config =
+        { I.default_config with bal_a = 50_000; bal_b = 50_000;
+          rel_lock = t_rel }
       in
-      (* the commit lands within delta, then the revocation within
-         another delta: total <= 2*delta + 1 *)
-      let punish_latency = wait_punish (2 + (3 * delta)) in
-      (* closure latency: unilateral close on a fresh session *)
-      let d2 = Driver.create ~delta ~seed:(delta * 100 + t_rel) () in
-      let a2 = Party.create ~pid:"alice" ~seed:3 () in
-      let b2 = Party.create ~pid:"bob" ~seed:4 () in
-      Driver.add_party d2 a2;
-      Driver.add_party d2 b2;
-      Driver.open_channel d2 ~id:"c" ~alice:a2 ~bob:b2 ~bal_a:50_000
-        ~bal_b:50_000 ~rel_lock:t_rel ();
-      assert (Driver.run_until_operational d2 ~id:"c" ~alice:a2 ~bob:b2);
-      Driver.corrupt d2 "bob";
-      let start = Driver.round d2 in
-      Party.force_close a2 (Driver.ctx d2 "alice") (Party.chan_exn a2 "c");
-      let rec wait_close n =
-        if Driver.saw_event a2 (function Party.Closed _ -> true | _ -> false)
-        then Driver.round d2 - start
-        else if n = 0 then -1
-        else begin
-          Driver.step d2;
-          wait_close (n - 1)
-        end
+      let rounds close =
+        match
+          Harness.run ~config ~env:(I.make_env ~delta ()) (module S)
+            { updates = 1; close }
+        with
+        | Ok { Harness.outcome = Some o; _ } when o.I.resolved -> o.I.rounds
+        | _ -> -1
       in
-      let close_latency = wait_close (t_rel + (4 * delta) + 6) in
       Fmt.pr "%-8d %-8d %-14d %-14d (%d, %d)@." delta t_rel ((2 * delta) + 1)
-        (t_rel + (2 * delta) + 1) punish_latency close_latency)
+        (t_rel + (2 * delta) + 1) (rounds `Dishonest) (rounds `Force))
     [ (1, 3); (1, 6); (2, 5); (3, 8); (4, 10) ]
+
+(* Cross-scheme closure outcomes: dishonest and unilateral closure for
+   every registered scheme under one environment, from the registry. *)
+let run_closure () =
+  section "Experiment REG: closure outcomes across all schemes";
+  Fmt.pr "%-12s %-22s %-22s@." "Scheme" "dishonest (rounds)" "force (rounds)";
+  List.iter
+    (fun (module S : I.SCHEME) ->
+      let show close =
+        match Harness.run_fresh (module S) { updates = 2; close } with
+        | Ok { Harness.outcome = Some o; _ } ->
+            Fmt.str "%s in %d"
+              (if o.I.punished then "punished"
+               else if o.I.resolved then "resolved"
+               else "unresolved")
+              o.I.rounds
+        | Ok _ -> "no outcome"
+        | Error e -> "error: " ^ (I.error_to_string e)
+      in
+      Fmt.pr "%-12s %-22s %-22s@." S.name (show `Dishonest) (show `Force))
+    Registry.all
 
 let run_incentives () =
   section "Experiment S6.2: punishment mechanism";
@@ -222,60 +204,37 @@ let bench_tests () =
     Test.make ~name:"txid_naive"
       (Staged.stage (fun () -> ignore (Tx.txid_uncached txid_tx)))
   in
-  (* one full Daric channel update round-trip (both parties, all
-     messages, no chain interaction) — the per-payment cost *)
-  let update_env =
-    let d = Driver.create ~delta:1 ~seed:9 () in
-    let alice = Party.create ~pid:"alice" ~seed:1 () in
-    let bob = Party.create ~pid:"bob" ~seed:2 () in
-    Driver.add_party d alice;
-    Driver.add_party d bob;
-    Driver.open_channel d ~id:"b" ~alice ~bob ~bal_a:1_000_000 ~bal_b:1_000_000 ();
-    assert (Driver.run_until_operational d ~id:"b" ~alice ~bob);
-    let c = Party.chan_exn alice "b" in
-    let pk_a, pk_b = Party.main_pks c in
+  (* one full channel-update round-trip per registered scheme (for
+     Daric: both parties, all messages, no chain interaction) — the
+     per-payment cost. Limited-lifetime schemes (Outpost) are
+     recreated transparently when their update budget runs out. *)
+  let scheme_update_test (module S : I.SCHEME) =
+    let config =
+      { I.default_config with bal_a = 1_000_000; bal_b = 1_000_000 }
+    in
+    let open_fresh () =
+      match S.open_channel (I.make_env ()) config with
+      | Ok ch -> ch
+      | Error e -> failwith (I.error_to_string e)
+    in
+    let ch = ref (open_fresh ()) in
     let k = ref 0 in
-    fun () ->
+    let step () =
       incr k;
-      let theta =
-        Txs.balance_state ~pk_a ~pk_b
-          ~bal_a:(1_000_000 - (!k mod 1000))
-          ~bal_b:(1_000_000 + (!k mod 1000))
-      in
-      assert (Driver.update_channel d ~id:"b" ~initiator:alice ~responder:bob ~theta)
-  in
-  let daric_update =
-    Test.make ~name:"daric-channel-update" (Staged.stage update_env)
-  in
-  let eltoo_env =
-    let ledger = Daric_chain.Ledger.create ~delta:1 () in
-    let ch = Daric_schemes.Eltoo.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 () in
-    fun () -> ignore (Daric_schemes.Eltoo.update ch ~bal_a:1_000 ~bal_b:1_000)
-  in
-  let eltoo_update =
-    Test.make ~name:"eltoo-channel-update" (Staged.stage eltoo_env)
-  in
-  let ln_env =
-    let ledger = Daric_chain.Ledger.create ~delta:1 () in
-    let ch =
-      Daric_schemes.Lightning.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 ()
+      let bal_a, bal_b = Harness.balance_at config !k in
+      match S.update !ch ~bal_a ~bal_b with
+      | Ok () -> ()
+      | Error _ ->
+          ch := open_fresh ();
+          (match S.update !ch ~bal_a ~bal_b with
+          | Ok () -> ()
+          | Error e -> failwith (I.error_to_string e))
     in
-    fun () -> ignore (Daric_schemes.Lightning.update ch ~bal_a:1_000 ~bal_b:1_000)
+    Test.make
+      ~name:(String.lowercase_ascii S.name ^ "-channel-update")
+      (Staged.stage step)
   in
-  let ln_update =
-    Test.make ~name:"lightning-channel-update" (Staged.stage ln_env)
-  in
-  let gc_env =
-    let ledger = Daric_chain.Ledger.create ~delta:1 () in
-    let ch =
-      Daric_schemes.Generalized.create ~ledger ~rng ~bal_a:1_000 ~bal_b:1_000 ()
-    in
-    fun () ->
-      ignore (Daric_schemes.Generalized.update ch ~bal_a:1_000 ~bal_b:1_000)
-  in
-  let gc_update =
-    Test.make ~name:"generalized-channel-update" (Staged.stage gc_env)
-  in
+  let scheme_updates = List.map scheme_update_test Registry.all in
   (* weight accounting of a full dishonest closure (Table 3 path) *)
   let weights =
     Test.make ~name:"table3-weight-model"
@@ -286,8 +245,8 @@ let bench_tests () =
              Daric_schemes.Costmodel.all))
   in
   [ sign; verify; verify_naive; batch; batch_naive; pow_fixed; pow_naive;
-    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive; daric_update;
-    eltoo_update; ln_update; gc_update; weights ]
+    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive ]
+  @ scheme_updates @ [ weights ]
 
 (* Machine-readable perf trajectory: a flat name -> ns/run map written
    next to the run so successive PRs can diff the same entries. *)
@@ -311,11 +270,15 @@ let write_bench_json ~(quota_s : float) (entries : (string * float) list) :
   close_out oc
 
 (* Every entry the perf-acceptance checks depend on must survive into
-   the JSON; a missing one means the harness bit-rotted. *)
+   the JSON; a missing one means the harness bit-rotted. One
+   channel-update entry per registered scheme. *)
 let required_entries =
   [ "schnorr-sign"; "schnorr-verify"; "schnorr-verify_naive";
-    "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive";
-    "daric-channel-update" ]
+    "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive" ]
+  @ List.map
+      (fun (module S : I.SCHEME) ->
+        String.lowercase_ascii S.name ^ "-channel-update")
+      Registry.all
 
 let run_micro ~smoke () =
   section
@@ -372,6 +335,7 @@ let () =
   if want "table3" then run_table3 ();
   if want "attack" then run_attack ~full ();
   if want "bounded" then run_bounded_closure ();
+  if want "closure" then run_closure ();
   if want "pcn" then run_pcn ~full ();
   if want "incentives" then run_incentives ();
   if want "lifetime" then run_lifetime ();

@@ -107,6 +107,8 @@ let flow_cmd =
 (* ---- demo ---- *)
 
 let demo_cmd =
+  let module I = Daric_schemes.Scheme_intf in
+  let module Registry = Daric_schemes.Registry in
   let updates =
     Arg.(value & opt int 5 & info [ "updates" ] ~doc:"Number of payments.")
   in
@@ -114,57 +116,70 @@ let demo_cmd =
     Arg.(value & flag
          & info [ "dishonest" ] ~doc:"Replay an old state and get punished.")
   in
-  let run logs updates dishonest =
+  let force =
+    Arg.(value & flag
+         & info [ "force" ] ~doc:"Close unilaterally at the latest state.")
+  in
+  let scheme =
+    let scheme_conv =
+      Arg.enum
+        (List.map (fun n -> (String.lowercase_ascii n, n)) (Registry.names ()))
+    in
+    Arg.(value & opt scheme_conv "Daric"
+         & info [ "scheme" ]
+             ~doc:"Channel scheme to run (any registered scheme).")
+  in
+  let run logs updates dishonest force scheme_name =
     setup_logs logs;
-    let module Party = Daric_core.Party in
-    let module Driver = Daric_core.Driver in
-    let module Tx = Daric_tx.Tx in
-    let d = Driver.create ~delta:1 ~seed:99 () in
-    let alice = Party.create ~pid:"alice" ~seed:1 () in
-    let bob = Party.create ~pid:"bob" ~seed:2 () in
-    Driver.add_party d alice;
-    Driver.add_party d bob;
-    Driver.open_channel d ~id:"demo" ~alice ~bob ~bal_a:60_000 ~bal_b:40_000 ();
-    assert (Driver.run_until_operational d ~id:"demo" ~alice ~bob);
-    Fmt.pr "channel open: alice 60000, bob 40000@.";
-    let c = Party.chan_exn alice "demo" in
-    let pk_a, pk_b = Party.main_pks c in
-    let old_commit = Option.get (Party.chan_exn bob "demo").Party.commit_mine in
-    for k = 1 to updates do
-      let theta =
-        Daric_core.Txs.balance_state ~pk_a ~pk_b ~bal_a:(60_000 - (1000 * k))
-          ~bal_b:(40_000 + (1000 * k))
-      in
-      assert (Driver.update_channel d ~id:"demo" ~initiator:alice ~responder:bob ~theta);
-      Fmt.pr "update %d: alice %d, bob %d (state %d)@." k (60_000 - (1000 * k))
-        (40_000 + (1000 * k)) (Party.chan_exn alice "demo").Party.sn
-    done;
-    if dishonest then begin
-      Fmt.pr "bob replays state 0 (60000/40000)...@.";
-      Driver.corrupt d "bob";
-      Driver.adversary_post d old_commit;
-      Driver.run d 10;
-      List.iter
-        (fun (r, ev) -> Fmt.pr "  round %d alice: %s@." r (Party.event_to_string ev))
-        (Party.events alice)
-    end
-    else begin
-      Party.request_close alice (Driver.ctx d "alice") ~id:"demo";
-      Driver.run d 10;
-      Fmt.pr "collaborative close requested...@.";
-      List.iter
-        (fun (r, ev) -> Fmt.pr "  round %d alice: %s@." r (Party.event_to_string ev))
-        (Party.events alice)
-    end;
-    let fund_op = Tx.outpoint_of (Option.get c.Party.fund) 0 in
-    print_string
-      (Daric_core.Flowchart.to_ascii
-         (Daric_core.Flowchart.of_ledger (Driver.ledger d) ~funding:fund_op
-            ~title:"on-chain closure"))
+    let (module S : I.SCHEME) = Registry.find_exn scheme_name in
+    let env = I.make_env ~seed:99 () in
+    let config = { I.default_config with bal_a = 60_000; bal_b = 40_000 } in
+    let fail e =
+      Fmt.epr "%s@." (I.error_to_string e);
+      exit 1
+    in
+    match S.open_channel env config with
+    | Error e -> fail e
+    | Ok ch ->
+        Fmt.pr "channel open (%s): alice %d, bob %d@." S.name config.I.bal_a
+          config.I.bal_b;
+        for k = 1 to updates do
+          let bal_a = config.I.bal_a - (1000 * k)
+          and bal_b = config.I.bal_b + (1000 * k) in
+          (match S.update ch ~bal_a ~bal_b with
+          | Ok () -> ()
+          | Error e -> fail e);
+          Fmt.pr "update %d: alice %d, bob %d (state %d)@." k bal_a bal_b
+            (S.sn ch)
+        done;
+        let close, label =
+          if dishonest then
+            (S.dishonest_close, "bob replays a revoked state...")
+          else if force then (S.force_close, "alice closes unilaterally...")
+          else (S.collaborative_close, "collaborative close requested...")
+        in
+        Fmt.pr "%s@." label;
+        (match close ch with
+        | Error e -> fail e
+        | Ok o ->
+            List.iter
+              (fun ev -> Fmt.pr "  %s@." (I.event_to_string ev))
+              o.I.trace;
+            Fmt.pr "outcome: %s in %d rounds@."
+              (if o.I.punished then "cheater punished"
+               else if o.I.resolved then "resolved"
+               else "unresolved")
+              o.I.rounds);
+        print_string
+          (Daric_core.Flowchart.to_ascii
+             (Daric_core.Flowchart.of_ledger env.I.ledger ~funding:(S.funding ch)
+                ~title:"on-chain closure"))
   in
   Cmd.v
-    (Cmd.info "demo" ~doc:"Run a scripted channel session end to end.")
-    Term.(const run $ log_term $ updates $ dishonest)
+    (Cmd.info "demo"
+       ~doc:"Run a scripted channel session end to end for any registered \
+             scheme.")
+    Term.(const run $ log_term $ updates $ dishonest $ force $ scheme)
 
 (* ---- pcn ---- *)
 

@@ -1,1 +1,1 @@
-lib/analysis/csv.ml: Daric_pcn Daric_schemes Filename Fmt Incentives List Sys Tables
+lib/analysis/csv.ml: Daric_pcn Daric_schemes Filename Fmt Incentives List String Sys Tables

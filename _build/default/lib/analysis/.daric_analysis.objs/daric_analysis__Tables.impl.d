@@ -1,1 +1,1 @@
-lib/analysis/tables.ml: Buffer Daric_chain Daric_core Daric_pcn Daric_schemes Daric_tx Daric_util Format Incentives List
+lib/analysis/tables.ml: Buffer Daric_pcn Daric_schemes Daric_util Format Incentives List Printf Result String

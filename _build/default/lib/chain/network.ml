@@ -7,22 +7,41 @@
 type 'msg envelope = { sender : string; recipient : string; payload : 'msg }
 
 type 'msg t = {
-  mutable in_flight : (int * 'msg envelope) list;  (** (delivery round, env) *)
-  mutable log : (int * 'msg envelope) list;  (** all messages ever sent *)
+  mutable in_flight : (int * 'msg envelope) list;
+      (** (delivery round, env), newest first — sends prepend in O(1) *)
+  mutable log : (int * 'msg envelope) list;  (** newest first *)
+  mutable log_len : int;
+  log_cap : int option;  (** retain at most this many log entries *)
+  mutable total_sent : int;  (** messages ever sent, survives log capping *)
 }
 
-let create () : 'msg t = { in_flight = []; log = [] }
+let create ?log_cap () : 'msg t =
+  { in_flight = []; log = []; log_len = 0; log_cap; total_sent = 0 }
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
 
 (** [send t ~round ~sender ~recipient payload] queues a message sent in
     [round] for delivery in round [round+1]. *)
 let send (t : 'msg t) ~(round : int) ~(sender : string) ~(recipient : string)
     (payload : 'msg) : unit =
   let env = { sender; recipient; payload } in
-  t.in_flight <- t.in_flight @ [ (round + 1, env) ];
-  t.log <- (round, env) :: t.log
+  t.in_flight <- (round + 1, env) :: t.in_flight;
+  t.log <- (round, env) :: t.log;
+  t.log_len <- t.log_len + 1;
+  t.total_sent <- t.total_sent + 1;
+  (* amortized O(1): let the log reach twice the cap, then truncate to
+     the cap's newest entries in one pass *)
+  match t.log_cap with
+  | Some cap when t.log_len > 2 * cap ->
+      t.log <- take cap t.log;
+      t.log_len <- cap
+  | _ -> ()
 
 (** [deliver t ~round ~recipient] removes and returns the messages due
-    for [recipient] at [round], in sending order. *)
+    for [recipient] at [round], in sending order. [in_flight] is kept
+    newest first, so reversing the partitioned slice restores it. *)
 let deliver (t : 'msg t) ~(round : int) ~(recipient : string) :
     'msg envelope list =
   let mine, rest =
@@ -31,8 +50,11 @@ let deliver (t : 'msg t) ~(round : int) ~(recipient : string) :
       t.in_flight
   in
   t.in_flight <- rest;
-  List.map snd mine
+  List.rev_map snd mine
 
-(** Full traffic log (newest first), for adversary observation and
-    tests. *)
+(** Retained traffic log (newest first), for adversary observation and
+    tests. Bounded by [log_cap] when one was given at {!create}. *)
 let log (t : 'msg t) : (int * 'msg envelope) list = t.log
+
+(** Total messages ever sent — unaffected by log capping. *)
+let total_sent (t : 'msg t) : int = t.total_sent

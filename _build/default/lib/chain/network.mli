@@ -7,14 +7,23 @@ type 'msg envelope = { sender : string; recipient : string; payload : 'msg }
 
 type 'msg t
 
-val create : unit -> 'msg t
+val create : ?log_cap:int -> unit -> 'msg t
+(** [log_cap] bounds the retained traffic log (the queue of in-flight
+    messages is always bounded by the synchrony assumption); without it
+    the log keeps every message ever sent. *)
 
 val send :
   'msg t -> round:int -> sender:string -> recipient:string -> 'msg -> unit
+(** O(1) enqueue. *)
 
 val deliver : 'msg t -> round:int -> recipient:string -> 'msg envelope list
 (** Remove and return the messages due for a recipient, in sending
     order. *)
 
 val log : 'msg t -> (int * 'msg envelope) list
-(** Full traffic log, newest first (adversary observation, accounting). *)
+(** Retained traffic log, newest first (adversary observation,
+    accounting); truncated to the newest [log_cap] entries when a cap
+    was set. *)
+
+val total_sent : 'msg t -> int
+(** Messages ever sent — independent of log capping. *)

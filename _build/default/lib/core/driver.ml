@@ -21,13 +21,18 @@ type t = {
   mutable watchtowers : Watchtower.t list;
 }
 
-let create ?(delta = 1) ?genesis_time ?(seed = 0xD0C5) () : t =
-  { ledger = Ledger.create ?genesis_time ~delta ();
+let create ?ledger ?(delta = 1) ?genesis_time ?(seed = 0xD0C5) () : t =
+  let ledger =
+    match ledger with
+    | Some l -> l
+    | None -> Ledger.create ?genesis_time ~delta ()
+  in
+  { ledger;
     net = Network.create ();
     rng = Daric_util.Rng.create ~seed;
     parties = [];
     corrupted = [];
-    post_delay = delta;
+    post_delay = Ledger.delta ledger;
     watchtowers = [] }
 
 let ledger (t : t) : Ledger.t = t.ledger
@@ -169,4 +174,4 @@ let bytes_sent (t : t) : int =
     0 (Network.log t.net)
 
 (** Number of protocol messages exchanged so far. *)
-let messages_sent (t : t) : int = List.length (Network.log t.net)
+let messages_sent (t : t) : int = Network.total_sent t.net

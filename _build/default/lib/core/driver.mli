@@ -12,7 +12,11 @@ module Tx = Daric_tx.Tx
 
 type t
 
-val create : ?delta:int -> ?genesis_time:int -> ?seed:int -> unit -> t
+val create :
+  ?ledger:Ledger.t -> ?delta:int -> ?genesis_time:int -> ?seed:int -> unit -> t
+(** When [ledger] is given the driver runs on that shared ledger (its
+    Δ governs posting delays) instead of creating a private one;
+    [delta]/[genesis_time] then have no effect. *)
 
 val ledger : t -> Ledger.t
 val round : t -> int

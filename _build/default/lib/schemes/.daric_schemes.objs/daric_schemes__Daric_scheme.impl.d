@@ -1,0 +1,1 @@
+lib/schemes/daric_scheme.ml: Daric_chain Daric_core Daric_crypto Daric_tx Scheme_intf

@@ -1,0 +1,1 @@
+lib/schemes/daric_scheme.mli: Scheme_intf

@@ -1,1 +1,1 @@
-lib/schemes/eltoo.ml: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util
+lib/schemes/eltoo.ml: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util Result Scheme_intf

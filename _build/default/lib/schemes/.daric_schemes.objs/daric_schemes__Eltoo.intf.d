@@ -1,1 +1,1 @@
-lib/schemes/eltoo.mli: Daric_chain Daric_core Daric_script Daric_tx Daric_util
+lib/schemes/eltoo.mli: Daric_chain Daric_core Daric_script Daric_tx Daric_util Scheme_intf

@@ -1,1 +1,1 @@
-lib/schemes/generalized.ml: Bytes Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List
+lib/schemes/generalized.ml: Bytes Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List Result Scheme_intf

@@ -1,0 +1,1 @@
+lib/schemes/harness.ml: Result Scheme_intf

@@ -1,0 +1,1 @@
+lib/schemes/harness.mli: Scheme_intf

@@ -1,1 +1,1 @@
-lib/schemes/lightning.mli: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util
+lib/schemes/lightning.mli: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util Scheme_intf

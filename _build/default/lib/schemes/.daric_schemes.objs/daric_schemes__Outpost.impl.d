@@ -1,1 +1,1 @@
-lib/schemes/outpost.ml: Array Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List String
+lib/schemes/outpost.ml: Array Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List Result Scheme_intf String

@@ -1,0 +1,1 @@
+lib/schemes/registry.ml: Cerberus Costmodel Daric_scheme Eltoo Fppw Generalized Lightning List Outpost Scheme_intf Sleepy

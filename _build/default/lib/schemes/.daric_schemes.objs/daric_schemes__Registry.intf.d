@@ -1,0 +1,1 @@
+lib/schemes/registry.mli: Costmodel Scheme_intf

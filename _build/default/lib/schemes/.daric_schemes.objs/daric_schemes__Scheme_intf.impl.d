@@ -1,0 +1,1 @@
+lib/schemes/scheme_intf.ml: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util Printf

@@ -1,1 +1,1 @@
-lib/schemes/sleepy.ml: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List
+lib/schemes/sleepy.ml: Daric_chain Daric_core Daric_crypto Daric_script Daric_tx Daric_util List Result Scheme_intf

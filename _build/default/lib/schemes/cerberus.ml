@@ -198,3 +198,122 @@ let storage_bytes (t : t) ~(who : [ `A | `B ]) : int =
 
 let watchtower_bytes (t : t) : int = List.length t.wt_rev * (4 + 4 + 33)
 let ops (t : t) : int * int * int = (t.ops_signs, t.ops_verifies, t.ops_exps)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "Cerberus"
+  let has_watchtower = true
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable revoked : Tx.t option;  (** A's first superseded commit *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~rel_lock:cfg.rel_lock ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; revoked = None }
+
+  let update s ~bal_a ~bal_b =
+    let old_a, _old_b = update s.ch ~bal_a ~bal_b in
+    if s.revoked = None then s.revoked <- Some old_a;
+    Ok ()
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch ~who:`A
+  let watchtower_bytes s = Some (watchtower_bytes s.ch)
+
+  let ops s =
+    let signs, verifies, exps = ops s.ch in
+    { I.signs; verifies; exps }
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let latest = commit_of s.ch `A in
+    let outputs =
+      List.map2
+        (fun (o : Tx.output) pk -> I.pay_to_pk ~value:o.Tx.value pk)
+        latest.Tx.outputs
+        [ s.ch.a.main.Keys.pk; s.ch.b.main.Keys.pk ]
+    in
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s) ~outputs
+        ~sk_a:s.ch.a.main.Keys.sk ~sk_b:s.ch.b.main.Keys.sk
+        ~wscript:
+          (Some
+             (Script.multisig_2 (Keys.enc s.ch.a.main.Keys.pk)
+                (Keys.enc s.ch.b.main.Keys.pk)))
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some old_commit ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let revoked_i =
+          match old_commit.Tx.inputs with [ i ] -> i.Tx.sequence | _ -> -1
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" old_commit
+        in
+        (match punish s.ch ~victim:`B ~published:old_commit with
+        | None ->
+            Ok { I.punished = false; resolved = false;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Cheater_escaped ] }
+        | Some pen ->
+            let* () =
+              I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" pen
+            in
+            let ok = I.spent s.env (Tx.outpoint_of old_commit 0) in
+            Ok { I.punished = ok; resolved = ok;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Punished ] })
+
+  (* A publishes its latest commit and, after the CSV delay, sweeps
+     its own to_local output via the delayed branch. *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let commit = commit_of s.ch `A in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" commit in
+    I.settle s.env s.ch.rel_lock;
+    let script =
+      output_script s.ch ~rev_pk1:s.ch.a.rev_current.Keys.pk
+        ~rev_pk2:(List.assoc s.ch.sn s.ch.wt_rev).Keys.pk
+        ~delayed_pk:s.ch.a.delayed.Keys.pk
+    in
+    let value = (List.hd commit.Tx.outputs).Tx.value in
+    let body =
+      { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ];
+        locktime = 0;
+        outputs = [ I.pay_to_pk ~value s.ch.a.main.Keys.pk ];
+        witnesses = [] }
+    in
+    let sg = Sighash.sign s.ch.a.delayed.Keys.sk All body ~input_index:0 in
+    let sweep =
+      { body with
+        Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+    in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
+    let ok = I.spent s.env (Tx.outpoint_of commit 0) in
+    Ok { I.punished = false; resolved = ok;
+         rounds = Ledger.height s.env.ledger - h0;
+         trace = [ I.Latest_published; I.Settled ] }
+end

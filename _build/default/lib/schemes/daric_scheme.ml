@@ -1,0 +1,134 @@
+(** Daric as a {!Scheme_intf.SCHEME} instance.
+
+    Unlike the baseline models in this directory, Daric is implemented
+    as a full two-party protocol (lib/core): the wrapper drives the
+    real {!Driver} round loop — INTRO/CREATE handshake, interactive
+    updates, collaborative close, and the Punish daemon reacting to a
+    replayed old commit — and measures storage with the byte-accurate
+    {!Storage}/{!Watchtower} accounting. *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Party = Daric_core.Party
+module Driver = Daric_core.Driver
+module Storage = Daric_core.Storage
+module Watchtower = Daric_core.Watchtower
+module I = Scheme_intf
+
+module Scheme : Scheme_intf.SCHEME = struct
+  let name = "Daric"
+  let has_watchtower = true
+
+  let id = "c"
+
+  type t = {
+    env : I.env;
+    d : Driver.t;
+    alice : Party.t;
+    bob : Party.t;
+    pk_a : Daric_crypto.Schnorr.public_key;
+    pk_b : Daric_crypto.Schnorr.public_key;
+    old_commit : Tx.t;  (** Bob's state-0 commit, snapshotted at open *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let d = Driver.create ~ledger:env.ledger ~seed:42 () in
+    let alice = Party.create ~pid:"alice" ~seed:cfg.party_seed () in
+    let bob = Party.create ~pid:"bob" ~seed:(cfg.party_seed + 1) () in
+    Driver.add_party d alice;
+    Driver.add_party d bob;
+    Driver.open_channel d ~id ~alice ~bob ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b
+      ~rel_lock:cfg.rel_lock ();
+    if not (Driver.run_until_operational d ~id ~alice ~bob) then
+      I.fail ~scheme:name ~stage:"open_channel" "channel failed to open"
+    else
+      let c = Party.chan_exn alice id in
+      let pk_a, pk_b = Party.main_pks c in
+      match (Party.chan_exn bob id).Party.commit_mine with
+      | None ->
+          I.fail ~scheme:name ~stage:"open_channel" "no state-0 commit"
+      | Some old_commit -> Ok { env; d; alice; bob; pk_a; pk_b; old_commit }
+
+  let update s ~bal_a ~bal_b =
+    let theta =
+      Daric_core.Txs.balance_state ~pk_a:s.pk_a ~pk_b:s.pk_b ~bal_a ~bal_b
+    in
+    if
+      Driver.update_channel s.d ~id ~initiator:s.alice ~responder:s.bob ~theta
+    then Ok ()
+    else I.fail ~scheme:name ~stage:"update" "update rejected or timed out"
+
+  let sn s = (Party.chan_exn s.alice id).Party.sn
+  let funding s = Party.funding_outpoint (Party.chan_exn s.alice id)
+  let party_bytes s = Storage.party_bytes s.alice ~id
+
+  let watchtower_bytes s =
+    match Watchtower.record_for s.alice ~id with
+    | Some r -> Some (Watchtower.record_bytes r)
+    | None -> Some 0
+
+  let ops s =
+    let o = Party.ops s.alice in
+    { I.signs = o.Party.signs; verifies = o.Party.verifies; exps = o.Party.exps }
+
+  let saw s ev = Driver.saw_event s.alice ev
+
+  (* Step the driver until [done_ ()] or [max] rounds elapse. *)
+  let run_until s ~max done_ =
+    let n = ref 0 in
+    while (not (done_ ())) && !n < max do
+      Driver.step s.d;
+      incr n
+    done;
+    done_ ()
+
+  let rel_lock s = (Party.chan_exn s.alice id).Party.cfg.Party.rel_lock
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    Party.request_close s.alice (Driver.ctx s.d "alice") ~id;
+    let closed () = saw s (function Party.Closed _ -> true | _ -> false) in
+    if run_until s ~max:20 closed then
+      Ok { I.punished = false; resolved = true;
+           rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+    else
+      I.fail ~scheme:name ~stage:"collaborative_close"
+        "close did not confirm in time"
+
+  (* Corrupted Bob replays his state-0 commit; Alice's Punish daemon
+     reacts with the floating revocation transaction. *)
+  let dishonest_close s =
+    if sn s = 0 then
+      I.fail ~scheme:name ~stage:"dishonest_close"
+        "no revoked state (needs at least one update)"
+    else begin
+      let h0 = Ledger.height s.env.ledger in
+      Driver.corrupt s.d "bob";
+      Driver.adversary_post s.d s.old_commit;
+      let punished () =
+        saw s (function Party.Punished _ -> true | _ -> false)
+      in
+      let ok = run_until s ~max:((4 * rel_lock s) + 12) punished in
+      Ok { I.punished = ok; resolved = ok;
+           rounds = Ledger.height s.env.ledger - h0;
+           trace =
+             (if ok then [ I.Old_state_published 0; I.Punished ]
+              else [ I.Old_state_published 0; I.Cheater_escaped ]) }
+    end
+
+  (* Alice posts her newest enforceable commit against an unresponsive
+     Bob; the Punish daemon schedules the split after T rounds. *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    Driver.corrupt s.d "bob";
+    Party.force_close s.alice (Driver.ctx s.d "alice")
+      (Party.chan_exn s.alice id);
+    let closed () = saw s (function Party.Closed _ -> true | _ -> false) in
+    let ok = run_until s ~max:((4 * rel_lock s) + 12) closed in
+    if ok then
+      Ok { I.punished = false; resolved = true;
+           rounds = Ledger.height s.env.ledger - h0;
+           trace = [ I.Latest_published; I.Settled ] }
+    else
+      I.fail ~scheme:name ~stage:"force_close" "split did not confirm in time"
+end

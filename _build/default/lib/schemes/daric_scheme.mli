@@ -1,0 +1,5 @@
+(** Daric as a {!Scheme_intf.SCHEME} instance, driving the real
+    two-party protocol of lib/core through the generic lifecycle
+    engine. *)
+
+module Scheme : Scheme_intf.SCHEME

@@ -216,3 +216,115 @@ let storage_bytes (t : t) : int =
   + (2 * Schnorr.signature_size)
 
 let ops (t : t) : int * int * int = (t.ops_signs, t.ops_verifies, t.ops_exps)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "eltoo"
+  let has_watchtower = false
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable revoked : (int * (Tx.t * (string * string))) option;
+        (** first superseded (update, sigs) pair, kept by a cheater *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~rel_lock:cfg.rel_lock ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; revoked = None }
+
+  let update s ~bal_a ~bal_b =
+    let i = s.ch.sn in
+    let old = update s.ch ~bal_a ~bal_b in
+    if s.revoked = None then s.revoked <- Some (i, old);
+    Ok ()
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch
+  let watchtower_bytes _ = None
+
+  (* The protocol is symmetric: the module counts both parties' work,
+     so halve for the per-party view every other scheme reports. *)
+  let ops s =
+    let signs, verifies, exps = ops s.ch in
+    { I.signs = signs / 2; verifies = verifies / 2; exps = exps / 2 }
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    (* the stored settlement already carries the latest balance split;
+       the funding output is a raw 2-of-2 on the update keys *)
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s)
+        ~outputs:s.ch.settlement.Tx.outputs ~sk_a:s.ch.ka.upd.Keys.sk
+        ~sk_b:s.ch.kb.upd.Keys.sk ~wscript:None
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  (* No punishment in eltoo: the victim overrides the published old
+     update with the latest one, then settles after the CSV delay. *)
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some (i, old_pair) ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let old_tx =
+          complete_update s.ch old_pair ~from:`Funding ~outpoint:(funding s)
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" old_tx
+        in
+        let latest =
+          latest_update_completed s.ch ~from:(`Update i)
+            ~outpoint:(Tx.outpoint_of old_tx 0)
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" latest
+        in
+        I.settle s.env s.ch.rel_lock;
+        let settle_tx =
+          latest_settlement_completed s.ch ~outpoint:(Tx.outpoint_of latest 0)
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" settle_tx
+        in
+        Ok { I.punished = false;
+             resolved = I.spent s.env (Tx.outpoint_of latest 0);
+             rounds = Ledger.height s.env.ledger - h0;
+             trace =
+               [ I.Old_state_published i; I.Latest_published; I.Overridden;
+                 I.Settled ] }
+
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let latest =
+      latest_update_completed s.ch ~from:`Funding ~outpoint:(funding s)
+    in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" latest in
+    I.settle s.env s.ch.rel_lock;
+    let settle_tx =
+      latest_settlement_completed s.ch ~outpoint:(Tx.outpoint_of latest 0)
+    in
+    let* () =
+      I.post_confirmed s.env ~scheme:name ~stage:"force_close" settle_tx
+    in
+    Ok { I.punished = false;
+         resolved = I.spent s.env (Tx.outpoint_of latest 0);
+         rounds = Ledger.height s.env.ledger - h0;
+         trace = [ I.Latest_published; I.Settled ] }
+end

@@ -76,3 +76,7 @@ val storage_bytes : t -> int
 
 val ops : t -> int * int * int
 (** Cumulative (signs, verifies, exponentiations), both parties. *)
+
+(** First-class {!Scheme_intf.SCHEME} instance driving this module
+    through the generic lifecycle engine. *)
+module Scheme : Scheme_intf.SCHEME

@@ -272,3 +272,105 @@ let storage_bytes (t : t) ~(who : [ `A | `B ]) : int =
   + (List.length side.received_preimages * (4 + 32))
 
 let ops (t : t) : int * int * int = (t.ops_signs, t.ops_verifies, t.ops_exps)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "Generalized"
+  let has_watchtower = true
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable bal : int * int;
+    mutable revoked : old_state option;  (** first revoked state *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~rel_lock:cfg.rel_lock ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; bal = (cfg.bal_a, cfg.bal_b); revoked = None }
+
+  let update s ~bal_a ~bal_b =
+    let old = update s.ch ~bal_a ~bal_b in
+    if s.revoked = None then s.revoked <- Some old;
+    s.bal <- (bal_a, bal_b);
+    Ok ()
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch ~who:`A
+  let watchtower_bytes s = Some (List.length s.ch.a.received_preimages * (4 + 32))
+
+  let ops s =
+    let signs, verifies, exps = ops s.ch in
+    { I.signs; verifies; exps }
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let bal_a, bal_b = s.bal in
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s)
+        ~outputs:
+          (Daric_core.Txs.balance_state ~pk_a:s.ch.a.main.Keys.pk
+             ~pk_b:s.ch.b.main.Keys.pk ~bal_a ~bal_b)
+        ~sk_a:s.ch.a.main.Keys.sk ~sk_b:s.ch.b.main.Keys.sk
+        ~wscript:
+          (Some
+             (Script.multisig_2 (Keys.enc s.ch.a.main.Keys.pk)
+                (Keys.enc s.ch.b.main.Keys.pk)))
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  (* Cheating A adapts B's pre-signature to publish a revoked commit —
+     revealing the publishing witness — and B punishes with it plus the
+     revoked preimage. *)
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some old ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let published = publish_commit_as_a s.ch old in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" published
+        in
+        (match punish_as_b s.ch ~published old with
+        | None ->
+            Ok { I.punished = false; resolved = false;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published old.o_index; I.Cheater_escaped ] }
+        | Some pen ->
+            let* () =
+              I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" pen
+            in
+            let ok = I.spent s.env (Tx.outpoint_of published 0) in
+            Ok { I.punished = ok; resolved = ok;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published old.o_index; I.Punished ] })
+
+  (* Publish the latest commit, wait out the CSV delay, then split. *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let commit = commit_completed_latest s.ch in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" commit in
+    I.settle s.env s.ch.rel_lock;
+    let split = split_completed s.ch in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" split in
+    let ok = I.spent s.env (Tx.outpoint_of commit 0) in
+    Ok { I.punished = false; resolved = ok;
+         rounds = Ledger.height s.env.ledger - h0;
+         trace = [ I.Latest_published; I.Settled ] }
+end

@@ -73,3 +73,7 @@ val commit_completed_latest : t -> Tx.t
 val funding_outpoint : t -> Tx.outpoint
 val storage_bytes : t -> who:[ `A | `B ] -> int
 val ops : t -> int * int * int
+
+(** First-class {!Scheme_intf.SCHEME} instance driving this module
+    through the generic lifecycle engine. *)
+module Scheme : Scheme_intf.SCHEME

@@ -230,3 +230,108 @@ let watchtower_bytes (t : t) : int =
   List.length t.a.received_secrets * (4 + 4 + 32)
 
 let ops (t : t) : int * int * int = (t.ops_signs, t.ops_verifies, t.ops_exps)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "Lightning"
+  let has_watchtower = true
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable bal : int * int;
+    mutable revoked : (int * Tx.t) option;
+        (** A's first superseded commit, kept by a cheating A *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~rel_lock:cfg.rel_lock ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; bal = (cfg.bal_a, cfg.bal_b); revoked = None }
+
+  let update s ~bal_a ~bal_b =
+    let i = s.ch.sn in
+    let old_a, _old_b = update s.ch ~bal_a ~bal_b in
+    if s.revoked = None then s.revoked <- Some (i, old_a);
+    s.bal <- (bal_a, bal_b);
+    Ok ()
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch ~who:`A
+  let watchtower_bytes s = Some (watchtower_bytes s.ch)
+
+  let ops s =
+    let signs, verifies, exps = ops s.ch in
+    { I.signs; verifies; exps }
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let bal_a, bal_b = s.bal in
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s)
+        ~outputs:
+          [ I.pay_to_pk ~value:bal_a s.ch.a.keys.main.Keys.pk;
+            I.pay_to_pk ~value:bal_b s.ch.b.keys.main.Keys.pk ]
+        ~sk_a:s.ch.a.keys.main.Keys.sk ~sk_b:s.ch.b.keys.main.Keys.sk
+        ~wscript:
+          (Some
+             (Script.multisig_2
+                (Keys.enc s.ch.a.keys.main.Keys.pk)
+                (Keys.enc s.ch.b.keys.main.Keys.pk)))
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  (* Cheating A publishes the first revoked commit; victim B reacts
+     with the penalty transaction inside the CSV window. *)
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some (i, old_commit) ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close"
+            old_commit
+        in
+        (match penalty s.ch ~victim:`B ~published:old_commit ~revoked_index:i with
+        | None ->
+            Ok { I.punished = false; resolved = false;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published i; I.Cheater_escaped ] }
+        | Some pen ->
+            let* () =
+              I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" pen
+            in
+            let ok = I.spent s.env (Tx.outpoint_of old_commit 0) in
+            Ok { I.punished = ok; resolved = ok;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published i; I.Punished ] })
+
+  (* A closes unilaterally at the latest state, then sweeps her
+     to_local output once the CSV delay elapsed. *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let commit = commit_of s.ch `A in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" commit in
+    I.settle s.env s.ch.rel_lock;
+    let sweep = sweep_to_local s.ch ~who:`A ~published:commit in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
+    let ok = I.spent s.env (Tx.outpoint_of commit 0) in
+    Ok { I.punished = false; resolved = ok;
+         rounds = Ledger.height s.env.ledger - h0;
+         trace = [ I.Latest_published; I.Settled ] }
+end

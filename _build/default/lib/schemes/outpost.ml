@@ -249,3 +249,132 @@ let storage_bytes (t : t) ~(who : [ `A | `B ]) : int =
   (2 * kp) + 16 + Tx.non_witness_size commit + Tx.witness_size commit
 
 let ops (t : t) : int * int = (t.ops_signs, t.ops_verifies)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "Outpost"
+  let has_watchtower = true
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable revoked : Tx.t option;  (** A's first superseded commit *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~rel_lock:cfg.rel_lock ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; revoked = None }
+
+  (* The reverse hash chain bounds the channel lifetime to n_max
+     updates; callers recreate the channel when it is exhausted. *)
+  let update s ~bal_a ~bal_b =
+    if s.ch.sn >= n_max then
+      I.fail ~scheme:name ~stage:"update" "lifetime exhausted (n_max updates)"
+    else begin
+      let old_a, _old_b = update s.ch ~bal_a ~bal_b in
+      if s.revoked = None then s.revoked <- Some old_a;
+      Ok ()
+    end
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch ~who:`A
+  let watchtower_bytes s = Some (watchtower_bytes s.ch)
+
+  let ops s =
+    let signs, verifies = ops s.ch in
+    { I.signs; verifies; exps = 0 }
+
+  (* Latest balances as recorded in A's latest commit outputs. *)
+  let bal s =
+    match (commit_of s.ch `A).Tx.outputs with
+    | own :: other :: _ -> (own.Tx.value, other.Tx.value)
+    | _ -> (0, 0)
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let bal_a, bal_b = bal s in
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s)
+        ~outputs:
+          [ I.pay_to_pk ~value:bal_a s.ch.a.main.Keys.pk;
+            I.pay_to_pk ~value:bal_b s.ch.b.main.Keys.pk;
+            (* the 1-satoshi data-output carrier is burned *)
+            { Tx.value = 1; spk = Tx.Op_return } ]
+        ~sk_a:s.ch.a.main.Keys.sk ~sk_b:s.ch.b.main.Keys.sk
+        ~wscript:
+          (Some
+             (Script.multisig_2 (Keys.enc s.ch.a.main.Keys.pk)
+                (Keys.enc s.ch.b.main.Keys.pk)))
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some old_commit ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let revoked_i =
+          match old_commit.Tx.inputs with [ i ] -> i.Tx.sequence | _ -> -1
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" old_commit
+        in
+        (match punish s.ch ~victim:`B ~published:old_commit with
+        | None ->
+            Ok { I.punished = false; resolved = false;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Cheater_escaped ] }
+        | Some pen ->
+            let* () =
+              I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" pen
+            in
+            let ok = I.spent s.env (Tx.outpoint_of old_commit 0) in
+            Ok { I.punished = ok; resolved = ok;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Punished ] })
+
+  (* A publishes its latest commit and, after the CSV delay, sweeps
+     its own balance output via the delayed owner branch. *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let commit = commit_of s.ch `A in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" commit in
+    I.settle s.env s.ch.rel_lock;
+    let script =
+      balance_script s.ch ~rev_pk:(rev_pk s.ch.a ~j:s.ch.sn)
+        ~penalty_pk:s.ch.b.penalty.Keys.pk ~owner_pk:s.ch.a.main.Keys.pk
+    in
+    let value = (List.hd commit.Tx.outputs).Tx.value in
+    let body =
+      { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ];
+        locktime = 0;
+        outputs = [ I.pay_to_pk ~value s.ch.a.main.Keys.pk ];
+        witnesses = [] }
+    in
+    let sg = Sighash.sign s.ch.a.main.Keys.sk All body ~input_index:0 in
+    let sweep =
+      { body with
+        Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+    in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
+    let ok = I.spent s.env (Tx.outpoint_of commit 0) in
+    Ok { I.punished = false; resolved = ok;
+         rounds = Ledger.height s.env.ledger - h0;
+         trace = [ I.Latest_published; I.Settled ] }
+end

@@ -1,0 +1,194 @@
+(** First-class channel-scheme interface.
+
+    Every payment-channel construction in this repository — Daric and
+    the seven baselines of Table 1 — implements the {!SCHEME} module
+    type, so tables, benchmarks, the CLI and the conformance suite can
+    drive any of them through one lifecycle with one instrumentation
+    path:
+
+    open → update×n → collaborative close
+                    | dishonest old-state publication → dispute
+                    | non-collaborative force close → dispute
+
+    Instrumentation is uniform: party/watchtower storage in bytes,
+    cumulative Sign/Verify/Exp counters, and a structured trace of
+    {!event}s for every closure scenario. Failures are typed
+    ({!error}) rather than exceptions, so one scheme's failure never
+    kills a whole table regeneration. *)
+
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Ledger = Daric_chain.Ledger
+module Keys = Daric_core.Keys
+
+(* ------------------------------------------------------------------ *)
+(* Shared environment.                                                 *)
+
+(** The shared execution environment a scheme instance runs against. *)
+type env = { ledger : Ledger.t; rng : Daric_util.Rng.t; delta : int }
+
+let make_env ?(delta = 1) ?(seed = 7) () : env =
+  { ledger = Ledger.create ~delta ();
+    rng = Daric_util.Rng.create ~seed;
+    delta }
+
+(** Per-channel opening parameters. [t_end] only matters to schemes
+    with a limited lifetime (Sleepy); [party_seed] to schemes that
+    create their own protocol parties (Daric). *)
+type config = {
+  bal_a : int;
+  bal_b : int;
+  rel_lock : int;  (** dispute window T (rounds) *)
+  t_end : int;  (** absolute channel end-time (Sleepy) *)
+  party_seed : int;
+}
+
+let default_config =
+  { bal_a = 500_000; bal_b = 500_000; rel_lock = 3; t_end = 1_000_000;
+    party_seed = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation.                                                    *)
+
+(** Cumulative per-party operation counters (Table 3 accounting). *)
+type ops = { signs : int; verifies : int; exps : int }
+
+let ops_zero = { signs = 0; verifies = 0; exps = 0 }
+
+let ops_sub (a : ops) (b : ops) : ops =
+  { signs = a.signs - b.signs;
+    verifies = a.verifies - b.verifies;
+    exps = a.exps - b.exps }
+
+let ops_div (o : ops) (n : int) : ops =
+  if n <= 0 then ops_zero
+  else { signs = o.signs / n; verifies = o.verifies / n; exps = o.exps / n }
+
+(** Structured trace events emitted by the closure scenarios. *)
+type event =
+  | Opened
+  | Updated of int  (** new state number *)
+  | Old_state_published of int  (** revoked state number *)
+  | Latest_published
+  | Punished
+  | Overridden  (** old state superseded on-chain without punishment *)
+  | Settled  (** final balances enforced on-chain *)
+  | Cheater_escaped  (** dispute lost: no reaction was possible *)
+
+let event_to_string = function
+  | Opened -> "opened"
+  | Updated i -> Printf.sprintf "updated to state %d" i
+  | Old_state_published i -> Printf.sprintf "old state %d published" i
+  | Latest_published -> "latest state published"
+  | Punished -> "cheater punished"
+  | Overridden -> "old state overridden"
+  | Settled -> "settled"
+  | Cheater_escaped -> "cheater escaped"
+
+(** Result of a closure scenario. [rounds] counts ledger rounds from
+    the scenario start to its last on-chain effect. *)
+type outcome = {
+  punished : bool;
+  resolved : bool;
+  rounds : int;
+  trace : event list;
+}
+
+(** Typed failure: which scheme, at which lifecycle stage, and why. *)
+type error = { scheme : string; stage : string; reason : string }
+
+let error_to_string (e : error) : string =
+  Printf.sprintf "%s/%s: %s" e.scheme e.stage e.reason
+
+let fail ~scheme ~stage reason : ('a, error) result =
+  Error { scheme; stage; reason }
+
+(* ------------------------------------------------------------------ *)
+(* The interface.                                                      *)
+
+module type SCHEME = sig
+  val name : string
+  (** Matches the scheme's {!Costmodel} row name. *)
+
+  val has_watchtower : bool
+
+  type t
+
+  val open_channel : env -> config -> (t, error) result
+  val update : t -> bal_a:int -> bal_b:int -> (unit, error) result
+  val sn : t -> int
+  val funding : t -> Tx.outpoint
+
+  val party_bytes : t -> int
+  (** One party's current channel storage, in bytes. *)
+
+  val watchtower_bytes : t -> int option
+  (** [None] when the scheme has no watchtower protocol. *)
+
+  val ops : t -> ops
+  (** Cumulative per-party operation counters. *)
+
+  val collaborative_close : t -> (outcome, error) result
+  (** Both parties co-sign the final balance split. *)
+
+  val dishonest_close : t -> (outcome, error) result
+  (** One party publishes a revoked state; the other disputes. Requires
+      at least one prior {!update}. *)
+
+  val force_close : t -> (outcome, error) result
+  (** Unilateral close at the latest state, then dispute resolution. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing for SCHEME implementations.                         *)
+
+(** Advance the shared ledger [n] rounds. *)
+let settle (env : env) (n : int) : unit =
+  for _ = 1 to n do
+    ignore (Ledger.tick env.ledger)
+  done
+
+(** Validate, post with no adversarial delay, and confirm in the next
+    round. The explicit validation turns ledger rejections into typed
+    errors instead of silently dropped transactions. *)
+let post_confirmed (env : env) ~(scheme : string) ~(stage : string)
+    (tx : Tx.t) : (unit, error) result =
+  match Ledger.validate env.ledger tx with
+  | Error r -> fail ~scheme ~stage (Ledger.reject_to_string r)
+  | Ok () ->
+      Ledger.post env.ledger tx ~delay:0;
+      settle env 1;
+      Ok ()
+
+let spent (env : env) (op : Tx.outpoint) : bool =
+  Ledger.spender_of env.ledger op <> None
+
+(** Co-signed collaborative-close transaction spending the funding
+    output directly to [outputs]. [wscript] is the revealed funding
+    witness script for P2WSH funding outputs; [None] means the funding
+    output carries a raw script (eltoo). *)
+let coop_close_tx ~(outpoint : Tx.outpoint) ~(outputs : Tx.output list)
+    ~(sk_a : Daric_crypto.Schnorr.secret_key)
+    ~(sk_b : Daric_crypto.Schnorr.secret_key) ~(wscript : Script.t option) :
+    Tx.t =
+  let body =
+    { Tx.inputs = [ Tx.input_of_outpoint outpoint ]; locktime = 0; outputs;
+      witnesses = [] }
+  in
+  let msg = Sighash.message All body ~input_index:0 in
+  let sig_a = Sighash.sign_message sk_a All msg in
+  let sig_b = Sighash.sign_message sk_b All msg in
+  let wit =
+    match wscript with
+    | Some script ->
+        [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ]
+    | None -> [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b ]
+  in
+  { body with Tx.witnesses = [ wit ] }
+
+(** P2WPKH output paying [value] to [pk]. *)
+let pay_to_pk ~(value : int) (pk : Daric_crypto.Schnorr.public_key) :
+    Tx.output =
+  { Tx.value;
+    spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc pk)) }

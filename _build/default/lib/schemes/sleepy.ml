@@ -207,3 +207,118 @@ let storage_bytes (t : t) ~(who : [ `A | `B ]) : int =
   + (List.length side.received_rev * 8)
 
 let ops (t : t) : int * int = (t.ops_signs, t.ops_verifies)
+
+(* ------------------------------------------------------------------ *)
+(* SCHEME instance.                                                    *)
+
+module Scheme : Scheme_intf.SCHEME = struct
+  module I = Scheme_intf
+
+  let name = "Sleepy"
+  let has_watchtower = false
+
+  type nonrec t = {
+    env : I.env;
+    ch : t;
+    mutable revoked : (Tx.t * Schnorr.public_key) option;
+        (** A's first superseded commit + the rev key that state used *)
+  }
+
+  let open_channel (env : I.env) (cfg : I.config) =
+    let ch =
+      create ~t_end:cfg.t_end ~ledger:env.ledger ~rng:env.rng
+        ~bal_a:cfg.bal_a ~bal_b:cfg.bal_b ()
+    in
+    Ok { env; ch; revoked = None }
+
+  let update s ~bal_a ~bal_b =
+    let old_rev_a = s.ch.a.rev_current.Keys.pk in
+    let old_a, _old_b = update s.ch ~bal_a ~bal_b in
+    if s.revoked = None then s.revoked <- Some (old_a, old_rev_a);
+    Ok ()
+
+  let sn s = s.ch.sn
+  let funding s = funding_outpoint s.ch
+  let party_bytes s = storage_bytes s.ch ~who:`A
+  let watchtower_bytes _ = None
+
+  let ops s =
+    let signs, verifies = ops s.ch in
+    { I.signs; verifies; exps = 0 }
+
+  let collaborative_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let latest = commit_of s.ch `A in
+    let outputs =
+      List.map2
+        (fun (o : Tx.output) pk -> I.pay_to_pk ~value:o.Tx.value pk)
+        latest.Tx.outputs
+        [ s.ch.a.main.Keys.pk; s.ch.b.main.Keys.pk ]
+    in
+    let tx =
+      I.coop_close_tx ~outpoint:(funding s) ~outputs
+        ~sk_a:s.ch.a.main.Keys.sk ~sk_b:s.ch.b.main.Keys.sk
+        ~wscript:
+          (Some
+             (Script.multisig_2 (Keys.enc s.ch.a.main.Keys.pk)
+                (Keys.enc s.ch.b.main.Keys.pk)))
+    in
+    match I.post_confirmed s.env ~scheme:name ~stage:"collaborative_close" tx with
+    | Error e -> Error e
+    | Ok () ->
+        Ok { I.punished = false; resolved = I.spent s.env (funding s);
+             rounds = Ledger.height s.env.ledger - h0; trace = [ I.Settled ] }
+
+  (* The sleepy victim wakes before T_end and claims the cheater's
+     balance with the revealed revocation secret — no relative timer. *)
+  let dishonest_close s =
+    match s.revoked with
+    | None ->
+        I.fail ~scheme:name ~stage:"dishonest_close"
+          "no revoked state (needs at least one update)"
+    | Some (old_commit, _) ->
+        let h0 = Ledger.height s.env.ledger in
+        let ( let* ) = Result.bind in
+        let revoked_i =
+          match old_commit.Tx.inputs with [ i ] -> i.Tx.sequence | _ -> -1
+        in
+        let* () =
+          I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" old_commit
+        in
+        (match punish s.ch ~victim:`B ~published:old_commit with
+        | None ->
+            Ok { I.punished = false; resolved = false;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Cheater_escaped ] }
+        | Some pen ->
+            let* () =
+              I.post_confirmed s.env ~scheme:name ~stage:"dishonest_close" pen
+            in
+            let ok = I.spent s.env (Tx.outpoint_of old_commit 0) in
+            Ok { I.punished = ok; resolved = ok;
+                 rounds = Ledger.height s.env.ledger - h0;
+                 trace = [ I.Old_state_published revoked_i; I.Punished ] })
+
+  (* The publisher can sweep her balance only after the absolute
+     end-time T_end, so the sweep happens only when T_end is near
+     enough to reach by ticking; otherwise the commit publication
+     itself resolves the channel (the defining Sleepy trade-off). *)
+  let force_close s =
+    let h0 = Ledger.height s.env.ledger in
+    let ( let* ) = Result.bind in
+    let commit = commit_of s.ch `A in
+    let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" commit in
+    let wait = remaining_lifetime s.ch in
+    if wait >= 0 && wait <= 64 then (
+      I.settle s.env wait;
+      let sweep = sweep_own s.ch ~who:`A ~published:commit in
+      let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
+      let ok = I.spent s.env (Tx.outpoint_of commit 0) in
+      Ok { I.punished = false; resolved = ok;
+           rounds = Ledger.height s.env.ledger - h0;
+           trace = [ I.Latest_published; I.Settled ] })
+    else
+      Ok { I.punished = false; resolved = I.spent s.env (funding s);
+           rounds = Ledger.height s.env.ledger - h0;
+           trace = [ I.Latest_published ] }
+end

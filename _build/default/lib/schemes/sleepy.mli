@@ -56,3 +56,7 @@ val funding_outpoint : t -> Tx.outpoint
 val remaining_lifetime : t -> int
 val storage_bytes : t -> who:[ `A | `B ] -> int
 val ops : t -> int * int
+
+(** First-class {!Scheme_intf.SCHEME} instance driving this module
+    through the generic lifecycle engine. *)
+module Scheme : Scheme_intf.SCHEME

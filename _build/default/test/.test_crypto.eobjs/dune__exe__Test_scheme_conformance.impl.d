@@ -1,0 +1,1 @@
+test/test_scheme_conformance.ml: Alcotest Daric_schemes List Printf

@@ -1,19 +1,23 @@
 (** Regeneration of the paper's tables.
 
     - {!table1}: the qualitative scheme comparison, backed by *measured*
-      party/watchtower storage growth over n updates for the executable
-      schemes (Daric, eltoo, Lightning, Generalized).
+      party/watchtower storage growth over n updates for every
+      executable scheme in {!Daric_schemes.Registry}.
     - {!table3}: on-chain closure costs and per-update operation counts
       for all eight schemes, from the Appendix-H closed forms, with the
       paper-quoted weight strings side by side; plus measured operation
-      counts from the executable implementations. *)
+      counts from the executable implementations.
 
-module Tx = Daric_tx.Tx
-module Party = Daric_core.Party
-module Driver = Daric_core.Driver
-module Storage = Daric_core.Storage
-module Watchtower = Daric_core.Watchtower
+    All measurements run through the generic scenario engine
+    ({!Daric_schemes.Harness}): this module contains no per-scheme
+    lifecycle wiring, only registry iteration plus the tables' column
+    layouts. Scheme failures surface as [Error] cells and footnotes
+    instead of aborting the whole regeneration. *)
+
 module Costmodel = Daric_schemes.Costmodel
+module Registry = Daric_schemes.Registry
+module Harness = Daric_schemes.Harness
+module Intf = Daric_schemes.Scheme_intf
 
 let fmt_buf (f : Format.formatter -> unit) : string =
   let b = Buffer.create 1024 in
@@ -25,106 +29,95 @@ let fmt_buf (f : Format.formatter -> unit) : string =
 (* ------------------------------------------------------------------ *)
 (* Table 1: storage measurements.                                      *)
 
+(** One scheme's storage snapshot after n updates. *)
+type measurement = { party : int; watchtower : int option }
+
+(** One row of the Table 1 sweep: every registered scheme's measurement
+    (or the reason it failed), keyed by scheme name. *)
 type storage_point = {
   n_updates : int;
-  daric_party : int;
-  daric_watchtower : int;
-  eltoo_party : int;
-  lightning_party : int;
-  lightning_watchtower : int;
-  generalized_party : int;
-  fppw_party : int;
-  fppw_watchtower : int;
-  cerberus_party : int;
-  sleepy_party : int;
-  outpost_party : int;
-  outpost_watchtower : int;
+  rows : (string * (measurement, string) result) list;
 }
 
-(** Drive a real Daric channel through [n] updates and report party and
-    watchtower storage in bytes. *)
-let daric_storage ~(n : int) : int * int =
-  let d = Driver.create ~delta:1 ~seed:42 () in
-  let alice = Party.create ~pid:"alice" ~seed:1 () in
-  let bob = Party.create ~pid:"bob" ~seed:2 () in
-  Driver.add_party d alice;
-  Driver.add_party d bob;
-  Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:500_000 ~bal_b:500_000 ();
-  if not (Driver.run_until_operational d ~id:"c" ~alice ~bob) then
-    failwith "daric_storage: channel failed to open";
-  let c = Party.chan_exn alice "c" in
-  let pk_a, pk_b = Party.main_pks c in
-  for k = 1 to n do
-    let theta =
-      Daric_core.Txs.balance_state ~pk_a ~pk_b
-        ~bal_a:(500_000 - (k mod 1000))
-        ~bal_b:(500_000 + (k mod 1000))
-    in
-    if not (Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta)
-    then failwith "daric_storage: update failed"
-  done;
-  let wt_bytes =
-    match Watchtower.record_for alice ~id:"c" with
-    | Some r -> Watchtower.record_bytes r
-    | None -> 0
-  in
-  (Storage.party_bytes alice ~id:"c", wt_bytes)
-
 let storage_point ~(n : int) : storage_point =
-  let rng = Daric_util.Rng.create ~seed:7 in
-  let ledger = Daric_chain.Ledger.create ~delta:1 () in
-  let el = Daric_schemes.Eltoo.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 () in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Eltoo.update el ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let ln =
-    Daric_schemes.Lightning.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 ()
-  in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Lightning.update ln ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let gc =
-    Daric_schemes.Generalized.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 ()
-  in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Generalized.update gc ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let fw = Daric_schemes.Fppw.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 () in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Fppw.update fw ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let cb = Daric_schemes.Cerberus.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 () in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Cerberus.update cb ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let sl =
-    Daric_schemes.Sleepy.create ~t_end:1_000_000 ~ledger ~rng ~bal_a:500_000
-      ~bal_b:500_000 ()
-  in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Sleepy.update sl ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let op = Daric_schemes.Outpost.create ~ledger ~rng ~bal_a:500_000 ~bal_b:500_000 () in
-  for _ = 1 to n do
-    ignore (Daric_schemes.Outpost.update op ~bal_a:500_000 ~bal_b:500_000)
-  done;
-  let daric_party, daric_watchtower = daric_storage ~n in
   { n_updates = n;
-    daric_party;
-    daric_watchtower;
-    eltoo_party = Daric_schemes.Eltoo.storage_bytes el;
-    lightning_party = Daric_schemes.Lightning.storage_bytes ln ~who:`A;
-    lightning_watchtower = Daric_schemes.Lightning.watchtower_bytes ln;
-    generalized_party = Daric_schemes.Generalized.storage_bytes gc ~who:`A;
-    fppw_party = Daric_schemes.Fppw.storage_bytes fw ~who:`A;
-    fppw_watchtower = Daric_schemes.Fppw.watchtower_bytes fw;
-    cerberus_party = Daric_schemes.Cerberus.storage_bytes cb ~who:`A;
-    sleepy_party = Daric_schemes.Sleepy.storage_bytes sl ~who:`A;
-    outpost_party = Daric_schemes.Outpost.storage_bytes op ~who:`A;
-    outpost_watchtower = Daric_schemes.Outpost.watchtower_bytes op }
+    rows =
+      List.map
+        (fun (module S : Intf.SCHEME) ->
+          ( S.name,
+            match
+              Harness.run_fresh (module S) { updates = n; close = `None }
+            with
+            | Ok r ->
+                Ok { party = r.Harness.party_bytes;
+                     watchtower = r.Harness.watchtower_bytes }
+            | Error e -> Error (Intf.error_to_string e) ))
+        Registry.all }
+
+let measurement (p : storage_point) (scheme : string) :
+    (measurement, string) result =
+  match List.assoc_opt scheme p.rows with
+  | Some m -> m
+  | None -> Error (scheme ^ ": not in registry")
+
+(** Party-storage bytes of [scheme] at point [p]; [Error reason] when
+    the scheme failed to run. *)
+let party_cell (p : storage_point) (scheme : string) : (int, string) result =
+  Result.map (fun m -> m.party) (measurement p scheme)
+
+let watchtower_cell (p : storage_point) (scheme : string) :
+    (int, string) result =
+  Result.bind (measurement p scheme) (fun m ->
+      match m.watchtower with
+      | Some w -> Ok w
+      | None -> Error (scheme ^ ": no watchtower"))
 
 let storage_sweep ?(ns = [ 1; 10; 100; 1000 ]) () : storage_point list =
   List.map (fun n -> storage_point ~n) ns
+
+(* Column layouts of the two measured-storage tables: scheme row name,
+   printed header label, column width. *)
+let party_columns =
+  [ ("Daric", "Daric", 8); ("eltoo", "eltoo", 8); ("Lightning", "Lightning", 10);
+    ("Generalized", "Generalized", 12); ("FPPW", "FPPW", 8);
+    ("Cerberus", "Cerberus", 9); ("Sleepy", "Sleepy", 8);
+    ("Outpost", "Outpost*", 9) ]
+
+let watchtower_columns =
+  [ ("Daric", "Daric", 10); ("Lightning", "Lightning", 10);
+    ("FPPW", "FPPW", 10); ("Outpost", "Outpost", 10) ]
+
+(* Print one table row: cells are strings padded to the layout widths
+   (identical bytes to the historical %-<w>d columns). *)
+let print_row ppf (cells : (string * int) list) : unit =
+  Format.fprintf ppf "%s@."
+    (String.concat " " (List.map (fun (s, w) -> Printf.sprintf "%-*s" w s) cells))
+
+let storage_table ppf ~(title : string) ~(n_width : int)
+    ~(columns : (string * string * int) list)
+    ~(cell : storage_point -> string -> (int, string) result)
+    (points : storage_point list) : unit =
+  Format.fprintf ppf "%s@." title;
+  print_row ppf
+    (("n", n_width) :: List.map (fun (_, label, w) -> (label, w)) columns);
+  let errors = ref [] in
+  List.iter
+    (fun p ->
+      print_row ppf
+        ((string_of_int p.n_updates, n_width)
+        :: List.map
+             (fun (scheme, _, w) ->
+               match cell p scheme with
+               | Ok v -> (string_of_int v, w)
+               | Error reason ->
+                   if not (List.mem reason !errors) then
+                     errors := reason :: !errors;
+                   ("err", w))
+             columns))
+    points;
+  List.iter
+    (fun reason -> Format.fprintf ppf "(! %s)@." reason)
+    (List.rev !errors)
 
 let table1 ?(ns = [ 1; 10; 100; 1000 ]) () : string =
   let points = storage_sweep ~ns () in
@@ -144,30 +137,17 @@ let table1 ?(ns = [ 1; 10; 100; 1000 ]) () : string =
             (if s.bounded_closure then "yes" else "no"))
         Costmodel.all;
       Format.fprintf ppf
-        "@.Measured party storage (bytes) after n updates:@.";
-      Format.fprintf ppf
-        "%-8s %-8s %-8s %-10s %-12s %-8s %-9s %-8s %-9s@." "n" "Daric" "eltoo"
-        "Lightning" "Generalized" "FPPW" "Cerberus" "Sleepy" "Outpost*";
-      List.iter
-        (fun p ->
-          Format.fprintf ppf
-            "%-8d %-8d %-8d %-10d %-12d %-8d %-9d %-8d %-9d@." p.n_updates
-            p.daric_party p.eltoo_party p.lightning_party p.generalized_party
-            p.fppw_party p.cerberus_party p.sleepy_party p.outpost_party)
-        points;
+        "@.";
+      storage_table ppf
+        ~title:"Measured party storage (bytes) after n updates:" ~n_width:8
+        ~columns:party_columns ~cell:party_cell points;
       Format.fprintf ppf
         "(*Outpost party storage is O(1) here via the reverse hash chain;\n\
         \ the paper's O(n) variant stores per-state data instead - see\n\
         \ lib/schemes/outpost.ml)@.";
-      Format.fprintf ppf "@.Measured watchtower storage (bytes):@.";
-      Format.fprintf ppf "%-8s %-10s %-10s %-10s %-10s@." "n" "Daric"
-        "Lightning" "FPPW" "Outpost";
-      List.iter
-        (fun p ->
-          Format.fprintf ppf "%-8d %-10d %-10d %-10d %-10d@." p.n_updates
-            p.daric_watchtower p.lightning_watchtower p.fppw_watchtower
-            p.outpost_watchtower)
-        points)
+      Format.fprintf ppf "@.";
+      storage_table ppf ~title:"Measured watchtower storage (bytes):"
+        ~n_width:8 ~columns:watchtower_columns ~cell:watchtower_cell points)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3.                                                            *)
@@ -208,56 +188,26 @@ let table3 ?(ms = [ 0; 1; 5; 10 ]) () : string =
 (* Measured operation counts per update from the executable schemes. *)
 type measured_ops = { scheme : string; sign : int; verify : int; exp : int }
 
-let measure_ops () : measured_ops list =
-  let rng = Daric_util.Rng.create ~seed:11 in
-  let ledger = Daric_chain.Ledger.create ~delta:1 () in
-  (* executable baselines: take the per-update delta over 10 updates *)
-  let avg (s0, v0, e0) (s1, v1, e1) n =
-    ((s1 - s0) / n, (v1 - v0) / n, (e1 - e0) / n)
-  in
-  let el = Daric_schemes.Eltoo.create ~ledger ~rng ~bal_a:1000 ~bal_b:1000 () in
-  let e0 = Daric_schemes.Eltoo.ops el in
-  for _ = 1 to 10 do
-    ignore (Daric_schemes.Eltoo.update el ~bal_a:1000 ~bal_b:1000)
-  done;
-  let es, ev, ee = avg e0 (Daric_schemes.Eltoo.ops el) 10 in
-  let ln = Daric_schemes.Lightning.create ~ledger ~rng ~bal_a:1000 ~bal_b:1000 () in
-  let l0 = Daric_schemes.Lightning.ops ln in
-  for _ = 1 to 10 do
-    ignore (Daric_schemes.Lightning.update ln ~bal_a:1000 ~bal_b:1000)
-  done;
-  let ls, lv, le = avg l0 (Daric_schemes.Lightning.ops ln) 10 in
-  let gc = Daric_schemes.Generalized.create ~ledger ~rng ~bal_a:1000 ~bal_b:1000 () in
-  let g0 = Daric_schemes.Generalized.ops gc in
-  for _ = 1 to 10 do
-    ignore (Daric_schemes.Generalized.update gc ~bal_a:1000 ~bal_b:1000)
-  done;
-  let gs, gv, ge = avg g0 (Daric_schemes.Generalized.ops gc) 10 in
-  (* Daric: drive the real two-party protocol and count one side's ops *)
-  let d = Driver.create ~delta:1 ~seed:5 () in
-  let alice = Party.create ~pid:"alice" ~seed:6 () in
-  let bob = Party.create ~pid:"bob" ~seed:7 () in
-  Driver.add_party d alice;
-  Driver.add_party d bob;
-  Driver.open_channel d ~id:"c" ~alice ~bob ~bal_a:1000 ~bal_b:1000 ();
-  ignore (Driver.run_until_operational d ~id:"c" ~alice ~bob);
-  let c = Party.chan_exn alice "c" in
-  let pk_a, pk_b = Party.main_pks c in
-  let o0 = Party.ops_copy (Party.ops alice) in
-  for k = 1 to 10 do
-    let theta =
-      Daric_core.Txs.balance_state ~pk_a ~pk_b ~bal_a:(1000 - k) ~bal_b:(1000 + k)
-    in
-    ignore (Driver.update_channel d ~id:"c" ~initiator:alice ~responder:bob ~theta)
-  done;
-  let o1 = Party.ops alice in
-  let ds = (o1.Party.signs - o0.Party.signs) / 10 in
-  let dv = (o1.Party.verifies - o0.Party.verifies) / 10 in
-  let de = (o1.Party.exps - o0.Party.exps) / 10 in
-  [ { scheme = "Daric"; sign = ds; verify = dv; exp = de };
-    { scheme = "eltoo"; sign = es / 2; verify = ev / 2; exp = ee / 2 };
-    { scheme = "Lightning"; sign = ls; verify = lv; exp = le };
-    { scheme = "Generalized"; sign = gs; verify = gv; exp = ge } ]
+(* Schemes whose measured per-update operation counts the table
+   reports (the historical Table 3 comparison set), in print order. *)
+let measured_ops_schemes = [ "Daric"; "eltoo"; "Lightning"; "Generalized" ]
+
+let measure_ops () : (measured_ops, string) result list =
+  let config = { Intf.default_config with bal_a = 1000; bal_b = 1000 } in
+  List.map
+    (fun name ->
+      match Registry.find name with
+      | None -> Error (name ^ ": not in registry")
+      | Some (module S : Intf.SCHEME) -> (
+          match
+            Harness.run_fresh ~config (module S) { updates = 10; close = `None }
+          with
+          | Ok r ->
+              let o = r.Harness.per_update_ops in
+              Ok { scheme = name; sign = o.Intf.signs; verify = o.Intf.verifies;
+                   exp = o.Intf.exps }
+          | Error e -> Error (Intf.error_to_string e)))
+    measured_ops_schemes
 
 let measured_ops_table () : string =
   fmt_buf (fun ppf ->
@@ -265,8 +215,11 @@ let measured_ops_table () : string =
         "Measured operations per update (executable schemes, per party, m = 0):@.";
       Format.fprintf ppf "%-12s %6s %7s %5s@." "Scheme" "Sign" "Verify" "Exp";
       List.iter
-        (fun r ->
-          Format.fprintf ppf "%-12s %6d %7d %5d@." r.scheme r.sign r.verify r.exp)
+        (function
+          | Ok r ->
+              Format.fprintf ppf "%-12s %6d %7d %5d@." r.scheme r.sign r.verify
+                r.exp
+          | Error reason -> Format.fprintf ppf "(! %s)@." reason)
         (measure_ops ()))
 
 (* ------------------------------------------------------------------ *)

@@ -1,28 +1,30 @@
-(** Regeneration of the paper's tables and Section 6 analyses. *)
+(** Regeneration of the paper's tables and Section 6 analyses.
 
-(** One row of the Table 1 measured-storage sweep. *)
+    Storage and operation measurements iterate the scheme registry
+    ({!Daric_schemes.Registry}) through the generic scenario engine;
+    a scheme that fails yields [Error] cells, not an exception. *)
+
+(** One scheme's storage snapshot after n updates. *)
+type measurement = { party : int; watchtower : int option }
+
+(** One row of the Table 1 measured-storage sweep: a measurement (or
+    failure reason) per registered scheme, keyed by scheme name. *)
 type storage_point = {
   n_updates : int;
-  daric_party : int;
-  daric_watchtower : int;
-  eltoo_party : int;
-  lightning_party : int;
-  lightning_watchtower : int;
-  generalized_party : int;
-  fppw_party : int;
-  fppw_watchtower : int;
-  cerberus_party : int;
-  sleepy_party : int;
-  outpost_party : int;
-  outpost_watchtower : int;
+  rows : (string * (measurement, string) result) list;
 }
-
-val daric_storage : n:int -> int * int
-(** Drive a real Daric channel through [n] updates; (party bytes,
-    watchtower bytes). *)
 
 val storage_point : n:int -> storage_point
 val storage_sweep : ?ns:int list -> unit -> storage_point list
+
+val measurement : storage_point -> string -> (measurement, string) result
+
+val party_cell : storage_point -> string -> (int, string) result
+(** Party-storage bytes of a scheme at a sweep point. *)
+
+val watchtower_cell : storage_point -> string -> (int, string) result
+(** Watchtower-storage bytes; [Error] also when the scheme has no
+    watchtower. *)
 
 val table1 : ?ns:int list -> unit -> string
 (** Table 1 plus the measured storage sweep. *)
@@ -33,7 +35,10 @@ val table3 : ?ms:int list -> unit -> string
 
 type measured_ops = { scheme : string; sign : int; verify : int; exp : int }
 
-val measure_ops : unit -> measured_ops list
+val measured_ops_schemes : string list
+(** The schemes whose measured operation counts the table reports. *)
+
+val measure_ops : unit -> (measured_ops, string) result list
 (** Per-party per-update operation counts measured on the executable
     schemes (Daric via the full two-party protocol). *)
 

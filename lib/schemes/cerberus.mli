@@ -54,3 +54,7 @@ val funding_outpoint : t -> Tx.outpoint
 val storage_bytes : t -> who:[ `A | `B ] -> int
 val watchtower_bytes : t -> int
 val ops : t -> int * int * int
+
+(** First-class {!Scheme_intf.SCHEME} instance driving this module
+    through the generic lifecycle engine. *)
+module Scheme : Scheme_intf.SCHEME

@@ -63,3 +63,7 @@ val watchtower_bytes : t -> int
 
 val storage_bytes : t -> who:[ `A | `B ] -> int
 val ops : t -> int * int
+
+(** First-class {!Scheme_intf.SCHEME} instance driving this module
+    through the generic lifecycle engine. *)
+module Scheme : Scheme_intf.SCHEME

@@ -1,0 +1,31 @@
+(** Registry of every executable channel scheme, in {!Costmodel.all}
+    row order. All table, benchmark, CLI and conformance code iterates
+    this list instead of wiring schemes by hand. *)
+
+let all : (module Scheme_intf.SCHEME) list =
+  [ (module Lightning.Scheme);
+    (module Generalized.Scheme);
+    (module Fppw.Scheme);
+    (module Cerberus.Scheme);
+    (module Outpost.Scheme);
+    (module Sleepy.Scheme);
+    (module Eltoo.Scheme);
+    (module Daric_scheme.Scheme) ]
+
+let name (module S : Scheme_intf.SCHEME) : string = S.name
+
+let names () : string list = List.map name all
+
+let find (n : string) : (module Scheme_intf.SCHEME) option =
+  List.find_opt (fun (module S : Scheme_intf.SCHEME) -> S.name = n) all
+
+let find_exn (n : string) : (module Scheme_intf.SCHEME) =
+  match find n with
+  | Some s -> s
+  | None -> invalid_arg ("Registry.find_exn: unknown scheme " ^ n)
+
+(** The scheme's qualitative Table 1 row; every registered scheme has
+    one (checked by the conformance suite). *)
+let costmodel_row (module S : Scheme_intf.SCHEME) : Costmodel.scheme option =
+  List.find_opt (fun (c : Costmodel.scheme) -> c.Costmodel.name = S.name)
+    Costmodel.all

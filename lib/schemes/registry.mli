@@ -1,0 +1,12 @@
+(** Registry of the eight executable channel schemes, in
+    {!Costmodel.all} row order. *)
+
+val all : (module Scheme_intf.SCHEME) list
+
+val name : (module Scheme_intf.SCHEME) -> string
+val names : unit -> string list
+
+val find : string -> (module Scheme_intf.SCHEME) option
+val find_exn : string -> (module Scheme_intf.SCHEME)
+
+val costmodel_row : (module Scheme_intf.SCHEME) -> Costmodel.scheme option

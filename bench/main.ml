@@ -123,6 +123,102 @@ let run_lifetime () =
   Fmt.pr "unlimited at <= 1 update/second: %b@."
     (L.unlimited_lifetime ~seconds_per_update:1.0)
 
+(* ---------------- scale sweep (indexed monitor loop) ---------------- *)
+
+let scale_json_file = "BENCH_scale.json"
+
+(* Flat sorted name -> value map, same shape as BENCH_crypto.json, so
+   successive PRs diff the same entries. N is zero-padded to keep the
+   sorted key order equal to the numeric order. *)
+let write_scale_json (samples : Daric_analysis.Scale.sample list) : unit =
+  let entries =
+    List.concat_map
+      (fun (s : Daric_analysis.Scale.sample) ->
+        let p name v = (Printf.sprintf "n%06d/%s" s.channels name, v) in
+        [ p "updates-per-sec" s.updates_per_sec;
+          p "monitor-per-round-s" s.monitor_seconds_per_poll;
+          p "scan-per-round-extrapolated-s" s.scan_seconds_extrapolated;
+          p "speedup-vs-scan"
+            (if s.monitor_seconds_per_poll > 0. then
+               s.scan_seconds_extrapolated /. s.monitor_seconds_per_poll
+             else 0.);
+          p "fraud-react-s" s.fraud_react_seconds;
+          p "frauds" (float_of_int s.frauds);
+          p "punished" (float_of_int s.punished);
+          p "tower-bytes" (float_of_int s.tower_storage_bytes);
+          p "accepted-txs" (float_of_int s.accepted_txs) ])
+      samples
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  let oc = open_out scale_json_file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"daric-bench-scale/1\",\n";
+  pf "  \"unit\": \"seconds unless suffixed otherwise\",\n";
+  pf
+    "  \"scan_note\": \"pre-index monitor cost is measured over a channel \
+     sample and extrapolated linearly to N (a direct full scan at N=100000 \
+     over the whole accepted history is ~1e10 list visits)\",\n";
+  pf "  \"entries\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      pf "    %S: %g%s\n" name v
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  pf "  }\n}\n";
+  close_out oc
+
+(* The same tiny trace under a forced 1-domain pool and a forced
+   2-domain pool must agree exactly: the parallel tick/discharge path
+   promises sequential semantics. Checked on every scale run (and on
+   runtest through the bench-scale-smoke alias). *)
+let check_domain_consistency () =
+  let trace () =
+    let s =
+      Daric_analysis.Scale.run ~channels:6 ~updates:1 ~frauds:2 ~seed:11 ()
+    in
+    ( s.Daric_analysis.Scale.punished,
+      s.Daric_analysis.Scale.frauds,
+      s.Daric_analysis.Scale.ledger_height,
+      s.Daric_analysis.Scale.accepted_txs,
+      s.Daric_analysis.Scale.tower_storage_bytes )
+  in
+  let t1 = Daric_util.Dpool.with_domains 1 trace in
+  let t2 = Daric_util.Dpool.with_domains 2 trace in
+  if t1 <> t2 then begin
+    Fmt.epr "scale: 1-domain and 2-domain traces diverged@.";
+    exit 1
+  end;
+  Fmt.pr "domain-consistency: DPOOL_DOMAINS=1 and 2-domain traces agree@."
+
+let run_scale ~smoke ~full () =
+  section "Experiment SCALE: N-channel update+monitor sweep (Daric)";
+  check_domain_consistency ();
+  let ns =
+    if smoke then [ 24 ]
+    else if full then [ 100; 1_000; 10_000; 100_000 ]
+    else [ 100; 1_000; 10_000 ]
+  in
+  let samples =
+    List.map
+      (fun n ->
+        let s =
+          Daric_analysis.Scale.run ~channels:n ~updates:1
+            ~frauds:(min 8 n) ()
+        in
+        Fmt.pr "%a@.@." Daric_analysis.Scale.pp s;
+        if s.Daric_analysis.Scale.punished <> s.Daric_analysis.Scale.frauds
+        then begin
+          Fmt.epr "scale: tower punished %d of %d frauds at N=%d@."
+            s.Daric_analysis.Scale.punished s.Daric_analysis.Scale.frauds n;
+          exit 1
+        end;
+        s)
+      ns
+  in
+  write_scale_json samples;
+  Fmt.pr "wrote %s@." scale_json_file
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bench_tests () =
@@ -348,4 +444,6 @@ let () =
             (Daric_analysis.Pcn_sim.run Daric_analysis.Pcn_sim.default_config)
             ~dir:"results" ])
   end;
+  (* explicit-only: the full sweep builds up to 100k channels *)
+  if List.mem "scale" args then run_scale ~smoke ~full ();
   if want "micro" then run_micro ~smoke ()

@@ -53,5 +53,5 @@ let () =
         vals)
     route;
   Fmt.pr "on-chain transactions used by the payment: %d (all hops stayed off-chain)@."
-    (List.length (Daric_chain.Ledger.accepted (Driver.ledger d))
+    (Daric_chain.Ledger.accepted_count (Driver.ledger d)
     - 9 (* 3 channels x (2 mints + funding) from setup *))

@@ -59,4 +59,4 @@ let () =
     Fmt.(list ~sep:comma int)
     (List.map (fun (o : Tx.output) -> o.value) closing.Tx.outputs);
   Fmt.pr "total ledger transactions for the whole session: %d@."
-    (List.length (Ledger.accepted (Driver.ledger d)))
+    (Ledger.accepted_count (Driver.ledger d))

@@ -1,0 +1,180 @@
+(** Scale harness: N Daric channels on one shared ledger.
+
+    Drives the real two-party protocol (through the SCHEME registry's
+    Daric wrapper) for every channel — open, a sweep of off-chain
+    updates, delegation to one watchtower guarding all N channels —
+    then measures what the monitoring loop costs per round:
+
+    - the indexed monitor ({!Daric_core.Watchtower.end_of_round}),
+      driven by the ledger's spent-outpoint log, whose per-round cost
+      is O(newly spent) and should stay flat as N grows;
+    - the pre-index reference ({!end_of_round_scan}), O(N × accepted
+      history) per round, timed over a channel sample and extrapolated
+      linearly to N (a full scan at N = 100k would be ~10^10 list
+      visits — the very behaviour this PR removes).
+
+    The run ends with a fraud wave: revoked commits are replayed on a
+    slice of channels with both parties frozen, and the tower must
+    punish every one of them. *)
+
+module I = Daric_schemes.Scheme_intf
+module DS = Daric_schemes.Daric_scheme
+module Ledger = Daric_chain.Ledger
+module Watchtower = Daric_core.Watchtower
+
+type sample = {
+  channels : int;
+  updates_per_channel : int;
+  open_seconds : float;
+  update_seconds : float;
+  updates_per_sec : float;
+  monitor_polls : int;  (** idle polls timed for the indexed monitor *)
+  monitor_seconds_per_poll : float;
+  scan_sample_channels : int;
+  scan_seconds_per_poll : float;
+      (** one {!end_of_round_scan} poll over the sample *)
+  scan_seconds_extrapolated : float;
+      (** sample poll cost × (channels / sample) — the pre-index
+          per-round monitor cost at N channels *)
+  frauds : int;
+  punished : int;
+  fraud_react_seconds : float;
+      (** one indexed poll that catches all [frauds] spends *)
+  ledger_height : int;
+  accepted_txs : int;
+  tower_storage_bytes : int;
+}
+
+let timed (f : unit -> 'a) : 'a * float =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+(** [run ~channels ~updates ~frauds ~seed ()] builds the N-channel
+    system and returns the measured sample. [frauds] is clamped to
+    [channels]; every channel gets [updates] off-chain updates (at
+    least 1 — a revoked state must exist for the tower to be of use). *)
+let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7) () : sample =
+  let env = I.make_env ~delta:1 ~seed () in
+  let updates = max 1 updates in
+  let frauds = min (max frauds 0) channels in
+  let chans = Array.make channels None in
+  let (), open_seconds =
+    timed (fun () ->
+        for k = 0 to channels - 1 do
+          let cfg =
+            { I.default_config with
+              chan_id = Printf.sprintf "c%d" k;
+              party_seed = 1000 + (2 * k);
+              bal_a = 500_000 + (k mod 997);
+              bal_b = 500_000 - (k mod 997) }
+          in
+          match DS.Scheme.open_channel env cfg with
+          | Ok s -> chans.(k) <- Some s
+          | Error e -> failwith (I.error_to_string e)
+        done)
+  in
+  let (), update_seconds =
+    timed (fun () ->
+        Array.iteri
+          (fun k s ->
+            let s = Option.get s in
+            for u = 1 to updates do
+              let shift = (k mod 997) + (u * 13) in
+              match
+                DS.Scheme.update s ~bal_a:(500_000 + shift)
+                  ~bal_b:(500_000 - shift)
+              with
+              | Ok () -> ()
+              | Error e -> failwith (I.error_to_string e)
+            done)
+          chans)
+  in
+  (* Delegate every channel to one tower. *)
+  let tower = Watchtower.create ~wid:"tower" () in
+  Array.iter
+    (fun s ->
+      match DS.watch_record (Option.get s) with
+      | Some r ->
+          if not (Watchtower.watch tower r) then
+            failwith "scale: tower rejected a valid record"
+      | None -> failwith "scale: no record after update")
+    chans;
+  let post tx = Ledger.post env.ledger tx ~delay:0 in
+  let eor () =
+    Watchtower.end_of_round tower ~round:(Ledger.height env.ledger)
+      ~ledger:env.ledger ~post
+  in
+  (* First poll swallows the one-time fresh-record check (O(N), paid
+     once per watch, not per round); idle polls after it are what a
+     steady-state round costs. *)
+  eor ();
+  let monitor_polls = 8 in
+  let (), monitor_total =
+    timed (fun () ->
+        for _ = 1 to monitor_polls do
+          I.settle env 1;
+          eor ()
+        done)
+  in
+  (* Pre-index reference: a fresh tower guarding a channel sample,
+     polled once with the linear-scan monitor against the same chain. *)
+  let scan_sample_channels = min channels 64 in
+  let scan_tower = Watchtower.create ~wid:"tower-scan" () in
+  for k = 0 to scan_sample_channels - 1 do
+    match DS.watch_record (Option.get chans.(k)) with
+    | Some r -> ignore (Watchtower.watch scan_tower r)
+    | None -> ()
+  done;
+  let (), scan_seconds_per_poll =
+    timed (fun () ->
+        Watchtower.end_of_round_scan scan_tower
+          ~round:(Ledger.height env.ledger) ~ledger:env.ledger ~post)
+  in
+  let scan_seconds_extrapolated =
+    scan_seconds_per_poll *. float_of_int channels
+    /. float_of_int (max scan_sample_channels 1)
+  in
+  (* Fraud wave: replay revoked commits on the last [frauds] channels
+     with both parties frozen; only the tower can react. *)
+  for k = channels - frauds to channels - 1 do
+    DS.publish_revoked (Option.get chans.(k))
+  done;
+  I.settle env 1;
+  let (), fraud_react_seconds = timed eor in
+  I.settle env 1;
+  (* let the revocations confirm, then settle the punished list *)
+  eor ();
+  { channels;
+    updates_per_channel = updates;
+    open_seconds;
+    update_seconds;
+    updates_per_sec =
+      (if update_seconds > 0. then
+         float_of_int (channels * updates) /. update_seconds
+       else 0.);
+    monitor_polls;
+    monitor_seconds_per_poll = monitor_total /. float_of_int monitor_polls;
+    scan_sample_channels;
+    scan_seconds_per_poll;
+    scan_seconds_extrapolated;
+    frauds;
+    punished = List.length (Watchtower.punished tower);
+    fraud_react_seconds;
+    ledger_height = Ledger.height env.ledger;
+    accepted_txs = Ledger.accepted_count env.ledger;
+    tower_storage_bytes = Watchtower.storage_bytes tower }
+
+let pp ppf (s : sample) =
+  Fmt.pf ppf
+    "@[<v>N=%d channels (%d updates each)@,\
+     open: %.2fs   updates: %.2fs (%.0f upd/s)@,\
+     monitor/round (indexed): %.6fs over %d polls@,\
+     monitor/round (scan, %d-channel sample): %.6fs → %.4fs extrapolated at N@,\
+     frauds: %d posted, %d punished (react poll: %.6fs)@,\
+     height=%d accepted=%d tower=%dB@]"
+    s.channels s.updates_per_channel s.open_seconds s.update_seconds
+    s.updates_per_sec s.monitor_seconds_per_poll s.monitor_polls
+    s.scan_sample_channels s.scan_seconds_per_poll s.scan_seconds_extrapolated
+    s.frauds s.punished s.fraud_react_seconds s.ledger_height s.accepted_txs
+    s.tower_storage_bytes

@@ -1,0 +1,31 @@
+(** Scale harness: N Daric channels (real two-party protocol, via the
+    SCHEME registry's Daric wrapper) on one shared ledger, guarded by
+    one watchtower — measures per-round monitoring cost of the indexed
+    spent-log monitor vs the pre-index linear scan, and checks the
+    tower punishes a wave of replayed revoked commits. *)
+
+type sample = {
+  channels : int;
+  updates_per_channel : int;
+  open_seconds : float;
+  update_seconds : float;
+  updates_per_sec : float;
+  monitor_polls : int;
+  monitor_seconds_per_poll : float;
+  scan_sample_channels : int;
+  scan_seconds_per_poll : float;
+  scan_seconds_extrapolated : float;
+  frauds : int;
+  punished : int;
+  fraud_react_seconds : float;
+  ledger_height : int;
+  accepted_txs : int;
+  tower_storage_bytes : int;
+}
+
+val run :
+  ?channels:int -> ?updates:int -> ?frauds:int -> ?seed:int -> unit -> sample
+(** Build the system and measure. [frauds] is clamped to [channels];
+    [updates] is at least 1. *)
+
+val pp : Format.formatter -> sample -> unit

@@ -11,10 +11,22 @@
     Absolute locktimes below 500,000,000 refer to the ledger height (one
     unit per round); larger values refer to the ledger timestamp, which
     advances by [seconds_per_round] per round from [genesis_time]
-    (Section 4.1's block-height vs UNIX-timestamp distinction). *)
+    (Section 4.1's block-height vs UNIX-timestamp distinction).
+
+    Chain-state reads are indexed: spender lookups, recorded-round
+    lookups and the accepted count are O(1), pending deliveries are
+    bucketed by due round, and every spend is appended to an
+    append-only *spent log* that watchtowers consume through a cursor —
+    monitoring cost is O(newly spent outpoints), independent of both
+    channel count and chain history. Rounds with several due
+    transactions verify their witnesses across {!Daric_util.Dpool}
+    domains, with journaled rollback to a sequential replay whenever
+    the optimistic parallel pass rejects. *)
 
 module Tx = Daric_tx.Tx
 module Spend = Daric_tx.Spend
+module Vec = Daric_util.Vec
+module Dpool = Daric_util.Dpool
 
 module Outpoint_map = Map.Make (struct
   type t = Tx.outpoint
@@ -46,16 +58,28 @@ type event =
   | Accepted of Tx.t
   | Rejected of Tx.t * reject_reason
 
+let dummy_tx : Tx.t =
+  { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] }
+
+let dummy_outpoint : Tx.outpoint = { Tx.txid = ""; vout = 0 }
+
 type t = {
   delta : int;
   genesis_time : int;
   seconds_per_round : int;
   mutable round : int;
   mutable utxos : utxo Outpoint_map.t;
-  mutable txids : (string, unit) Hashtbl.t;
-  mutable accepted : (int * Tx.t) list;  (** newest first *)
-  mutable spenders : (string * int * Tx.t) list;  (** (txid, vout, spender) *)
-  mutable pending : (int * Tx.t) list;  (** (due round, tx) *)
+  txids : (string, int) Hashtbl.t;  (** txid → recording round *)
+  accepted_log : (int * Tx.t) Vec.t;  (** (round, tx), oldest first *)
+  mutable accepted_view : (int * Tx.t) list;
+      (** cached oldest-first list view of [accepted_log] *)
+  mutable accepted_view_len : int;  (** log length the view reflects *)
+  spenders : (Tx.outpoint, Tx.t) Hashtbl.t;  (** outpoint → spending tx *)
+  spent_log : Tx.outpoint Vec.t;
+      (** every spent outpoint in spend order — the watchtower
+          notification feed (append-only; read through cursors) *)
+  pending : (int, Tx.t list ref) Hashtbl.t;
+      (** processing round → due txs, reverse posting order *)
   mutable events : event list;  (** events of the current round, newest first *)
   mutable mints : int;  (** counter making minted coinbase txids unique *)
 }
@@ -74,9 +98,12 @@ let create ?(genesis_time = default_genesis_time) ?(seconds_per_round = 1)
     round = 0;
     utxos = Outpoint_map.empty;
     txids = Hashtbl.create 64;
-    accepted = [];
-    spenders = [];
-    pending = [];
+    accepted_log = Vec.create ~dummy:(0, dummy_tx) ();
+    accepted_view = [];
+    accepted_view_len = 0;
+    spenders = Hashtbl.create 64;
+    spent_log = Vec.create ~dummy:dummy_outpoint ();
+    pending = Hashtbl.create 16;
     events = [];
     mints = 0 }
 
@@ -100,15 +127,54 @@ let fold_utxos (t : t) (f : Tx.outpoint -> utxo -> 'a -> 'a) (init : 'a) : 'a =
 let total_value (t : t) : int =
   fold_utxos t (fun _ u acc -> acc + u.output.value) 0
 
-(** Who spent this outpoint, if anyone (it must have existed). *)
+(** Who spent this outpoint, if anyone (it must have existed). O(1). *)
 let spender_of (t : t) (o : Tx.outpoint) : Tx.t option =
-  List.find_map
-    (fun (txid, vout, tx) ->
-      if String.equal txid o.txid && vout = o.vout then Some tx else None)
-    t.spenders
+  Hashtbl.find_opt t.spenders o
 
-(** All accepted transactions with their recording round, oldest first. *)
-let accepted (t : t) : (int * Tx.t) list = List.rev t.accepted
+(** Reference spender lookup: a linear scan of the full accepted
+    history, reproducing the pre-index cost shape (the seed kept a
+    historical spend list and scanned it per query). Kept runnable as
+    the benchmark baseline and the differential-test oracle. *)
+let spender_of_scan (t : t) (o : Tx.outpoint) : Tx.t option =
+  let found = ref None in
+  Vec.iter t.accepted_log (fun (_, tx) ->
+      if !found = None then
+        List.iter
+          (fun (i : Tx.input) ->
+            if !found = None && Tx.outpoint_equal i.prevout o then
+              found := Some tx)
+          tx.inputs);
+  !found
+
+(** Round at which [txid] was recorded, if it was. O(1). *)
+let recorded_round_of (t : t) (txid : string) : int option =
+  Hashtbl.find_opt t.txids txid
+
+(** Number of accepted transactions. O(1). *)
+let accepted_count (t : t) : int = Vec.length t.accepted_log
+
+(** All accepted transactions with their recording round, oldest first.
+    The list view is cached and only rebuilt after new recordings, so
+    repeated queries against an unchanged chain are O(1). *)
+let accepted (t : t) : (int * Tx.t) list =
+  if t.accepted_view_len <> Vec.length t.accepted_log then begin
+    t.accepted_view <- Vec.to_list t.accepted_log;
+    t.accepted_view_len <- Vec.length t.accepted_log
+  end;
+  t.accepted_view
+
+(* ---------------- spent-outpoint notification feed ---------------- *)
+
+(** Length of the append-only spent log; a monitor stores this as its
+    cursor and later asks for everything after it. *)
+let spent_log_length (t : t) : int = Vec.length t.spent_log
+
+(** [iter_spent_since t ~cursor f] feeds every outpoint spent since
+    [cursor] (in spend order) to [f] and returns the new cursor. Cost
+    is O(newly spent), regardless of chain length or channel count. *)
+let iter_spent_since (t : t) ~(cursor : int) (f : Tx.outpoint -> unit) : int =
+  Vec.iter_from t.spent_log ~from:cursor f;
+  Vec.length t.spent_log
 
 (* Shared shape of validation; [verify_witness] is either the inline
    verifier or the deferring one. *)
@@ -146,6 +212,37 @@ let validate_gen (t : t) (tx : Tx.t)
 let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
   validate_gen t tx ~verify_witness:Spend.verify_input
 
+(** Deferring validation: every structurally valid signature check is
+    handed to [defer] and assumed true; all other checks run inline
+    against the current state. [Ok] plus an accepting discharge of the
+    deferred triples is equivalent to {!validate} returning [Ok];
+    [Error] here implies {!validate} also errors (assuming checks true
+    can only widen acceptance). *)
+let validate_deferring (t : t) (tx : Tx.t)
+    ~(defer : Daric_tx.Sighash.deferred -> unit) :
+    (unit, reject_reason) result =
+  validate_gen t tx
+    ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
+      Spend.verify_input_deferred tx ~input_index ~spent ~input_age ~defer)
+
+(** Discharge a set of deferred signature checks, splitting the batch
+    across {!Daric_util.Dpool} domains (one random-linear-combination
+    batch verification per chunk; sequential single batch when the
+    pool has one domain). False-accept probability is bounded by
+    2^-24 per item — identical to the per-transaction batching of
+    {!validate_batched}. *)
+let discharge (ds : Daric_tx.Sighash.deferred list) : bool =
+  match ds with
+  | [] -> true
+  | ds ->
+      let items =
+        Array.of_list
+          (List.rev_map (fun d -> Daric_tx.Sighash.(d.d_pk, d.d_msg, d.d_sig)) ds)
+      in
+      Dpool.all_chunks
+        (fun chunk -> Daric_crypto.Schnorr.batch_verify (Array.to_list chunk))
+        items
+
 (** Batched witness validation: every signature check across all of
     [tx]'s inputs is deferred, then discharged in a single
     {!Daric_crypto.Schnorr.batch_verify} multi-exponentiation. Any
@@ -158,12 +255,7 @@ let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
     rejects unless every assumed check really holds. *)
 let validate_batched (t : t) (tx : Tx.t) : (unit, reject_reason) result =
   let deferred = ref [] in
-  let result =
-    validate_gen t tx
-      ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
-        Spend.verify_input_deferred tx ~input_index ~spent ~input_age
-          ~defer:(fun d -> deferred := d :: !deferred))
-  in
+  let result = validate_deferring t tx ~defer:(fun d -> deferred := d :: !deferred) in
   match result with
   | Error _ -> validate t tx
   | Ok () -> (
@@ -180,12 +272,13 @@ let validate_batched (t : t) (tx : Tx.t) : (unit, reject_reason) result =
 
 let record (t : t) (tx : Tx.t) =
   let txid = Tx.txid tx in
-  Hashtbl.replace t.txids txid ();
-  t.accepted <- (t.round, tx) :: t.accepted;
+  Hashtbl.replace t.txids txid t.round;
+  Vec.push t.accepted_log (t.round, tx);
   List.iter
     (fun (input : Tx.input) ->
       t.utxos <- Outpoint_map.remove input.prevout t.utxos;
-      t.spenders <- (input.prevout.txid, input.prevout.vout, tx) :: t.spenders)
+      Hashtbl.replace t.spenders input.prevout tx;
+      Vec.push t.spent_log input.prevout)
     tx.inputs;
   List.iteri
     (fun vout output ->
@@ -194,11 +287,57 @@ let record (t : t) (tx : Tx.t) =
     tx.outputs;
   t.events <- Accepted tx :: t.events
 
+(* ---------------- journaled rollback ---------------- *)
+
+(** A checkpoint of everything {!record} mutates. The UTXO set is an
+    immutable map (O(1) to snapshot); hashtable entries added since
+    the checkpoint are recovered from the accepted-log slice, so a
+    rollback costs O(recorded since checkpoint). The round must not
+    change between {!checkpoint} and {!rollback}. *)
+type checkpoint = {
+  c_round : int;
+  c_utxos : utxo Outpoint_map.t;
+  c_events : event list;
+  c_accepted_len : int;
+  c_spent_len : int;
+}
+
+let checkpoint (t : t) : checkpoint =
+  { c_round = t.round;
+    c_utxos = t.utxos;
+    c_events = t.events;
+    c_accepted_len = Vec.length t.accepted_log;
+    c_spent_len = Vec.length t.spent_log }
+
+let rollback (t : t) (c : checkpoint) : unit =
+  if t.round <> c.c_round then
+    invalid_arg "Ledger.rollback: round advanced since checkpoint";
+  Vec.iter_from t.accepted_log ~from:c.c_accepted_len (fun (_, tx) ->
+      Hashtbl.remove t.txids (Tx.txid tx);
+      List.iter
+        (fun (i : Tx.input) -> Hashtbl.remove t.spenders i.prevout)
+        tx.inputs);
+  Vec.truncate t.accepted_log c.c_accepted_len;
+  Vec.truncate t.spent_log c.c_spent_len;
+  t.utxos <- c.c_utxos;
+  t.events <- c.c_events;
+  (* the cached oldest-first view may reflect rolled-back entries *)
+  if t.accepted_view_len > c.c_accepted_len then begin
+    t.accepted_view <- [];
+    t.accepted_view_len <- 0
+  end
+
 (** [post t tx ~delay] submits [tx]; the adversary-chosen [delay] is
-    clamped to [0, delta]. The transaction is (re)validated when due. *)
+    clamped to [0, delta]. The transaction is (re)validated when due.
+    Bucketed by processing round: a delay of d lands at round
+    [round + max d 1] (a 0-delay post is still processed at the next
+    tick, as the list-based pending queue always did). *)
 let post (t : t) (tx : Tx.t) ~(delay : int) =
   let delay = max 0 (min t.delta delay) in
-  t.pending <- t.pending @ [ (t.round + delay, tx) ]
+  let due = t.round + max delay 1 in
+  match Hashtbl.find_opt t.pending due with
+  | Some l -> l := tx :: !l
+  | None -> Hashtbl.add t.pending due (ref [ tx ])
 
 (** [mint t ~value ~spk] conjures a fresh funding UTXO (environment
     setup — stands in for pre-existing on-chain coins). *)
@@ -219,17 +358,73 @@ let mint (t : t) ~(value : int) ~(spk : Tx.spk) : Tx.outpoint =
   record t tx;
   { Tx.txid = Tx.txid tx; vout = 0 }
 
+(* Authoritative sequential processing of a round's due transactions. *)
+let process_sequential (t : t) (due : Tx.t list) : unit =
+  List.iter
+    (fun tx ->
+      match validate_batched t tx with
+      | Ok () -> record t tx
+      | Error reason -> t.events <- Rejected (tx, reason) :: t.events)
+    due
+
+(* Optimistic parallel processing: walk the due transactions in
+   posting order, deferring every signature check and recording
+   accepters immediately (so later transactions validate against the
+   same incremental state the sequential path would build), then
+   discharge all deferred checks at once across Dpool domains. If the
+   discharge rejects — some optimistically recorded transaction had an
+   invalid witness — roll the whole round back and replay it
+   sequentially; the sequential path is authoritative.
+
+   Deferred triples are only added to the round's batch for
+   transactions that pass the deferring validation; a transaction
+   rejected in the deferring pass is rejected by the inline validator
+   too (deferral only widens acceptance), which is re-run to emit the
+   same isolating reject reason the sequential path reports. *)
+let process_parallel (t : t) (due : Tx.t list) : unit =
+  let ckpt = checkpoint t in
+  let deferred = ref [] in
+  List.iter
+    (fun tx ->
+      let mine = ref [] in
+      match validate_deferring t tx ~defer:(fun d -> mine := d :: !mine) with
+      | Ok () ->
+          deferred := List.rev_append !mine !deferred;
+          record t tx
+      | Error _ -> (
+          match validate t tx with
+          | Error reason -> t.events <- Rejected (tx, reason) :: t.events
+          | Ok () ->
+              (* unreachable (deferral only widens acceptance), but if
+                 the impossible happens the inline verdict wins *)
+              record t tx))
+    due;
+  if not (discharge !deferred) then begin
+    rollback t ckpt;
+    process_sequential t due
+  end
+
+(* Parallel processing only pays once a round carries enough deferred
+   work to split; below this many due transactions the sequential path
+   is used directly. *)
+let parallel_min_due = 2
+
 (** Advance one round: deliver due pending transactions (in posting
     order) and return this round's events. *)
 let tick (t : t) : event list =
   t.round <- t.round + 1;
   t.events <- [];
-  let due, later = List.partition (fun (r, _) -> r <= t.round) t.pending in
-  t.pending <- later;
-  List.iter
-    (fun (_, tx) ->
-      match validate_batched t tx with
-      | Ok () -> record t tx
-      | Error reason -> t.events <- Rejected (tx, reason) :: t.events)
-    due;
+  let due =
+    match Hashtbl.find_opt t.pending t.round with
+    | None -> []
+    | Some l ->
+        Hashtbl.remove t.pending t.round;
+        List.rev !l
+  in
+  (match due with
+  | [] -> ()
+  | _ :: rest when rest <> [] && Dpool.count () > 1
+                   && List.length due >= parallel_min_due ->
+      process_parallel t due
+  | _ -> process_sequential t due);
   List.rev t.events

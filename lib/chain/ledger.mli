@@ -9,7 +9,15 @@
 
     Absolute locktimes below 500,000,000 refer to the ledger height
     (one unit per round); larger values to the timestamp, which
-    advances by [seconds_per_round] per round from [genesis_time]. *)
+    advances by [seconds_per_round] per round from [genesis_time].
+
+    Chain-state reads are indexed — {!spender_of},
+    {!recorded_round_of} and {!accepted_count} are O(1), and the
+    append-only spent log ({!iter_spent_since}) lets monitors pay only
+    for outpoints spent since their last poll. Rounds with several due
+    transactions verify witnesses across {!Daric_util.Dpool} domains
+    with rollback to an authoritative sequential replay on rejection,
+    so acceptance semantics are identical to the sequential path. *)
 
 module Tx = Daric_tx.Tx
 
@@ -53,21 +61,69 @@ val fold_utxos : t -> (Tx.outpoint -> utxo -> 'a -> 'a) -> 'a -> 'a
 val total_value : t -> int
 
 val spender_of : t -> Tx.outpoint -> Tx.t option
-(** Which accepted transaction spent this outpoint, if any. *)
+(** Which accepted transaction spent this outpoint, if any. O(1)
+    (hashtable maintained on acceptance). *)
+
+val spender_of_scan : t -> Tx.outpoint -> Tx.t option
+(** Reference linear-scan spender lookup over the full accepted
+    history — the pre-index cost shape, kept as the benchmark baseline
+    and the differential-test oracle for {!spender_of}. *)
+
+val recorded_round_of : t -> string -> int option
+(** Round at which the given txid was recorded, if it was. O(1). *)
 
 val accepted : t -> (int * Tx.t) list
-(** All accepted transactions with recording rounds, oldest first. *)
+(** All accepted transactions with recording rounds, oldest first.
+    The list view is cached; repeated queries against an unchanged
+    chain are O(1). *)
+
+val accepted_count : t -> int
+(** Number of accepted transactions. O(1). *)
+
+val spent_log_length : t -> int
+(** Length of the append-only spent-outpoint log. A monitor stores
+    this as its cursor and later reads everything after it. *)
+
+val iter_spent_since : t -> cursor:int -> (Tx.outpoint -> unit) -> int
+(** [iter_spent_since t ~cursor f] feeds every outpoint spent since
+    [cursor] (in spend order) to [f] and returns the new cursor —
+    O(newly spent), independent of chain length and channel count. *)
 
 val validate : t -> Tx.t -> (unit, reject_reason) result
 (** The five validity checks against the current state, witnesses
     verified inline per input. *)
 
+val validate_deferring :
+  t -> Tx.t -> defer:(Daric_tx.Sighash.deferred -> unit) ->
+  (unit, reject_reason) result
+(** Like {!validate} but every structurally valid signature check is
+    handed to [defer] and assumed true. [Ok] plus an accepting
+    {!discharge} of the deferred triples is equivalent to {!validate}
+    returning [Ok]; [Error] implies {!validate} errors too. *)
+
+val discharge : Daric_tx.Sighash.deferred list -> bool
+(** Discharge deferred signature checks, splitting the batch across
+    {!Daric_util.Dpool} domains (random-linear-combination batch
+    verification per chunk; false-accept probability ≤ 2^-24 per
+    item, as {!validate_batched}). *)
+
 val validate_batched : t -> Tx.t -> (unit, reject_reason) result
 (** Same acceptance set as {!validate}, but all signature checks are
     deferred and discharged in one
     {!Daric_crypto.Schnorr.batch_verify}; on any rejection it falls
-    back to {!validate}, which isolates the invalid witness index.
-    {!tick} validates through this path. *)
+    back to {!validate}, which isolates the invalid witness index. *)
+
+type checkpoint
+(** Snapshot of everything {!record} mutates; see {!rollback}. *)
+
+val checkpoint : t -> checkpoint
+
+val rollback : t -> checkpoint -> unit
+(** Undo every recording since the checkpoint — O(recorded since).
+    The round must not have advanced; raises [Invalid_argument]
+    otherwise. Used by optimistic validators (parallel {!tick},
+    {!Mempool.tick} block assembly) to discard an optimistic prefix
+    and replay sequentially. *)
 
 val record : t -> Tx.t -> unit
 (** Record a transaction unconditionally (block production and

@@ -118,9 +118,78 @@ let submit (t : t) (tx : Tx.t) : (unit, submit_error) result =
             end
             else Error Rbf_insufficient_fee
 
+(* Authoritative greedy block assembly: walk entries by descending fee
+   rate, confirm whatever still validates up to the capacity, evict
+   what no longer does. *)
+let assemble_sequential (t : t) (by_rate : entry list) : Tx.t list =
+  let confirmed = ref [] in
+  let used = ref 0 in
+  let remaining = ref [] in
+  List.iter
+    (fun e ->
+      if !used + e.vbytes <= t.config.block_vbytes then begin
+        match Ledger.validate_batched t.ledger e.tx with
+        | Ok () ->
+            Ledger.record t.ledger e.tx;
+            t.confirmed_fees <- t.confirmed_fees + e.fee;
+            used := !used + e.vbytes;
+            confirmed := e.tx :: !confirmed
+        | Error _ ->
+            (* inputs were spent by an earlier tx in this block or a
+               previous one: evict *)
+            ()
+      end
+      else remaining := e :: !remaining)
+    by_rate;
+  t.pool <- List.rev !remaining;
+  List.rev !confirmed
+
+(* Optimistic parallel assembly: same greedy walk, but every signature
+   check is deferred and the whole block's checks are discharged at
+   once across Dpool domains. A transaction rejected by the deferring
+   pass is rejected by the inline validator too (deferral only widens
+   acceptance), so eviction decisions match the sequential walk. If
+   the discharge rejects, roll the ledger back and report failure —
+   the caller replays sequentially, which is authoritative. *)
+let assemble_parallel (t : t) (by_rate : entry list) : Tx.t list option =
+  let ckpt = Ledger.checkpoint t.ledger in
+  let deferred = ref [] in
+  let confirmed = ref [] in
+  let used = ref 0 in
+  let remaining = ref [] in
+  List.iter
+    (fun e ->
+      if !used + e.vbytes <= t.config.block_vbytes then begin
+        let mine = ref [] in
+        match
+          Ledger.validate_deferring t.ledger e.tx
+            ~defer:(fun d -> mine := d :: !mine)
+        with
+        | Ok () ->
+            deferred := List.rev_append !mine !deferred;
+            Ledger.record t.ledger e.tx;
+            used := !used + e.vbytes;
+            confirmed := e :: !confirmed
+        | Error _ -> ()
+      end
+      else remaining := e :: !remaining)
+    by_rate;
+  if Ledger.discharge !deferred then begin
+    List.iter (fun e -> t.confirmed_fees <- t.confirmed_fees + e.fee) !confirmed;
+    t.pool <- List.rev !remaining;
+    Some (List.rev_map (fun e -> e.tx) !confirmed)
+  end
+  else begin
+    Ledger.rollback t.ledger ckpt;
+    None
+  end
+
 (** Advance one round. On block rounds, confirm the highest-fee-rate
     transactions that still validate, up to the block capacity; returns
-    the confirmed transactions. *)
+    the confirmed transactions. Blocks with at least two candidate
+    transactions assemble optimistically with witness verification
+    split across {!Daric_util.Dpool} domains; any rejection falls back
+    to the sequential walk, so confirmation semantics are identical. *)
 let tick (t : t) : Tx.t list =
   (* Advance the underlying ledger clock (it has nothing pending). *)
   ignore (Ledger.tick t.ledger);
@@ -129,27 +198,12 @@ let tick (t : t) : Tx.t list =
     let by_rate =
       List.sort (fun a b -> Float.compare (feerate b) (feerate a)) t.pool
     in
-    let confirmed = ref [] in
-    let used = ref 0 in
-    let remaining = ref [] in
-    List.iter
-      (fun e ->
-        if !used + e.vbytes <= t.config.block_vbytes then begin
-          match Ledger.validate_batched t.ledger e.tx with
-          | Ok () ->
-              Ledger.record t.ledger e.tx;
-              t.confirmed_fees <- t.confirmed_fees + e.fee;
-              used := !used + e.vbytes;
-              confirmed := e.tx :: !confirmed
-          | Error _ ->
-              (* inputs were spent by an earlier tx in this block or a
-                 previous one: evict *)
-              ()
-        end
-        else remaining := e :: !remaining)
-      by_rate;
-    t.pool <- List.rev !remaining;
-    List.rev !confirmed
+    match by_rate with
+    | _ :: _ :: _ when Daric_util.Dpool.count () > 1 -> (
+        match assemble_parallel t by_rate with
+        | Some txs -> txs
+        | None -> assemble_sequential t by_rate)
+    | _ -> assemble_sequential t by_rate
   end
 
 let pool_size (t : t) : int = List.length t.pool

@@ -16,22 +16,23 @@ type t = {
   net : Wire.msg Network.t;
   rng : Daric_util.Rng.t;
   mutable parties : (string * Party.t) list;
-  mutable corrupted : string list;
+  corrupted : (string, unit) Hashtbl.t;
   mutable post_delay : int;  (** adversary-chosen ledger delay for posts *)
   mutable watchtowers : Watchtower.t list;
 }
 
-let create ?ledger ?(delta = 1) ?genesis_time ?(seed = 0xD0C5) () : t =
+let create ?ledger ?net_log_cap ?(delta = 1) ?genesis_time ?(seed = 0xD0C5) () :
+    t =
   let ledger =
     match ledger with
     | Some l -> l
     | None -> Ledger.create ?genesis_time ~delta ()
   in
   { ledger;
-    net = Network.create ();
+    net = Network.create ?log_cap:net_log_cap ();
     rng = Daric_util.Rng.create ~seed;
     parties = [];
-    corrupted = [];
+    corrupted = Hashtbl.create 4;
     post_delay = Ledger.delta ledger;
     watchtowers = [] }
 
@@ -44,10 +45,9 @@ let add_party (t : t) (p : Party.t) : unit =
 let add_watchtower (t : t) (w : Watchtower.t) : unit =
   t.watchtowers <- t.watchtowers @ [ w ]
 
-let corrupt (t : t) (pid : string) : unit =
-  if not (List.mem pid t.corrupted) then t.corrupted <- pid :: t.corrupted
+let corrupt (t : t) (pid : string) : unit = Hashtbl.replace t.corrupted pid ()
 
-let is_corrupted (t : t) (pid : string) : bool = List.mem pid t.corrupted
+let is_corrupted (t : t) (pid : string) : bool = Hashtbl.mem t.corrupted pid
 
 (** Per-round capabilities for party [pid]. *)
 let ctx (t : t) (pid : string) : Party.ctx =

@@ -982,12 +982,8 @@ let punish_daemon (t : t) (ctx : ctx) (c : chan) : unit =
               (if c.commit_on_chain = None then
                  let script = commit_script_for c ~owner ~i:idx in
                  let recorded =
-                   match
-                     List.find_opt
-                       (fun (_, tx) -> String.equal (Tx.txid tx) spender_id)
-                       (Ledger.accepted ctx.ledger)
-                   with
-                   | Some (r, _) -> r
+                   match Ledger.recorded_round_of ctx.ledger spender_id with
+                   | Some r -> r
                    | None -> ctx.round
                  in
                  c.commit_on_chain <-

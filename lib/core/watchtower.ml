@@ -6,10 +6,17 @@
     both ANYPREVOUT signatures. The record *replaces* the previous one —
     unlike a Lightning watchtower, nothing accumulates.
 
-    At the end of every round the watchtower scans the funding outputs
-    it guards; if one was spent by a counter-party commit whose
-    (sequence-encoded) state index is at most the latest revoked index,
-    it completes the revocation transaction and posts it instantly. *)
+    Monitoring is driven by the ledger's append-only spent-outpoint
+    log: each round the tower reads only the outpoints spent since its
+    last poll (a stored cursor) and maps them through a funding-output
+    index to the guarded channel, so end-of-round cost is O(newly
+    spent outpoints) — independent of both the number of guarded
+    channels and the chain length. Records installed since the last
+    poll are additionally checked once directly (their funding may
+    have been spent before the tower started watching). If a spend is
+    a counter-party commit whose (sequence-encoded) state index is at
+    most the latest revoked index, the tower completes the revocation
+    transaction and posts it instantly. *)
 
 module Tx = Daric_tx.Tx
 module Script = Daric_script.Script
@@ -32,11 +39,25 @@ type record = {
 
 type t = {
   wid : string;
-  mutable records : (string * record) list;  (** by channel id *)
-  mutable punished : string list;  (** channel ids we reacted on *)
+  records : (string, record) Hashtbl.t;  (** by channel id *)
+  by_funding : (Tx.outpoint, string) Hashtbl.t;
+      (** guarded funding outpoint → channel id *)
+  mutable fresh : string list;
+      (** channels (re)watched since the last poll; checked once
+          directly in case their funding was spent before watching *)
+  punished_set : (string, unit) Hashtbl.t;
+  mutable punished_list : string list;  (** newest first, for reporting *)
+  mutable cursor : int;  (** position in the ledger's spent log *)
 }
 
-let create ~(wid : string) () : t = { wid; records = []; punished = [] }
+let create ~(wid : string) () : t =
+  { wid;
+    records = Hashtbl.create 64;
+    by_funding = Hashtbl.create 64;
+    fresh = [];
+    punished_set = Hashtbl.create 16;
+    punished_list = [];
+    cursor = 0 }
 
 (** Check a client record's two revocation-branch signatures in one
     {!Daric_crypto.Schnorr.batch_verify}. The record guards against the
@@ -68,20 +89,33 @@ let record_valid (r : record) : bool =
   | _ -> false
 
 (** Install or replace the record for a channel — the client calls this
-    after each update. Storage stays constant per channel. Records
-    whose signatures do not batch-verify are rejected (returns [false])
-    and the previous record, if any, is kept. *)
+    after each update. Storage stays constant per channel; both the
+    replace and the funding-index update are O(1). Records whose
+    signatures do not batch-verify are rejected (returns [false]) and
+    the previous record, if any, is kept. *)
 let watch (t : t) (r : record) : bool =
   if not (record_valid r) then false
   else begin
-    t.records <- (r.channel_id, r) :: List.remove_assoc r.channel_id t.records;
+    (match Hashtbl.find_opt t.records r.channel_id with
+    | Some old when not (Tx.outpoint_equal old.funding r.funding) ->
+        Hashtbl.remove t.by_funding old.funding
+    | _ -> ());
+    Hashtbl.replace t.records r.channel_id r;
+    Hashtbl.replace t.by_funding r.funding r.channel_id;
+    t.fresh <- r.channel_id :: t.fresh;
     true
   end
 
 let unwatch (t : t) ~(channel_id : string) : unit =
-  t.records <- List.remove_assoc channel_id t.records
+  match Hashtbl.find_opt t.records channel_id with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove t.records channel_id;
+      Hashtbl.remove t.by_funding r.funding
 
-let punished (t : t) : string list = t.punished
+let punished (t : t) : string list = t.punished_list
+
+let guarded_count (t : t) : int = Hashtbl.length t.records
 
 (** Serialized size in bytes of everything retained for one channel:
     two 33-byte key bundles (4 keys each), script parameters, the
@@ -96,41 +130,73 @@ let record_bytes (r : record) : int =
   keys + params + body + sigs + outpoint + String.length r.channel_id
 
 let storage_bytes (t : t) : int =
-  List.fold_left (fun acc (_, r) -> acc + record_bytes r) 0 t.records
+  Hashtbl.fold (fun _ r acc -> acc + record_bytes r) t.records 0
 
-(** End-of-round monitoring: punish revoked counter-party commits. *)
+(* React to a spend of a guarded funding output: if it is a revoked
+   counter-party commit, complete and post the revocation tx. *)
+let react (t : t) (r : record) (spender : Tx.t) ~(post : Tx.t -> unit) : unit =
+  let seq = match spender.Tx.inputs with [ i ] -> i.sequence | _ -> -1 in
+  if seq >= 0 && seq <= r.revoked then
+    (* reconstruct the counter-party's state-seq commit script *)
+    let owner = Keys.other_role r.client_role in
+    let script =
+      Txs.commit_script_of ~role:owner ~keys_a:r.keys_a ~keys_b:r.keys_b
+        ~s0:r.s0 ~i:seq ~rel_lock:r.rel_lock
+    in
+    match spender.Tx.outputs with
+    | [ { Tx.spk = Tx.P2wsh h; _ } ] when String.equal h (Script.hash script) ->
+        let rv =
+          Txs.complete_revocation r.rev_body
+            ~commit_outpoint:(Tx.outpoint_of spender 0)
+            ~commit_script:script ~sig1:r.sig_a ~sig2:r.sig_b
+        in
+        post rv;
+        t.punished_list <- r.channel_id :: t.punished_list;
+        Hashtbl.replace t.punished_set r.channel_id ()
+    | _ -> ()
+
+let check_channel (t : t) ~(ledger : Ledger.t) ~(post : Tx.t -> unit)
+    (cid : string) : unit =
+  match Hashtbl.find_opt t.records cid with
+  | None -> ()
+  | Some r ->
+      if not (Hashtbl.mem t.punished_set cid) then (
+        match Ledger.spender_of ledger r.funding with
+        | None -> ()
+        | Some spender -> react t r spender ~post)
+
+(** End-of-round monitoring: punish revoked counter-party commits.
+    Cost is O(records watched since the last poll + outpoints spent
+    since the last poll) — channels whose funding stayed untouched are
+    never visited. *)
 let end_of_round (t : t) ~(round : int) ~(ledger : Ledger.t)
     ~(post : Tx.t -> unit) : unit =
   ignore round;
-  List.iter
-    (fun (cid, r) ->
-      if not (List.mem cid t.punished) then
-        match Ledger.spender_of ledger r.funding with
+  let fresh = t.fresh in
+  t.fresh <- [];
+  List.iter (check_channel t ~ledger ~post) fresh;
+  t.cursor <-
+    Ledger.iter_spent_since ledger ~cursor:t.cursor (fun o ->
+        match Hashtbl.find_opt t.by_funding o with
         | None -> ()
-        | Some spender -> (
-            let seq =
-              match spender.Tx.inputs with
-              | [ i ] -> i.sequence
-              | _ -> -1
-            in
-            if seq >= 0 && seq <= r.revoked then
-              (* reconstruct the counter-party's state-seq commit script *)
-              let owner = Keys.other_role r.client_role in
-              let script =
-                Txs.commit_script_of ~role:owner ~keys_a:r.keys_a
-                  ~keys_b:r.keys_b ~s0:r.s0 ~i:seq ~rel_lock:r.rel_lock
-              in
-              match spender.Tx.outputs with
-              | [ { Tx.spk = Tx.P2wsh h; _ } ]
-                when String.equal h (Script.hash script) ->
-                  let rv =
-                    Txs.complete_revocation r.rev_body
-                      ~commit_outpoint:(Tx.outpoint_of spender 0)
-                      ~commit_script:script ~sig1:r.sig_a ~sig2:r.sig_b
-                  in
-                  post rv;
-                  t.punished <- cid :: t.punished
-              | _ -> ()))
+        | Some cid -> check_channel t ~ledger ~post cid)
+
+(** Reference monitor reproducing the pre-index cost shape: visit
+    every guarded channel and resolve its funding spender with the
+    ledger's linear history scan — O(channels × accepted history) per
+    round. Reacts identically to {!end_of_round} (the differential
+    tests rely on this); kept runnable as the benchmark baseline. *)
+let end_of_round_scan (t : t) ~(round : int) ~(ledger : Ledger.t)
+    ~(post : Tx.t -> unit) : unit =
+  ignore round;
+  t.fresh <- [];
+  t.cursor <- Ledger.spent_log_length ledger;
+  Hashtbl.iter
+    (fun cid r ->
+      if not (Hashtbl.mem t.punished_set cid) then
+        match Ledger.spender_of_scan ledger r.funding with
+        | None -> ()
+        | Some spender -> react t r spender ~post)
     t.records
 
 (** Build the current watchtower record for a party's channel. Returns
@@ -145,9 +211,7 @@ let record_for (p : Party.t) ~(id : string) : record option =
           let keys_a, keys_b = Party.keys_ab c in
           let revoked = c.Party.sn - 1 in
           let rev_body = Party.my_rev_body c ~revoked in
-          let sig_a, sig_b =
-            Party.rev_witness_sigs c ~sig_mine ~sig_theirs
-          in
+          let sig_a, sig_b = Party.rev_witness_sigs c ~sig_mine ~sig_theirs in
           Some
             { channel_id = id;
               funding = Tx.outpoint_of fund 0;

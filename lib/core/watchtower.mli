@@ -36,7 +36,10 @@ val watch : t -> record -> bool
 val unwatch : t -> channel_id:string -> unit
 
 val punished : t -> string list
-(** Channels on which the tower has reacted. *)
+(** Channels on which the tower has reacted, newest first. *)
+
+val guarded_count : t -> int
+(** Number of channels currently watched. O(1). *)
 
 val record_bytes : record -> int
 (** Serialized bytes retained per channel — constant in the number of
@@ -46,8 +49,18 @@ val storage_bytes : t -> int
 
 val end_of_round :
   t -> round:int -> ledger:Daric_chain.Ledger.t -> post:(Tx.t -> unit) -> unit
-(** Scan guarded funding outputs; complete and post the revocation
-    transaction when a revoked counter-party commit appears. *)
+(** Complete and post the revocation transaction when a revoked
+    counter-party commit appears. Driven by the ledger's spent-outpoint
+    log through a cursor: cost per round is O(newly watched records +
+    newly spent outpoints), independent of the number of guarded
+    channels and the chain length. *)
+
+val end_of_round_scan :
+  t -> round:int -> ledger:Daric_chain.Ledger.t -> post:(Tx.t -> unit) -> unit
+(** Reference monitor with the pre-index cost shape — every guarded
+    channel resolved through {!Daric_chain.Ledger.spender_of_scan},
+    O(channels × history) per round. Reacts identically to
+    {!end_of_round}; kept as benchmark baseline and test oracle. *)
 
 val record_for : Party.t -> id:string -> record option
 (** Build the current record from a party's channel state; [None]

@@ -15,18 +15,21 @@ let tagged_uncached (tag : string) (msg : string) : string =
 (* The repository uses a small fixed set of domain-separation tags
    ("daric/challenge", "daric/nonce", "daric/sighash", ...), so the
    64-byte prefix SHA256(tag) || SHA256(tag) of each tagged hash is
-   cached — one full digest saved per call. *)
-let tag_prefix_cache : (string, string) Hashtbl.t = Hashtbl.create 16
+   cached — one full digest saved per call. The cache is domain-local
+   (one table per domain), so tagged hashing is safe from the
+   Dpool worker domains that parallelize witness verification. *)
+let tag_prefix_cache : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let tag_prefix (tag : string) : string =
-  match Hashtbl.find_opt tag_prefix_cache tag with
+  let cache = Domain.DLS.get tag_prefix_cache in
+  match Hashtbl.find_opt cache tag with
   | Some p -> p
   | None ->
       let th = Sha256.digest tag in
       let p = th ^ th in
-      if Hashtbl.length tag_prefix_cache >= 256 then
-        Hashtbl.reset tag_prefix_cache;
-      Hashtbl.add tag_prefix_cache tag p;
+      if Hashtbl.length cache >= 256 then Hashtbl.reset cache;
+      Hashtbl.add cache tag p;
       p
 
 (** BIP-340 style tagged hash: SHA256(SHA256(tag) || SHA256(tag) || msg).

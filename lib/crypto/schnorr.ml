@@ -27,17 +27,22 @@ let public_key_of_secret (sk : secret_key) : public_key = Group.pow_g sk
 (* Decoded-key cache: public keys that already passed subgroup
    validation. Channel peers and watchtowers see the same handful of
    keys on every update, so repeat decodes skip even the cheap
-   Jacobi-symbol check. Bounded; reset rather than evicted when full. *)
-let validated_keys : (int, unit) Hashtbl.t = Hashtbl.create 256
+   Jacobi-symbol check. Bounded; reset rather than evicted when full.
+   Domain-local: verification runs on Dpool worker domains, and a
+   cache miss there must not race the main domain's table. *)
+let validated_keys : (int, unit) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
 let validated_keys_max = 1 lsl 14
 
 let is_valid_key (pk : int) : bool =
-  Hashtbl.mem validated_keys pk
+  let cache = Domain.DLS.get validated_keys in
+  Hashtbl.mem cache pk
   || Group.is_element_fast pk
      && begin
-          if Hashtbl.length validated_keys >= validated_keys_max then
-            Hashtbl.reset validated_keys;
-          Hashtbl.add validated_keys pk ();
+          if Hashtbl.length cache >= validated_keys_max then
+            Hashtbl.reset cache;
+          Hashtbl.add cache pk ();
           true
         end
 
@@ -87,21 +92,24 @@ let challenge_uncached (r : Group.element) (pk : public_key) (msg : string) :
 (* Fiat-Shamir challenges are recomputed for the same (R, pk, msg) by
    signer, peer, ledger, mempool and watchtower alike; e = H(...) is a
    pure function, so the scalar is memoized on its preimage. Bounded;
-   reset wholesale when full. *)
-let challenge_cache : (string, Group.scalar) Hashtbl.t = Hashtbl.create 1024
+   reset wholesale when full. Domain-local for the same reason as
+   [validated_keys]. *)
+let challenge_cache : (string, Group.scalar) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let challenge_cache_max = 1 lsl 16
 
 let challenge (r : Group.element) (pk : public_key) (msg : string) : Group.scalar =
+  let cache = Domain.DLS.get challenge_cache in
   let preimage = Group.encode_element r ^ Group.encode_element pk ^ msg in
-  match Hashtbl.find_opt challenge_cache preimage with
+  match Hashtbl.find_opt cache preimage with
   | Some e -> e
   | None ->
       let e =
         Group.scalar_of_digest (Hash.tagged "daric/challenge" preimage)
       in
-      if Hashtbl.length challenge_cache >= challenge_cache_max then
-        Hashtbl.reset challenge_cache;
-      Hashtbl.add challenge_cache preimage e;
+      if Hashtbl.length cache >= challenge_cache_max then Hashtbl.reset cache;
+      Hashtbl.add cache preimage e;
       e
 
 let nonce (sk : secret_key) (msg : string) (aux : string) : Group.scalar =

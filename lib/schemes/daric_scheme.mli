@@ -1,5 +1,17 @@
 (** Daric as a {!Scheme_intf.SCHEME} instance, driving the real
     two-party protocol of lib/core through the generic lifecycle
-    engine. *)
+    engine. The state is transparent so the scale harness can drive
+    many channels on one shared environment. *)
 
-module Scheme : Scheme_intf.SCHEME
+type state
+
+module Scheme : Scheme_intf.SCHEME with type t = state
+
+val watch_record : state -> Daric_core.Watchtower.record option
+(** Alice's current watchtower record for the channel; [None] until
+    the first update (state 0 has nothing to revoke). *)
+
+val publish_revoked : state -> unit
+(** Freeze both parties and replay Bob's revoked state-0 commit with
+    no delay — only an external watchtower can react. Requires at
+    least one prior update. *)

@@ -34,19 +34,22 @@ let make_env ?(delta = 1) ?(seed = 7) () : env =
     delta }
 
 (** Per-channel opening parameters. [t_end] only matters to schemes
-    with a limited lifetime (Sleepy); [party_seed] to schemes that
-    create their own protocol parties (Daric). *)
+    with a limited lifetime (Sleepy); [party_seed] and [chan_id] to
+    schemes that create their own protocol parties (Daric) — distinct
+    ids let many instances share one environment, e.g. the scale
+    harness driving 100k channels on one ledger. *)
 type config = {
   bal_a : int;
   bal_b : int;
   rel_lock : int;  (** dispute window T (rounds) *)
   t_end : int;  (** absolute channel end-time (Sleepy) *)
   party_seed : int;
+  chan_id : string;
 }
 
 let default_config =
   { bal_a = 500_000; bal_b = 500_000; rel_lock = 3; t_end = 1_000_000;
-    party_seed = 1 }
+    party_seed = 1; chan_id = "c" }
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation.                                                    *)

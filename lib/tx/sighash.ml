@@ -47,13 +47,17 @@ type msg_key =
   | K_apo of int * Tx.output list
   | K_apos of int * Tx.output  (** (nLT, the one authorized output) *)
 
-let msg_cache : (msg_key, string) Hashtbl.t = Hashtbl.create 1024
+let msg_cache : (msg_key, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let msg_cache_max = 1 lsl 16
 
 (** Message hashed and signed for a given flag.
     [input_index] selects the authorized output under
-    [Anyprevout_single]. *)
+    [Anyprevout_single]. The memo table is domain-local, so sighash
+    computation is safe from Dpool worker domains. *)
 let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
+  let cache = Domain.DLS.get msg_cache in
   let key =
     match flag with
     | All -> K_all (tx.Tx.inputs, tx.Tx.locktime, tx.Tx.outputs)
@@ -61,12 +65,12 @@ let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
     | Anyprevout_single ->
         K_apos (tx.Tx.locktime, List.nth tx.Tx.outputs input_index)
   in
-  match Hashtbl.find_opt msg_cache key with
+  match Hashtbl.find_opt cache key with
   | Some m -> m
   | None ->
       let m = message_uncached flag tx ~input_index in
-      if Hashtbl.length msg_cache >= msg_cache_max then Hashtbl.reset msg_cache;
-      Hashtbl.add msg_cache key m;
+      if Hashtbl.length cache >= msg_cache_max then Hashtbl.reset cache;
+      Hashtbl.add cache key m;
       m
 
 (** Sign a transaction for one input; returns the 73-byte flagged

@@ -96,24 +96,28 @@ type body_key = {
   k_outputs : output list;
 }
 
-let txid_cache : (body_key, string) Hashtbl.t = Hashtbl.create 1024
+let txid_cache : (body_key, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let txid_cache_max = 1 lsl 16
 
 let txid_uncached (tx : t) : string =
   Daric_crypto.Hash.hash256 (body_serialize tx)
 
-(** txid = H([TX]); 32 bytes. Memoized on the immutable body. *)
+(** txid = H([TX]); 32 bytes. Memoized on the immutable body. The
+    cache is domain-local so txid derivation is safe from Dpool
+    worker domains. *)
 let txid (tx : t) : string =
+  let cache = Domain.DLS.get txid_cache in
   let key =
     { k_inputs = tx.inputs; k_locktime = tx.locktime; k_outputs = tx.outputs }
   in
-  match Hashtbl.find_opt txid_cache key with
+  match Hashtbl.find_opt cache key with
   | Some id -> id
   | None ->
       let id = txid_uncached tx in
-      if Hashtbl.length txid_cache >= txid_cache_max then
-        Hashtbl.reset txid_cache;
-      Hashtbl.add txid_cache key id;
+      if Hashtbl.length cache >= txid_cache_max then Hashtbl.reset cache;
+      Hashtbl.add cache key id;
       id
 
 let outpoint_of (tx : t) (vout : int) : outpoint = { txid = txid tx; vout }

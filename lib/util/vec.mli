@@ -1,0 +1,23 @@
+(** Growable append-only array with O(appended) rollback via
+    {!truncate}. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity (avoids [Obj.magic]). *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val push : 'a t -> 'a -> unit
+
+val truncate : 'a t -> int -> unit
+(** Drop every element at index >= the given length. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+val iter_from : 'a t -> from:int -> ('a -> unit) -> unit
+val fold_left : 'a t -> ('b -> 'a -> 'b) -> 'b -> 'b
+
+val list_from : 'a t -> from:int -> 'a list
+(** Elements [\[from, length)] in index order. *)
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,432 @@
+(* Differential tests for the indexed chain state and the
+   domain-parallel validation path.
+
+   A random multi-channel transaction trace (valid spends, double
+   spends, wrong keys, overspends, adversarial delays) is replayed
+   three ways:
+   - through the indexed ledger forced to 1 domain (sequential path),
+   - through the indexed ledger forced to 2 domains (optimistic
+     parallel tick + rollback path),
+   - through a naive reference executor reproducing the seed's pending
+     semantics (a flat (due, tx) list, inline per-input validation,
+     posting order),
+   and all three accept/reject event streams must be byte-identical.
+   On the final chain, every indexed read (spender_of,
+   recorded_round_of, accepted_count, the spent log) is checked
+   against its linear-scan oracle. The watchtower's cursor monitor is
+   diffed against the pre-index scan monitor on a real multi-channel
+   fraud scenario. *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Schnorr = Daric_crypto.Schnorr
+module Sighash = Daric_tx.Sighash
+module Rng = Daric_util.Rng
+module Dpool = Daric_util.Dpool
+module Vec = Daric_util.Vec
+module Watchtower = Daric_core.Watchtower
+module I = Daric_schemes.Scheme_intf
+module DS = Daric_schemes.Daric_scheme
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_sl = Alcotest.(check (list string))
+
+let p2wpkh pk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key pk))
+
+(* ---------------- random trace generation ---------------- *)
+
+type trace_post = { at_round : int; tx : Tx.t; delay : int }
+
+(* Build a trace statically: candidate outpoints start from the mints
+   and grow with each generated transaction's outputs, whether or not
+   that transaction would be accepted — so the trace contains valid
+   spends, double spends, spends of never-recorded outputs (missing
+   inputs), wrong-key witnesses and overspends. *)
+let gen_trace ~seed ~rounds ~keys:nkeys ~mints =
+  let rng = Rng.create ~seed in
+  let keys = Array.init nkeys (fun i -> Schnorr.keygen (Rng.create ~seed:(seed + 100 + i))) in
+  let mint_specs =
+    List.init mints (fun i ->
+        let k = i mod nkeys in
+        (1_000 + Rng.int rng 9_000, k))
+  in
+  (* candidates: (outpoint, value, key index that can spend it) *)
+  let candidates = ref [] in
+  let n_candidates = ref 0 in
+  let add_candidate c = candidates := c :: !candidates; incr n_candidates in
+  (* Mint outpoints are deterministic per fresh ledger (the synthetic
+     coinbase counter starts at 1), so minting on a scratch ledger
+     yields the same outpoints every replay will see. *)
+  let scratch = Ledger.create ~delta:0 () in
+  List.iter
+    (fun (value, k) ->
+      add_candidate (Ledger.mint scratch ~value ~spk:(p2wpkh (snd keys.(k))), value, k))
+    mint_specs;
+  let pick_candidate () =
+    List.nth !candidates (Rng.int rng !n_candidates)
+  in
+  let posts = ref [] in
+  for r = 0 to rounds - 1 do
+    let n_txs = 1 + Rng.int rng 4 in
+    for _ = 1 to n_txs do
+      let op, value, k = pick_candidate () in
+      let kind = Rng.int rng 10 in
+      let sk, pk =
+        if kind = 0 then keys.((k + 1) mod nkeys) (* wrong key *)
+        else keys.(k)
+      in
+      let out_value = if kind = 1 then value + 1 (* overspend *) else value in
+      let k_to = Rng.int rng nkeys in
+      let split = out_value > 1 && Rng.int rng 2 = 0 in
+      let outputs =
+        if split then
+          let v1 = 1 + Rng.int rng (out_value - 1) in
+          [ { Tx.value = v1; spk = p2wpkh (snd keys.(k_to)) };
+            { Tx.value = out_value - v1;
+              spk = p2wpkh (snd keys.((k_to + 1) mod nkeys)) } ]
+        else [ { Tx.value = out_value; spk = p2wpkh (snd keys.(k_to)) } ]
+      in
+      let body =
+        { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0; outputs;
+          witnesses = [] }
+      in
+      let sg = Sighash.sign sk All body ~input_index:0 in
+      let tx =
+        { body with
+          Tx.witnesses =
+            [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+      in
+      List.iteri
+        (fun vout (o : Tx.output) ->
+          add_candidate (Tx.outpoint_of tx vout, o.value, k_to))
+        outputs;
+      posts := { at_round = r; tx; delay = Rng.int rng 4 } :: !posts
+    done
+  done;
+  (mint_specs, keys, List.rev !posts, List.rev !candidates)
+
+let show_event = function
+  | Ledger.Accepted tx -> Printf.sprintf "A:%s" (Daric_util.Hex.short (Tx.txid tx))
+  | Ledger.Rejected (tx, r) ->
+      Printf.sprintf "R:%s:%s"
+        (Daric_util.Hex.short (Tx.txid tx))
+        (Ledger.reject_to_string r)
+
+(* Replay the trace through the real ledger; returns the per-round
+   event stream and the final ledger. *)
+let replay_indexed ~delta (mint_specs, keys, posts, _) =
+  let l = Ledger.create ~delta () in
+  List.iter
+    (fun (value, k) -> ignore (Ledger.mint l ~value ~spk:(p2wpkh (snd keys.(k)))))
+    mint_specs;
+  let stream = ref [] in
+  let rounds = 1 + List.fold_left (fun m p -> max m p.at_round) 0 posts in
+  for r = 0 to rounds + delta do
+    List.iter
+      (fun p -> if p.at_round = r then Ledger.post l p.tx ~delay:p.delay)
+      posts;
+    let evs = Ledger.tick l in
+    let now = Ledger.height l in
+    List.iter
+      (fun e -> stream := Printf.sprintf "%d/%s" now (show_event e) :: !stream)
+      evs
+  done;
+  (List.rev !stream, l)
+
+(* Naive reference executor: the seed's semantics — a flat pending
+   list of (due round, tx) in posting order, inline per-input
+   validation, recording as it goes. The ledger it drives never sees
+   posts of its own; [tick] only advances the clock. *)
+let replay_reference ~delta (mint_specs, keys, posts, _) =
+  let l = Ledger.create ~delta () in
+  List.iter
+    (fun (value, k) -> ignore (Ledger.mint l ~value ~spk:(p2wpkh (snd keys.(k)))))
+    mint_specs;
+  let pending = ref [] (* (due, tx), posting order *) in
+  let stream = ref [] in
+  let rounds = 1 + List.fold_left (fun m p -> max m p.at_round) 0 posts in
+  for r = 0 to rounds + delta do
+    List.iter
+      (fun p ->
+        if p.at_round = r then begin
+          (* the seed posts with due = round + clamped delay and only
+             processes pending at the tick after posting, so a 0-delay
+             post still lands at the next round *)
+          let delay = max 0 (min delta p.delay) in
+          pending := !pending @ [ (r + max delay 1, p.tx) ]
+        end)
+      posts;
+    ignore (Ledger.tick l);
+    let now = Ledger.height l in
+    let due, later = List.partition (fun (d, _) -> d <= now) !pending in
+    pending := later;
+    List.iter
+      (fun (_, tx) ->
+        let ev =
+          match Ledger.validate l tx with
+          | Ok () ->
+              Ledger.record l tx;
+              Ledger.Accepted tx
+          | Error reason -> Ledger.Rejected (tx, reason)
+        in
+        stream := Printf.sprintf "%d/%s" now (show_event ev) :: !stream)
+      due
+  done;
+  (List.rev !stream, l)
+
+let test_event_stream_differential () =
+  List.iter
+    (fun seed ->
+      let delta = 2 in
+      let trace = gen_trace ~seed ~rounds:12 ~keys:5 ~mints:8 in
+      let seq_stream, seq_l =
+        Dpool.with_domains 1 (fun () -> replay_indexed ~delta trace)
+      in
+      let par_stream, par_l =
+        Dpool.with_domains 2 (fun () -> replay_indexed ~delta trace)
+      in
+      let ref_stream, ref_l = replay_reference ~delta trace in
+      check_sl "sequential = reference" ref_stream seq_stream;
+      check_sl "parallel = reference" ref_stream par_stream;
+      check_i "same accepted count (seq/ref)" (Ledger.accepted_count ref_l)
+        (Ledger.accepted_count seq_l);
+      check_i "same accepted count (par/ref)" (Ledger.accepted_count ref_l)
+        (Ledger.accepted_count par_l))
+    [ 3; 17; 42; 2026 ]
+
+let test_indexed_reads_vs_scan () =
+  let seed = 7 in
+  let trace = gen_trace ~seed ~rounds:15 ~keys:4 ~mints:6 in
+  let _, l = Dpool.with_domains 2 (fun () -> replay_indexed ~delta:2 trace) in
+  let _, _, _, candidates = trace in
+  (* indexed spender lookup vs the full-history linear scan *)
+  List.iter
+    (fun (op, _, _) ->
+      let a = Ledger.spender_of l op in
+      let b = Ledger.spender_of_scan l op in
+      check_b "spender_of = spender_of_scan" true
+        (match (a, b) with
+        | None, None -> true
+        | Some x, Some y -> String.equal (Tx.txid x) (Tx.txid y)
+        | _ -> false))
+    candidates;
+  (* recorded rounds and counts vs the accepted list *)
+  let acc = Ledger.accepted l in
+  check_i "accepted_count = |accepted|" (List.length acc)
+    (Ledger.accepted_count l);
+  List.iter
+    (fun (r, tx) ->
+      check_b "recorded_round_of matches accepted" true
+        (Ledger.recorded_round_of l (Tx.txid tx) = Some r))
+    acc;
+  check_b "unknown txid has no recorded round" true
+    (Ledger.recorded_round_of l (String.make 32 'z') = None);
+  (* the spent log is exactly the accepted transactions' inputs, in
+     acceptance order *)
+  let from_log = ref [] in
+  let final = Ledger.iter_spent_since l ~cursor:0 (fun o -> from_log := o :: !from_log) in
+  let expected =
+    List.concat_map
+      (fun (_, tx) -> List.map (fun (i : Tx.input) -> i.Tx.prevout) tx.Tx.inputs)
+      acc
+  in
+  check_i "spent log length" (List.length expected) final;
+  check_b "spent log contents" true (List.rev !from_log = expected);
+  (* a cursor at the end sees nothing new *)
+  let n = ref 0 in
+  ignore (Ledger.iter_spent_since l ~cursor:final (fun _ -> incr n));
+  check_i "cursor at end yields nothing" 0 !n
+
+let test_accepted_view_cached () =
+  let l = Ledger.create ~delta:1 () in
+  let _, pk = Schnorr.keygen (Rng.create ~seed:1) in
+  ignore (Ledger.mint l ~value:10 ~spk:(p2wpkh pk));
+  let v1 = Ledger.accepted l in
+  check_b "same physical list when unchanged" true (Ledger.accepted l == v1);
+  ignore (Ledger.mint l ~value:11 ~spk:(p2wpkh pk));
+  let v2 = Ledger.accepted l in
+  check_i "view grew" 2 (List.length v2);
+  check_b "rebuilt after recording" true (not (v2 == v1))
+
+let test_checkpoint_rollback () =
+  let l = Ledger.create ~delta:1 () in
+  let rng = Rng.create ~seed:9 in
+  let sk, pk = Schnorr.keygen rng in
+  let _, pk2 = Schnorr.keygen rng in
+  let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
+  let c = Ledger.checkpoint l in
+  let body =
+    { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0;
+      outputs = [ { Tx.value = 100; spk = p2wpkh pk2 } ]; witnesses = [] }
+  in
+  let sg = Sighash.sign sk All body ~input_index:0 in
+  let tx =
+    { body with
+      Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  in
+  Ledger.record l tx;
+  check_b "spent after record" true (Ledger.spender_of l op <> None);
+  check_i "accepted grew" 2 (Ledger.accepted_count l);
+  Ledger.rollback l c;
+  check_b "unspent after rollback" true (Ledger.is_unspent l op);
+  check_b "spender index rolled back" true (Ledger.spender_of l op = None);
+  check_b "txid index rolled back" true
+    (Ledger.recorded_round_of l (Tx.txid tx) = None);
+  check_i "accepted count restored" 1 (Ledger.accepted_count l);
+  check_i "spent log restored" 1 (Ledger.spent_log_length l);
+  (* the chain continues normally after a rollback *)
+  check_b "tx still valid" true (Ledger.validate l tx = Ok ());
+  Ledger.post l tx ~delay:0;
+  ignore (Ledger.tick l);
+  check_b "accepted after re-post" true (Ledger.spender_of l op <> None)
+
+(* Bucketed pending must reproduce the flat-list semantics exactly:
+   delay 0 and 1 land at the next tick, delay d at the d-th. *)
+let test_pending_buckets () =
+  List.iter
+    (fun delay ->
+      let l = Ledger.create ~delta:5 () in
+      let sk, pk = Schnorr.keygen (Rng.create ~seed:1) in
+      let op = Ledger.mint l ~value:10 ~spk:(p2wpkh pk) in
+      let body =
+        { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0;
+          outputs = [ { Tx.value = 10; spk = p2wpkh pk } ]; witnesses = [] }
+      in
+      let sg = Sighash.sign sk All body ~input_index:0 in
+      let tx =
+        { body with
+          Tx.witnesses =
+            [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+      in
+      Ledger.post l tx ~delay;
+      let landing = max delay 1 in
+      for r = 1 to landing - 1 do
+        ignore r;
+        ignore (Ledger.tick l);
+        check_b "not yet landed" true (Ledger.is_unspent l op)
+      done;
+      ignore (Ledger.tick l);
+      check_b "landed at max(delay,1)" false (Ledger.is_unspent l op))
+    [ 0; 1; 2; 5 ]
+
+(* ---------------- watchtower differential ---------------- *)
+
+(* Four real Daric channels on one shared environment; frauds on two.
+   The cursor monitor and the pre-index scan monitor must punish the
+   same channels. *)
+let test_watchtower_differential () =
+  let env = I.make_env ~delta:1 ~seed:5 () in
+  let chans =
+    List.init 4 (fun k ->
+        let cfg =
+          { I.default_config with
+            chan_id = Printf.sprintf "wt%d" k;
+            party_seed = 300 + (2 * k) }
+        in
+        match DS.Scheme.open_channel env cfg with
+        | Ok s -> s
+        | Error e -> Alcotest.fail (I.error_to_string e))
+  in
+  List.iteri
+    (fun k s ->
+      match DS.Scheme.update s ~bal_a:(400_000 + k) ~bal_b:(600_000 - k) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (I.error_to_string e))
+    chans;
+  let indexed = Watchtower.create ~wid:"indexed" () in
+  let scan = Watchtower.create ~wid:"scan" () in
+  List.iter
+    (fun s ->
+      match DS.watch_record s with
+      | Some r ->
+          check_b "indexed tower takes record" true (Watchtower.watch indexed r);
+          check_b "scan tower takes record" true (Watchtower.watch scan r)
+      | None -> Alcotest.fail "no watch record after update")
+    chans;
+  check_i "indexed guards all" 4 (Watchtower.guarded_count indexed);
+  let post tx = Daric_chain.Ledger.post env.I.ledger tx ~delay:0 in
+  let poll_both () =
+    let round = Daric_chain.Ledger.height env.I.ledger in
+    Watchtower.end_of_round indexed ~round ~ledger:env.I.ledger ~post;
+    Watchtower.end_of_round_scan scan ~round ~ledger:env.I.ledger ~post
+  in
+  poll_both ();
+  check_sl "no punishments yet (indexed)" [] (Watchtower.punished indexed);
+  check_sl "no punishments yet (scan)" [] (Watchtower.punished scan);
+  (* frauds on channels 1 and 3, both parties frozen *)
+  DS.publish_revoked (List.nth chans 1);
+  DS.publish_revoked (List.nth chans 3);
+  I.settle env 1;
+  poll_both ();
+  I.settle env 1;
+  poll_both ();
+  let sorted t = List.sort String.compare (Watchtower.punished t) in
+  check_sl "both towers punished the same channels" [ "wt1"; "wt3" ]
+    (sorted indexed);
+  check_sl "scan tower agrees" (sorted indexed) (sorted scan);
+  (* the revocation transactions actually confirmed on chain *)
+  List.iter
+    (fun k ->
+      let s = List.nth chans k in
+      let f = DS.Scheme.funding s in
+      check_b "funding spent" false (Daric_chain.Ledger.is_unspent env.I.ledger f))
+    [ 1; 3 ];
+  (* unwatch is O(1) and removes both index entries *)
+  Watchtower.unwatch indexed ~channel_id:"wt0";
+  check_i "guarded count after unwatch" 3 (Watchtower.guarded_count indexed)
+
+(* ---------------- utility modules ---------------- *)
+
+let test_vec () =
+  let v = Vec.create ~dummy:(-1) () in
+  for i = 0 to 99 do Vec.push v i done;
+  check_i "length" 100 (Vec.length v);
+  check_i "get" 57 (Vec.get v 57);
+  let seen = ref [] in
+  Vec.iter_from v ~from:95 (fun x -> seen := x :: !seen);
+  check_b "iter_from tail" true (List.rev !seen = [ 95; 96; 97; 98; 99 ]);
+  Vec.truncate v 10;
+  check_i "truncated" 10 (Vec.length v);
+  check_b "to_list" true (Vec.to_list v = List.init 10 Fun.id);
+  for i = 10 to 20 do Vec.push v i done;
+  check_i "regrows" 21 (Vec.length v)
+
+let test_dpool () =
+  (* forced counts drive the chunked map; results match the sequential
+     fold regardless of the domain count *)
+  let xs = Array.init 1000 Fun.id in
+  let expect = Array.fold_left ( + ) 0 xs in
+  List.iter
+    (fun k ->
+      Dpool.with_domains k (fun () ->
+          check_i
+            (Printf.sprintf "count forced to %d" k)
+            k (Dpool.count ());
+          let partials = Dpool.map_chunks (Array.fold_left ( + ) 0) xs in
+          check_i "chunked sum" expect (Array.fold_left ( + ) 0 partials);
+          check_b "all_chunks true" true
+            (Dpool.all_chunks (Array.for_all (fun x -> x >= 0)) xs);
+          check_b "all_chunks false" false
+            (Dpool.all_chunks (Array.for_all (fun x -> x < 999)) xs)))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "daric-scale"
+    [ ( "differential",
+        [ Alcotest.test_case "event streams (seq/par/reference)" `Quick
+            test_event_stream_differential;
+          Alcotest.test_case "indexed reads vs scan oracle" `Quick
+            test_indexed_reads_vs_scan;
+          Alcotest.test_case "watchtower cursor vs scan monitor" `Quick
+            test_watchtower_differential ] );
+      ( "ledger-internals",
+        [ Alcotest.test_case "accepted view caching" `Quick
+            test_accepted_view_cached;
+          Alcotest.test_case "checkpoint/rollback" `Quick
+            test_checkpoint_rollback;
+          Alcotest.test_case "pending bucket semantics" `Quick
+            test_pending_buckets ] );
+      ( "util",
+        [ Alcotest.test_case "vec" `Quick test_vec;
+          Alcotest.test_case "dpool" `Quick test_dpool ] ) ]

@@ -223,11 +223,48 @@ let lifetime_cmd =
     (Cmd.info "lifetime" ~doc:"Print the Section 4.1 lifetime analysis.")
     Term.(const run $ log_term)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let scheme =
+    Arg.(value & opt (some string) None
+         & info [ "scheme" ]
+             ~doc:"Lint only this scheme (default: the whole registry).")
+  in
+  let updates =
+    Arg.(value & opt int 3
+         & info [ "updates" ] ~doc:"Updates per closure scenario.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "all-findings" ]
+             ~doc:"Print warnings and notes too, not just errors.")
+  in
+  let run logs scheme updates verbose =
+    setup_logs logs;
+    let reports = Daric_staticcheck.Sweep.run ~updates ?scheme () in
+    if reports = [] then begin
+      Fmt.epr "unknown scheme%a; known: %s@."
+        Fmt.(option (fun fmt -> Fmt.pf fmt " %s")) scheme
+        (String.concat ", " (Daric_schemes.Registry.names ()));
+      exit 2
+    end;
+    List.iter (Daric_staticcheck.Sweep.pp_report ~verbose Fmt.stdout) reports;
+    let errors = Daric_staticcheck.Sweep.errors reports in
+    Fmt.pr "%d error(s) across %d scheme report(s)@." errors
+      (List.length reports);
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze every scheme's scripts and transaction DAG.")
+    Term.(const run $ log_term $ scheme $ updates $ verbose)
+
 let main =
   Cmd.group
     (Cmd.info "daric" ~version:"1.0.0"
        ~doc:"Daric payment channel: reproduction of Mirzaei et al., DSN 2022.")
     [ tables_cmd; attack_cmd; incentives_cmd; flow_cmd; demo_cmd; pcn_cmd;
-      lifetime_cmd ]
+      lifetime_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -87,6 +87,19 @@ module Scheme : Scheme_intf.SCHEME with type t = state = struct
     let o = Party.ops s.alice in
     { I.signs = o.Party.signs; verifies = o.Party.verifies; exps = o.Party.exps }
 
+  (* Daric's key inventory is state-independent (Table 1: O(1) keys):
+     four key pairs per party cover every commit/split/revocation
+     script the channel can ever produce. *)
+  let known_pubkeys s =
+    let c = Party.chan_exn s.alice s.chan_id in
+    let ka, kb = Party.keys_ab c in
+    let bundle (k : Daric_core.Keys.pub) =
+      List.map Daric_core.Keys.enc
+        [ k.Daric_core.Keys.main_pk; k.Daric_core.Keys.sp_pk;
+          k.Daric_core.Keys.rv_pk; k.Daric_core.Keys.rv'_pk ]
+    in
+    bundle ka @ bundle kb
+
   let saw s ev = Driver.saw_event s.alice ev
 
   (* Step the driver until [done_ ()] or [max] rounds elapse. *)

@@ -257,6 +257,15 @@ module Scheme : Scheme_intf.SCHEME = struct
     let signs, verifies, exps = ops s.ch in
     { I.signs = signs / 2; verifies = verifies / 2; exps = exps / 2 }
 
+  let known_pubkeys s =
+    let party_keys k =
+      Keys.enc k.main.Keys.pk
+      :: Keys.enc k.upd.Keys.pk
+      :: List.init (s.ch.sn + 1) (fun i ->
+             Keys.enc (settlement_key k ~i).Keys.pk)
+    in
+    party_keys s.ch.ka @ party_keys s.ch.kb
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     (* the stored settlement already carries the latest balance split;

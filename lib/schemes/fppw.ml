@@ -250,6 +250,19 @@ module Scheme : Scheme_intf.SCHEME = struct
     let signs, verifies, exps = ops s.ch in
     { I.signs; verifies; exps }
 
+  let known_pubkeys s =
+    let side_keys sd =
+      Keys.enc sd.main.Keys.pk
+      :: Keys.enc sd.pen.Keys.pk
+      :: Keys.enc sd.rev_current.Keys.pk
+      :: List.map
+           (fun (_, sk) -> Keys.enc (Schnorr.public_key_of_secret sk))
+           sd.received_rev
+    in
+    (Keys.enc s.ch.wt.Keys.pk
+     :: List.map (fun (_, kp) -> Keys.enc kp.Keys.pk) s.ch.wt_rev)
+    @ side_keys s.ch.a @ side_keys s.ch.b
+
   (* The oversize funding output also carries the watchtower
      collateral, which a collaborative close returns to the tower. *)
   let collaborative_close s =

@@ -49,6 +49,10 @@ type t = {
   mutable commit : Tx.t;  (** current commit body (single, shared) *)
   mutable split : Tx.t;  (** current split body, SIGHASH_ALL pre-signed *)
   mutable split_sigs : string * string;
+  mutable stmt_log : Adaptor.statement list;
+      (** every publishing statement ever placed in a commit script —
+          revoked states' statements stay script-visible, so the
+          static-analysis key inventory must remember them *)
   mutable ops_signs : int;
   mutable ops_verifies : int;
   mutable ops_exps : int;
@@ -98,6 +102,7 @@ let gen_split (t : t) ~(bal_a : int) ~(bal_b : int) : Tx.t =
 (** Exchange pre-signatures and split signatures for the current
     commit/split pair. *)
 let sign_state (t : t) ~(bal_a : int) ~(bal_b : int) : unit =
+  t.stmt_log <- t.a.current.y_stmt :: t.b.current.y_stmt :: t.stmt_log;
   t.commit <- gen_commit t;
   let commit_msg = Sighash.message All t.commit ~input_index:0 in
   (* B pre-signs for A (w.r.t. Y_A): A needs it to publish. *)
@@ -152,7 +157,7 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let t =
     { ledger; rng = Daric_util.Rng.split rng; cash; rel_lock; fund; a; b;
       sn = 0; commit = empty; split = empty; split_sigs = ("", "");
-      ops_signs = 0; ops_verifies = 0; ops_exps = 0 }
+      stmt_log = []; ops_signs = 0; ops_verifies = 0; ops_exps = 0 }
   in
   sign_state t ~bal_a ~bal_b;
   t
@@ -310,6 +315,12 @@ module Scheme : Scheme_intf.SCHEME = struct
   let ops s =
     let signs, verifies, exps = ops s.ch in
     { I.signs; verifies; exps }
+
+  let known_pubkeys s =
+    List.map Keys.enc
+      [ s.ch.a.main.Keys.pk; s.ch.b.main.Keys.pk; s.ch.a.punish.Keys.pk;
+        s.ch.b.punish.Keys.pk ]
+    @ List.map Keys.enc s.ch.stmt_log
 
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in

@@ -38,6 +38,8 @@ type t = {
   mutable commit : Tx.t;
   mutable split : Tx.t;
   mutable split_sigs : string * string;
+  mutable stmt_log : Adaptor.statement list;
+      (** every publishing statement ever placed in a commit script *)
   mutable ops_signs : int;
   mutable ops_verifies : int;
   mutable ops_exps : int;

@@ -271,6 +271,17 @@ module Scheme : Scheme_intf.SCHEME = struct
     let signs, verifies, exps = ops s.ch in
     { I.signs; verifies; exps }
 
+  let known_pubkeys s =
+    let side_keys sd =
+      Keys.enc sd.keys.main.Keys.pk
+      :: Keys.enc sd.keys.delayed.Keys.pk
+      :: Keys.enc sd.rev_current.Keys.pk
+      :: List.map
+           (fun r -> Keys.enc (Schnorr.public_key_of_secret r.secret))
+           sd.received_secrets
+    in
+    side_keys s.ch.a @ side_keys s.ch.b
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let bal_a, bal_b = s.bal in

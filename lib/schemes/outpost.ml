@@ -292,6 +292,14 @@ module Scheme : Scheme_intf.SCHEME = struct
     let signs, verifies = ops s.ch in
     { I.signs; verifies; exps = 0 }
 
+  let known_pubkeys s =
+    let side_keys sd =
+      Keys.enc sd.main.Keys.pk
+      :: Keys.enc sd.penalty.Keys.pk
+      :: List.init (s.ch.sn + 1) (fun j -> Keys.enc (rev_pk sd ~j))
+    in
+    side_keys s.ch.a @ side_keys s.ch.b
+
   (* Latest balances as recorded in A's latest commit outputs. *)
   let bal s =
     match (commit_of s.ch `A).Tx.outputs with

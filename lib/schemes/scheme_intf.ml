@@ -132,6 +132,14 @@ module type SCHEME = sig
   val ops : t -> ops
   (** Cumulative per-party operation counters. *)
 
+  val known_pubkeys : t -> string list
+  (** Every encoded public key (33-byte {!Keys.enc} form) that may
+      legitimately appear as a [Checksig]/[Checkmultisig] operand or
+      P2WPKH owner in this channel's transactions so far: party keys,
+      per-state revocation keys (both generated and received),
+      watchtower keys, adaptor statements. The static-analysis DAG
+      linter treats any key outside this set as an orphan. *)
+
   val collaborative_close : t -> (outcome, error) result
   (** Both parties co-sign the final balance split. *)
 

@@ -246,6 +246,16 @@ module Scheme : Scheme_intf.SCHEME = struct
     let signs, verifies = ops s.ch in
     { I.signs; verifies; exps = 0 }
 
+  let known_pubkeys s =
+    let side_keys sd =
+      Keys.enc sd.main.Keys.pk
+      :: Keys.enc sd.rev_current.Keys.pk
+      :: List.map
+           (fun (_, sk) -> Keys.enc (Schnorr.public_key_of_secret sk))
+           sd.received_rev
+    in
+    side_keys s.ch.a @ side_keys s.ch.b
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let latest = commit_of s.ch `A in

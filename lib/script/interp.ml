@@ -28,6 +28,7 @@ type error =
   | Locktime_not_satisfied
   | Sequence_not_satisfied
   | Bad_multisig_arity
+  | Non_canonical_number
   | Empty_final_stack
   | False_final_stack
 
@@ -39,6 +40,7 @@ let error_to_string = function
   | Locktime_not_satisfied -> "OP_CHECKLOCKTIMEVERIFY not satisfied"
   | Sequence_not_satisfied -> "OP_CHECKSEQUENCEVERIFY not satisfied"
   | Bad_multisig_arity -> "invalid multisig arity"
+  | Non_canonical_number -> "non-canonical number encoding"
   | Empty_final_stack -> "empty stack at end of script"
   | False_final_stack -> "false value on top of stack at end of script"
 
@@ -51,12 +53,23 @@ let item_of_int (v : int) : string =
   else if v > 0 && v <= 16 then String.make 1 (Char.chr v)
   else Daric_crypto.Group.encode_int32 v
 
-let int_of_item (s : string) : int =
+(* Canonical numbers are exactly the image of [item_of_int]: "" for 0,
+   one byte for 1..16, four bytes only for values outside 0..16. *)
+let decode_num (s : string) : int option =
   match String.length s with
-  | 0 -> 0
-  | 1 -> Char.code s.[0]
-  | 4 -> Daric_crypto.Group.decode_int32 s
-  | _ -> raise (Fail Stack_underflow)
+  | 0 -> Some 0
+  | 1 ->
+      let v = Char.code s.[0] in
+      if v >= 1 && v <= 16 then Some v else None
+  | 4 ->
+      let v = Daric_crypto.Group.decode_int32 s in
+      if v >= 0 && v <= 16 then None else Some v
+  | _ -> None
+
+let int_of_item (s : string) : int =
+  match decode_num s with
+  | Some v -> v
+  | None -> raise (Fail Non_canonical_number)
 
 let truthy (s : string) : bool = String.exists (fun c -> c <> '\000') s
 

@@ -21,6 +21,7 @@ type error =
   | Locktime_not_satisfied
   | Sequence_not_satisfied
   | Bad_multisig_arity
+  | Non_canonical_number
   | Empty_final_stack
   | False_final_stack
 
@@ -29,7 +30,14 @@ val error_to_string : error -> string
 val item_of_int : int -> string
 (** Canonical stack encoding of a non-negative integer. *)
 
+val decode_num : string -> int option
+(** Canonical decode: accepts exactly the image of {!item_of_int}
+    ("" for 0, one byte for 1..16, four bytes for anything larger);
+    [None] on any non-minimal or otherwise non-canonical encoding. *)
+
 val int_of_item : string -> int
+(** {!decode_num}, raising the interpreter's [Non_canonical_number]
+    failure on non-canonical input. *)
 
 val truthy : string -> bool
 (** Script truth: any non-zero byte present. *)

@@ -1,0 +1,316 @@
+module Tx = Daric_tx.Tx
+module Sighash = Daric_tx.Sighash
+module Script = Daric_script.Script
+module Keys = Daric_core.Keys
+module Txs = Daric_core.Txs
+
+type kind =
+  | Fund
+  | Commit of Keys.role * int
+  | Split of int
+  | Revoke of int
+  | Fin_split
+
+type entry = {
+  label : string;
+  kind : kind;
+  tx : Tx.t;
+  script : Script.t option;
+}
+
+type mutation =
+  | Drop_revocation
+  | Swap_cltv_params
+  | Off_by_one_locktime
+  | Orphan_rev_key
+  | Leak_value
+  | Overpay_outputs
+  | Mixed_cltv
+  | Unbalanced_script
+  | Dead_rev_branch
+  | Rev_csv_delay
+
+let mutation_name = function
+  | Drop_revocation -> "drop-revocation"
+  | Swap_cltv_params -> "swap-cltv-params"
+  | Off_by_one_locktime -> "off-by-one-locktime"
+  | Orphan_rev_key -> "orphan-rev-key"
+  | Leak_value -> "leak-value"
+  | Overpay_outputs -> "overpay-outputs"
+  | Mixed_cltv -> "mixed-cltv"
+  | Unbalanced_script -> "unbalanced-script"
+  | Dead_rev_branch -> "dead-rev-branch"
+  | Rev_csv_delay -> "rev-csv-delay"
+
+let all_mutations =
+  [ (Drop_revocation, Diag.Revocation_missing);
+    (Swap_cltv_params, Diag.Locktime_regression);
+    (Off_by_one_locktime, Diag.Locktime_state_mismatch);
+    (Orphan_rev_key, Diag.Orphan_key);
+    (Leak_value, Diag.Value_leak);
+    (Overpay_outputs, Diag.Negative_fee);
+    (Mixed_cltv, Diag.Mixed_cltv_classes);
+    (Unbalanced_script, Diag.Unbalanced_conditional);
+    (Dead_rev_branch, Diag.Revocation_unsatisfiable);
+    (Rev_csv_delay, Diag.Timelock_ordering) ]
+
+type model = {
+  s0 : int;
+  rel_lock : int;
+  cash : int;
+  n_states : int;
+  keys_a : Keys.t;
+  keys_b : Keys.t;
+  entries : entry list;
+  known : string list;
+}
+
+let insert_after_if ins script =
+  let rec go = function
+    | Script.If :: rest -> Script.If :: (ins @ rest)
+    | op :: rest -> op :: go rest
+    | [] -> []
+  in
+  go script
+
+let build ?(n_states = 4) ?(s0 = 600_000_000) ?(rel_lock = 3) ?(seed = 11)
+    ?mutate () : model =
+  let rng = Daric_util.Rng.create ~seed in
+  let ka = Keys.generate rng and kb = Keys.generate rng in
+  let orphan = Keys.generate rng in
+  let pa = Keys.pub ka and pb = Keys.pub kb in
+  let cash = 1_000_000 in
+  let is m = mutate = Some m in
+  let abs_lock i = if is Swap_cltv_params then s0 + (n_states - 1 - i) else s0 + i in
+  let commit_script role i =
+    let rev_pk1, rev_pk2 =
+      match role with
+      | Keys.Alice -> (pa.Keys.rv_pk, pb.Keys.rv_pk)
+      | Keys.Bob ->
+          if is Orphan_rev_key then
+            ((Keys.pub orphan).Keys.rv'_pk, (Keys.pub orphan).Keys.rv_pk)
+          else (pa.Keys.rv'_pk, pb.Keys.rv'_pk)
+    in
+    let base =
+      Txs.commit_script ~abs_lock:(abs_lock i) ~rel_lock ~rev_pk1 ~rev_pk2
+        ~spl_pk1:pa.Keys.sp_pk ~spl_pk2:pb.Keys.sp_pk
+    in
+    if is Mixed_cltv then Script.Num 100 :: Script.Cltv :: Script.Drop :: base
+    else if is Unbalanced_script then
+      List.filter (fun op -> op <> Script.Endif) base
+    else if is Dead_rev_branch then
+      insert_after_if [ Script.Small 0; Script.Verify ] base
+    else if is Rev_csv_delay then
+      insert_after_if [ Script.Num rel_lock; Script.Csv; Script.Drop ] base
+    else base
+  in
+  let main_a = ka.Keys.main.Keys.pk and main_b = kb.Keys.main.Keys.pk in
+  let fund =
+    Txs.gen_fund
+      ~tid_a:{ Tx.txid = "env:a"; vout = 0 }
+      ~tid_b:{ Tx.txid = "env:b"; vout = 0 }
+      ~cash ~pk_a:main_a ~pk_b:main_b
+  in
+  let fund_op = Tx.outpoint_of fund 0 in
+  let commit role i =
+    let script = commit_script role i in
+    let body =
+      { Tx.inputs = [ Tx.input_of_outpoint ~sequence:i fund_op ];
+        locktime = 0;
+        outputs = [ { Tx.value = cash; spk = Tx.P2wsh (Script.hash script) } ];
+        witnesses = [] }
+    in
+    let sig_a = Sighash.sign ka.Keys.main.Keys.sk All body ~input_index:0 in
+    let sig_b = Sighash.sign kb.Keys.main.Keys.sk All body ~input_index:0 in
+    let tx = Txs.complete_commit body ~sig_a ~sig_b ~pk_a:main_a ~pk_b:main_b in
+    { label = Printf.sprintf "commit_%s_%d"
+        (String.lowercase_ascii (Keys.role_to_string role)) i;
+      kind = Commit (role, i); tx; script = Some script }
+  in
+  let theta i =
+    let bal_a = (cash / 2) - (1000 * i) in
+    let adjust = if is Leak_value then -10 else if is Overpay_outputs then 10 else 0 in
+    Txs.balance_state ~pk_a:main_a ~pk_b:main_b ~bal_a
+      ~bal_b:(cash - bal_a + adjust)
+  in
+  let split commit_a i =
+    let body = Txs.gen_split ~theta:(theta i) ~s0 ~i in
+    let body =
+      if is Off_by_one_locktime then
+        { body with Tx.locktime = body.Tx.locktime - 1 }
+      else body
+    in
+    let sig_a = Sighash.sign ka.Keys.sp.Keys.sk Anyprevout body ~input_index:0 in
+    let sig_b = Sighash.sign kb.Keys.sp.Keys.sk Anyprevout body ~input_index:0 in
+    let tx =
+      Txs.complete_split body
+        ~commit_outpoint:(Tx.outpoint_of commit_a.tx 0)
+        ~commit_script:(Option.get commit_a.script) ~sig_a ~sig_b
+    in
+    { label = Printf.sprintf "split_%d" i; kind = Split i; tx; script = None }
+  in
+  let revoke commit_b r =
+    (* A punishes B's stale state-r commit: the (rv'_A, rv'_B) branch. *)
+    let to_a, _to_b = Txs.gen_revoke ~pk_a:main_a ~pk_b:main_b ~cash ~s0 ~revoked:r in
+    let sig1 = Sighash.sign ka.Keys.rv'.Keys.sk Anyprevout to_a ~input_index:0 in
+    let sig2 = Sighash.sign kb.Keys.rv'.Keys.sk Anyprevout to_a ~input_index:0 in
+    let tx =
+      Txs.complete_revocation to_a
+        ~commit_outpoint:(Tx.outpoint_of commit_b.tx 0)
+        ~commit_script:(Option.get commit_b.script) ~sig1 ~sig2
+    in
+    { label = Printf.sprintf "revoke_%d" r; kind = Revoke r; tx; script = None }
+  in
+  let states = List.init n_states (fun i -> i) in
+  let commits_a = List.map (commit Keys.Alice) states in
+  let commits_b = List.map (commit Keys.Bob) states in
+  let splits = List.map2 split commits_a states in
+  let stale = List.filter (fun r -> r < n_states - 1) states in
+  let stale = if is Drop_revocation then List.tl stale else stale in
+  let revokes = List.map (fun r -> revoke (List.nth commits_b r) r) stale in
+  let fin =
+    let body = Txs.gen_fin_split ~funding:fund_op ~theta:(theta (n_states - 1)) in
+    let sig_a = Sighash.sign ka.Keys.main.Keys.sk All body ~input_index:0 in
+    let sig_b = Sighash.sign kb.Keys.main.Keys.sk All body ~input_index:0 in
+    { label = "fin_split"; kind = Fin_split;
+      tx = Txs.complete_fin_split body ~sig_a ~sig_b ~pk_a:main_a ~pk_b:main_b;
+      script = None }
+  in
+  let fund_entry =
+    { label = "fund"; kind = Fund; tx = fund;
+      script = Some (Txs.funding_script ~pk_a:main_a ~pk_b:main_b) }
+  in
+  let known =
+    let bundle (p : Keys.pub) =
+      List.map Keys.enc
+        [ p.Keys.main_pk; p.Keys.sp_pk; p.Keys.rv_pk; p.Keys.rv'_pk ]
+    in
+    bundle pa @ bundle pb
+  in
+  { s0; rel_lock; cash; n_states; keys_a = ka; keys_b = kb;
+    entries = (fund_entry :: commits_a) @ commits_b @ splits @ revokes @ [ fin ];
+    known }
+
+(* ------------------------------------------------------------------ *)
+(* Daric-specific structural rules on top of the generic DAG lint.     *)
+
+let scheme = "Daric"
+
+let locktime_class t = t >= Daric_script.Interp.locktime_threshold
+
+(* Largest constant CLTV demand anywhere in the script; -1 if none
+   (or if the script does not even parse). *)
+let script_abs_lock (s : Script.t) : int =
+  let a = Abstract.analyze s in
+  List.fold_left
+    (fun acc (p : Abstract.path) ->
+      List.fold_left (fun acc (_, t) -> max acc t) acc p.cltv)
+    (-1) a.Abstract.paths
+
+let find_path (a : Abstract.t) taken =
+  List.find_opt (fun (p : Abstract.path) -> p.Abstract.taken = taken) a.Abstract.paths
+
+let lint (m : model) : Diag.t list =
+  let diags = ref [] in
+  let add ?txid ?path ~rule ~severity detail =
+    diags := Diag.make ~scheme ?txid ?path ~rule ~severity detail :: !diags
+  in
+  let base =
+    Dagcheck.lint ~scheme ~known_keys:m.known
+      (List.mapi (fun i e -> (i, e.tx)) m.entries)
+  in
+  let commit_entries role =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | Commit (r, i) when r = role -> Some (i, e)
+        | _ -> None)
+      m.entries
+    |> List.sort compare
+  in
+  let split_of i =
+    List.find_opt
+      (fun e -> match e.kind with Split j -> j = i | _ -> false)
+      m.entries
+  in
+  let revoke_of r =
+    List.find_opt
+      (fun e -> match e.kind with Revoke j -> j = r | _ -> false)
+      m.entries
+  in
+  (* nLockTime-vs-state monotonicity across the commit chain. *)
+  let abs_of e = script_abs_lock (Option.get e.script) in
+  let rec mono = function
+    | (i, e1) :: ((j, e2) :: _ as rest) ->
+        let a1 = abs_of e1 and a2 = abs_of e2 in
+        if a1 >= 0 && a2 >= 0 && a1 >= a2 then
+          add ~txid:(Diag.short_txid (Tx.txid e2.tx))
+            ~rule:Diag.Locktime_regression ~severity:Diag.Error
+            (Printf.sprintf
+               "state-%d commit locks at %d, not above state-%d's %d" j a2 i a1);
+        mono rest
+    | _ -> ()
+  in
+  mono (commit_entries Keys.Alice);
+  mono (commit_entries Keys.Bob);
+  (* Each split's nLockTime must equal its commit script's CLTV state. *)
+  List.iter
+    (fun (i, e) ->
+      let abs = abs_of e in
+      match split_of i with
+      | Some sp when abs >= 0 && sp.tx.Tx.locktime <> abs ->
+          add ~txid:(Diag.short_txid (Tx.txid sp.tx))
+            ~rule:Diag.Locktime_state_mismatch ~severity:Diag.Error
+            (Printf.sprintf "split nLockTime %d, commit script expects %d"
+               sp.tx.Tx.locktime abs)
+      | _ -> ())
+    (commit_entries Keys.Alice);
+  (* Every stale commit needs a revocation whose IF-branch is
+     satisfiable under the revocation's own nLockTime. *)
+  List.iter
+    (fun (r, e) ->
+      if r < m.n_states - 1 then
+        match revoke_of r with
+        | None ->
+            add ~txid:(Diag.short_txid (Tx.txid e.tx))
+              ~rule:Diag.Revocation_missing ~severity:Diag.Error
+              (Printf.sprintf "stale state %d has no revocation transaction" r)
+        | Some rv -> (
+            let a = Abstract.analyze (Option.get e.script) in
+            let lt = rv.tx.Tx.locktime in
+            match find_path a "T" with
+            | Some p
+              when (match p.Abstract.verdict with `Unsat _ -> false | _ -> true)
+                   && List.for_all
+                        (fun (cls, t) -> cls = locktime_class lt && lt >= t)
+                        p.Abstract.cltv ->
+                ()
+            | _ ->
+                add ~txid:(Diag.short_txid (Tx.txid rv.tx)) ~path:"T"
+                  ~rule:Diag.Revocation_unsatisfiable ~severity:Diag.Error
+                  (Printf.sprintf
+                     "state-%d revocation cannot execute its commit's \
+                      revocation branch" r)))
+    (commit_entries Keys.Bob);
+  (* Revocation window must strictly precede split spendability. *)
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Commit (_, i) -> (
+          let a = Abstract.analyze (Option.get e.script) in
+          match (find_path a "T", find_path a "F") with
+          | Some rev, Some split ->
+              if rev.Abstract.csv >= split.Abstract.csv then
+                add ~txid:(Diag.short_txid (Tx.txid e.tx))
+                  ~rule:Diag.Timelock_ordering ~severity:Diag.Error
+                  (Printf.sprintf
+                     "state-%d revocation CSV %d does not precede split CSV %d"
+                     i rev.Abstract.csv split.Abstract.csv)
+              else if split.Abstract.csv < 1 then
+                add ~txid:(Diag.short_txid (Tx.txid e.tx))
+                  ~rule:Diag.Timelock_ordering ~severity:Diag.Error
+                  (Printf.sprintf "state-%d split has no CSV delay" i)
+          | _ -> ())
+      | _ -> ())
+    m.entries;
+  Diag.sort (base @ !diags)

@@ -1,0 +1,76 @@
+(** Model-based deep lint of the Daric closure graph.
+
+    Builds the full transaction closure of an n-state Daric channel
+    from the real generators ({!Daric_core.Txs}): funding, both
+    parties' commits for every state, completed splits, completed
+    revocations for every stale state, and the collaborative-close
+    split — with genuine keys and signatures. The {!lint} pass then
+    checks the Daric-specific structural invariants on top of the
+    generic {!Dagcheck} rules:
+
+    - commit-script absolute locktimes strictly increase with the
+      state number (nLockTime-vs-state monotonicity);
+    - each split's nLockTime equals its commit script's CLTV state;
+    - every stale commit is covered by a revocation whose IF-branch
+      the abstract interpreter deems satisfiable under the
+      revocation's own nLockTime;
+    - the revocation window strictly precedes split spendability
+      (revocation-branch CSV < split-branch CSV, split CSV >= 1);
+    - no key outside the channel's eight-key inventory appears.
+
+    {!mutation} seeds one deliberate defect into the construction;
+    {!all_mutations} pairs each with the rule that must flag it —
+    the mutation-test matrix of [test/test_staticcheck.ml]. *)
+
+module Tx = Daric_tx.Tx
+module Script = Daric_script.Script
+module Keys = Daric_core.Keys
+
+type kind =
+  | Fund
+  | Commit of Keys.role * int
+  | Split of int
+  | Revoke of int
+  | Fin_split
+
+type entry = {
+  label : string;
+  kind : kind;
+  tx : Tx.t;
+  script : Script.t option;  (** P2WSH script behind output 0 *)
+}
+
+type mutation =
+  | Drop_revocation      (** forget one stale state's revocation *)
+  | Swap_cltv_params     (** reverse the per-state CLTV ordering *)
+  | Off_by_one_locktime  (** split nLockTime one below its state *)
+  | Orphan_rev_key       (** revocation keys nobody owns *)
+  | Leak_value           (** split outputs short of the channel cash *)
+  | Overpay_outputs      (** split outputs exceed the channel cash *)
+  | Mixed_cltv           (** height- and timestamp-class CLTV together *)
+  | Unbalanced_script    (** commit script loses its ENDIF *)
+  | Dead_rev_branch      (** revocation branch made a guaranteed failure *)
+  | Rev_csv_delay        (** revocation delayed as long as the split *)
+
+val mutation_name : mutation -> string
+
+val all_mutations : (mutation * Diag.rule) list
+(** Every mutation with the rule expected to flag it. *)
+
+type model = {
+  s0 : int;
+  rel_lock : int;
+  cash : int;
+  n_states : int;
+  keys_a : Keys.t;
+  keys_b : Keys.t;
+  entries : entry list;
+  known : string list;  (** the eight-key inventory *)
+}
+
+val build :
+  ?n_states:int -> ?s0:int -> ?rel_lock:int -> ?seed:int ->
+  ?mutate:mutation -> unit -> model
+(** Defaults: 4 states, [s0 = 600_000_000], [rel_lock = 3]. *)
+
+val lint : model -> Diag.t list

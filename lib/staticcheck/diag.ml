@@ -1,0 +1,80 @@
+type severity = Info | Warning | Error
+
+type rule =
+  | Unbalanced_conditional
+  | Unspendable_script
+  | Guaranteed_failure
+  | Dead_branch
+  | Mixed_cltv_classes
+  | Data_carrier
+  | Nonpositive_output
+  | Negative_fee
+  | Value_leak
+  | Witness_mismatch
+  | Cltv_unsatisfiable
+  | Locktime_regression
+  | Locktime_state_mismatch
+  | Timelock_ordering
+  | Revocation_missing
+  | Revocation_unsatisfiable
+  | Orphan_key
+  | Scenario_failure
+
+type t = {
+  scheme : string;
+  txid : string;
+  path : string;
+  rule : rule;
+  severity : severity;
+  detail : string;
+}
+
+let make ~scheme ?(txid = "") ?(path = "-") ~rule ~severity detail =
+  { scheme; txid; path; rule; severity; detail }
+
+let rule_name = function
+  | Unbalanced_conditional -> "unbalanced-conditional"
+  | Unspendable_script -> "unspendable-script"
+  | Guaranteed_failure -> "guaranteed-failure"
+  | Dead_branch -> "dead-branch"
+  | Mixed_cltv_classes -> "mixed-cltv-classes"
+  | Data_carrier -> "data-carrier"
+  | Nonpositive_output -> "nonpositive-output"
+  | Negative_fee -> "negative-fee"
+  | Value_leak -> "value-leak"
+  | Witness_mismatch -> "witness-mismatch"
+  | Cltv_unsatisfiable -> "cltv-unsatisfiable"
+  | Locktime_regression -> "locktime-regression"
+  | Locktime_state_mismatch -> "locktime-state-mismatch"
+  | Timelock_ordering -> "timelock-ordering"
+  | Revocation_missing -> "revocation-missing"
+  | Revocation_unsatisfiable -> "revocation-unsatisfiable"
+  | Orphan_key -> "orphan-key"
+  | Scenario_failure -> "scenario-failure"
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let short_txid t = Daric_util.Hex.short t
+
+let pp fmt d =
+  Format.fprintf fmt "[%s] %s: %s%s (path %s): %s"
+    (severity_name d.severity) d.scheme (rule_name d.rule)
+    (if d.txid = "" then "" else " tx " ^ d.txid)
+    d.path d.detail
+
+let to_string d = Format.asprintf "%a" pp d
+
+let count sev l = List.length (List.filter (fun d -> d.severity = sev) l)
+
+let sort l =
+  let cmp a b =
+    match compare (severity_rank a.severity) (severity_rank b.severity) with
+    | 0 -> compare (a.scheme, a.txid, a.rule, a.path) (b.scheme, b.txid, b.rule, b.path)
+    | c -> c
+  in
+  List.sort_uniq (fun a b -> match cmp a b with 0 -> compare a b | c -> c) l

@@ -1,0 +1,53 @@
+module Interp = Daric_script.Interp
+
+type oracle = {
+  sign : string -> string option;
+  preimage : Abstract.hash_fn -> string -> string option;
+}
+
+let null_oracle = { sign = (fun _ -> None); preimage = (fun _ _ -> None) }
+
+let sig_tag_oracle =
+  { sign = (fun pk -> Some ("sig:" ^ pk)); preimage = (fun _ _ -> None) }
+
+let sig_tag_checker ~pk_bytes ~sig_bytes = sig_bytes = "sig:" ^ pk_bytes
+
+let resolve (o : oracle) (s : Abstract.slot) : string option =
+  let ok v =
+    (not (List.mem v s.not_exact))
+    && (match s.truth with None -> true | Some t -> Interp.truthy v = t)
+    && (match s.preimage with
+        | None -> true
+        | Some (f, d) -> Abstract.apply_hash f v = d)
+  in
+  let check v = if ok v then Some v else None in
+  match (s.exact, s.sig_for, s.preimage) with
+  | Some _, Some _, _ -> None  (* merge degrades this to Unknown upstream *)
+  | Some c, None, _ -> check c
+  | None, Some pk, _ -> Option.bind (o.sign pk) check
+  | None, None, Some (f, d) -> Option.bind (o.preimage f d) check
+  | None, None, None ->
+      let pool =
+        match s.truth with
+        | Some false -> [ ""; "\000"; "\000\000"; "\000\000\000" ]
+        | Some true -> [ "\001"; "\002"; "\003"; "x" ]
+        | None -> [ "\001"; ""; "\002"; "x" ]
+      in
+      List.find_map check pool
+
+let synthesize (o : oracle) (p : Abstract.path) : string list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> (
+        match resolve o s with
+        | None -> None
+        | Some v -> go (v :: acc) rest)
+  in
+  go [] p.slots
+
+let context_for ?(check_sig = fun ~pk_bytes:_ ~sig_bytes:_ -> false)
+    (p : Abstract.path) : Interp.context =
+  let tx_locktime =
+    List.fold_left (fun acc (_, t) -> max acc t) 0 p.cltv
+  in
+  { Interp.check_sig; tx_locktime; input_age = p.csv }

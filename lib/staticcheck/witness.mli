@@ -1,0 +1,35 @@
+(** Concrete witness synthesis from an {!Abstract.path} template.
+
+    Given oracles for signing and hash preimages, turns the per-slot
+    constraints of a satisfiable path into actual stack bytes. This is
+    the bridge used by the differential tests: any path the analyzer
+    calls [`Sat] must, once synthesized, execute successfully in
+    {!Daric_script.Interp}; conversely no witness should make an
+    [`Unsat] path succeed. *)
+
+type oracle = {
+  sign : string -> string option;
+      (** encoded public key -> signature bytes valid for it *)
+  preimage : Abstract.hash_fn -> string -> string option;
+      (** digest -> preimage under the given hash *)
+}
+
+val null_oracle : oracle
+(** Fails every signature and preimage request. *)
+
+val sig_tag_oracle : oracle
+(** Toy oracle for differential fuzzing: the (unique) valid signature
+    for key [pk] is ["sig:" ^ pk]; preimages are unknown. Pair it with
+    {!sig_tag_checker} as the interpreter's [check_sig]. *)
+
+val sig_tag_checker : pk_bytes:string -> sig_bytes:string -> bool
+
+val synthesize : oracle -> Abstract.path -> string list option
+(** Initial stack for {!Daric_script.Interp.run} (head = top), or
+    [None] when some slot cannot be realised with these oracles. *)
+
+val context_for :
+  ?check_sig:(pk_bytes:string -> sig_bytes:string -> bool) ->
+  Abstract.path -> Daric_script.Interp.context
+(** A spending context that meets the path's CLTV/CSV demands: the
+    smallest satisfying [tx_locktime] and [input_age]. *)

@@ -1,0 +1,337 @@
+(* Static analyzer tests: abstract-interpreter unit checks on the
+   protocol scripts, the seeded-mutation matrix over the Daric closure
+   graph, the registry-wide sweep, and the differential fuzz tying the
+   analyzer's verdicts to concrete interpreter executions. *)
+
+module Script = Daric_script.Script
+module Interp = Daric_script.Interp
+module Abstract = Daric_staticcheck.Abstract
+module Witness = Daric_staticcheck.Witness
+module Diag = Daric_staticcheck.Diag
+module Daricmodel = Daric_staticcheck.Daricmodel
+module Sweep = Daric_staticcheck.Sweep
+module Keys = Daric_core.Keys
+module Txs = Daric_core.Txs
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let keys () =
+  let rng = Daric_util.Rng.create ~seed:99 in
+  (Keys.generate rng, Keys.generate rng)
+
+let daric_commit_script ?(s0 = 600_000_000) ?(i = 2) ?(rel_lock = 3) () =
+  let ka, kb = keys () in
+  let pa = Keys.pub ka and pb = Keys.pub kb in
+  Txs.commit_script ~abs_lock:(s0 + i) ~rel_lock ~rev_pk1:pa.Keys.rv_pk
+    ~rev_pk2:pb.Keys.rv_pk ~spl_pk1:pa.Keys.sp_pk ~spl_pk2:pb.Keys.sp_pk
+
+(* ---- abstract interpreter on the protocol scripts ---- *)
+
+let find_path (a : Abstract.t) taken =
+  List.find (fun (p : Abstract.path) -> p.Abstract.taken = taken)
+    a.Abstract.paths
+
+let test_daric_commit_paths () =
+  let s0 = 600_000_000 and i = 2 and rel_lock = 3 in
+  let a = Abstract.analyze (daric_commit_script ~s0 ~i ~rel_lock ()) in
+  check_i "two paths" 2 (List.length a.Abstract.paths);
+  let rev = find_path a "T" and split = find_path a "F" in
+  check_b "revocation path satisfiable" true (rev.Abstract.verdict = `Sat);
+  check_b "split path satisfiable" true (split.Abstract.verdict = `Sat);
+  check_b "both demand the state CLTV" true
+    (rev.Abstract.cltv = [ (true, s0 + i) ]
+    && split.Abstract.cltv = [ (true, s0 + i) ]);
+  check_i "revocation immediate" 0 rev.Abstract.csv;
+  check_i "split delayed" rel_lock split.Abstract.csv;
+  (* selector + two signatures + multisig dummy *)
+  check_i "revocation arity" 4 rev.Abstract.arity;
+  check_i "split arity" 4 split.Abstract.arity;
+  check_i "four keys checked" 4 (List.length a.Abstract.used_keys);
+  check_i "no findings" 0 (List.length a.Abstract.diags)
+
+let test_lightning_to_local () =
+  (* [IF <rev> ELSE <T> CSV DROP <delayed> ENDIF CHECKSIG] *)
+  let s =
+    [ Script.If; Push "REV"; Else; Num 144; Csv; Drop; Push "DEL"; Endif;
+      Checksig ]
+  in
+  let a = Abstract.analyze s in
+  let pen = find_path a "T" and sweep = find_path a "F" in
+  check_b "penalty path sat" true (pen.Abstract.verdict = `Sat);
+  check_b "sweep path sat" true (sweep.Abstract.verdict = `Sat);
+  check_i "penalty immediate" 0 pen.Abstract.csv;
+  check_i "sweep delayed" 144 sweep.Abstract.csv;
+  check_b "per-path key attribution" true
+    (pen.Abstract.keys = [ "REV" ] && sweep.Abstract.keys = [ "DEL" ])
+
+let test_structural_findings () =
+  let has rule (a : Abstract.t) =
+    List.exists (fun (r, _, _, _) -> r = rule) a.Abstract.diags
+  in
+  let unbalanced = Abstract.analyze [ Script.If; Small 1 ] in
+  check_b "unbalanced flagged" true
+    (has Diag.Unbalanced_conditional unbalanced);
+  check_b "unbalanced unsatisfiable" true
+    (not (Abstract.satisfiable unbalanced));
+  let dead = Abstract.analyze [ Script.Small 1; If; Small 1; Else; Small 2; Endif ] in
+  check_b "dead branch flagged" true (has Diag.Dead_branch dead);
+  check_b "dead branch still satisfiable" true (Abstract.satisfiable dead);
+  let mixed = Abstract.analyze [ Script.Num 100; Cltv; Drop; Num 600_000_000; Cltv ] in
+  check_b "mixed CLTV classes flagged" true (has Diag.Mixed_cltv_classes mixed);
+  check_b "mixed CLTV unsatisfiable" true (not (Abstract.satisfiable mixed));
+  let carrier = Abstract.analyze [ Script.Return; Push "data" ] in
+  check_b "data carrier is info only" true
+    (carrier.Abstract.data_carrier && has Diag.Data_carrier carrier);
+  let dead_verify = Abstract.analyze [ Script.Small 0; Verify; Small 1 ] in
+  check_b "guaranteed failure unsatisfiable" true
+    (not (Abstract.satisfiable dead_verify));
+  (* An Else toggle: segments alternate, so IF runs segments 0 and 2. *)
+  let toggles =
+    [ Script.If; Push "a"; Else; Push "b"; Else; Push "c"; Endif; Push "c";
+      Equalverify; Push "a"; Equalverify; Small 1 ]
+  in
+  let a = Abstract.analyze toggles in
+  check_b "multi-Else then-arm satisfiable" true
+    ((find_path a "T").Abstract.verdict = `Sat)
+
+(* ---- synthesized witnesses execute concretely ---- *)
+
+let test_synthesis_executes () =
+  let script = daric_commit_script () in
+  let a = Abstract.analyze script in
+  List.iter
+    (fun (p : Abstract.path) ->
+      check_b ("path " ^ p.Abstract.taken ^ " sat") true
+        (p.Abstract.verdict = `Sat);
+      match Witness.synthesize Witness.sig_tag_oracle p with
+      | None -> Alcotest.fail "synthesis failed on a Sat path"
+      | Some stack ->
+          let ctx = Witness.context_for ~check_sig:Witness.sig_tag_checker p in
+          check_b
+            ("synthesized witness runs path " ^ p.Abstract.taken)
+            true
+            (Interp.run ctx script stack = Ok ()))
+    a.Abstract.paths
+
+(* The same, against the real signature checker: complete a Daric
+   split/revocation spend of a published commit and show the analyzer's
+   template reproduces the interpreter-accepted witness shape. *)
+let test_synthesis_real_crypto () =
+  let m = Daricmodel.build () in
+  let script =
+    (* Bob's state-0 commit script *)
+    List.find_map
+      (fun (e : Daricmodel.entry) ->
+        match e.Daricmodel.kind with
+        | Daricmodel.Commit (Keys.Bob, 0) -> e.Daricmodel.script
+        | _ -> None)
+      m.Daricmodel.entries
+    |> Option.get
+  in
+  let rv =
+    List.find
+      (fun (e : Daricmodel.entry) -> e.Daricmodel.kind = Daricmodel.Revoke 0)
+      m.Daricmodel.entries
+  in
+  let a = Abstract.analyze script in
+  let p = find_path a "T" in
+  let tx = rv.Daricmodel.tx in
+  let sign pk =
+    let sk_of (k : Keys.keypair) =
+      if Keys.enc k.Keys.pk = pk then Some k.Keys.sk else None
+    in
+    let candidates =
+      [ m.Daricmodel.keys_a.Keys.rv'; m.Daricmodel.keys_b.Keys.rv';
+        m.Daricmodel.keys_a.Keys.sp; m.Daricmodel.keys_b.Keys.sp ]
+    in
+    Option.map
+      (fun sk -> Daric_tx.Sighash.sign sk Anyprevout tx ~input_index:0)
+      (List.find_map sk_of candidates)
+  in
+  let oracle = { Witness.null_oracle with Witness.sign } in
+  match Witness.synthesize oracle p with
+  | None -> Alcotest.fail "synthesis failed with the real signer"
+  | Some stack ->
+      let ctx =
+        Witness.context_for
+          ~check_sig:(fun ~pk_bytes ~sig_bytes ->
+            Daric_tx.Sighash.check tx ~input_index:0 ~pk_bytes ~sig_bytes)
+          p
+      in
+      check_b "real-crypto witness accepted" true
+        (Interp.run ctx script stack = Ok ())
+
+(* ---- seeded mutations of the Daric closure graph ---- *)
+
+let test_base_model_clean () =
+  let diags = Daricmodel.lint (Daricmodel.build ()) in
+  if diags <> [] then
+    List.iter (fun d -> Printf.printf "unexpected: %s\n" (Diag.to_string d)) diags;
+  check_i "unmutated closure graph is clean" 0 (List.length diags)
+
+let test_mutations_caught () =
+  List.iter
+    (fun (m, expected) ->
+      let diags = Daricmodel.lint (Daricmodel.build ~mutate:m ()) in
+      let hit = List.exists (fun d -> d.Diag.rule = expected) diags in
+      if not hit then
+        List.iter
+          (fun d -> Printf.printf "got instead: %s\n" (Diag.to_string d))
+          diags;
+      check_b
+        (Printf.sprintf "%s flagged as %s" (Daricmodel.mutation_name m)
+           (Diag.rule_name expected))
+        true hit)
+    Daricmodel.all_mutations
+
+(* ---- registry-wide sweep ---- *)
+
+let test_sweep_no_errors () =
+  let reports = Sweep.run ~updates:2 () in
+  check_i "nine reports (eight schemes + model)" 9 (List.length reports);
+  List.iter
+    (fun (r : Sweep.report) ->
+      let errs =
+        List.filter (fun d -> d.Diag.severity = Diag.Error) r.Sweep.diags
+      in
+      List.iter
+        (fun d -> Printf.printf "sweep error: %s\n" (Diag.to_string d))
+        errs;
+      check_i (r.Sweep.scheme ^ " has no errors") 0 (List.length errs))
+    reports
+
+(* ---- differential fuzz: analyzer verdicts vs concrete execution ---- *)
+
+let fuzz_keys = [ "K1"; "K2"; "K3" ]
+let fuzz_preimages = [ "P1"; "P2" ]
+
+let fuzz_oracle =
+  { Witness.sign = (fun pk -> Some ("sig:" ^ pk));
+    preimage =
+      (fun f d ->
+        List.find_opt (fun p -> Abstract.apply_hash f p = d) fuzz_preimages) }
+
+let gen_fragment : Script.op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let key = oneofl fuzz_keys in
+  let pre = oneofl fuzz_preimages in
+  let leaf =
+    oneof
+      [ map (fun k -> [ Script.Push k; Script.Checksig ]) key;
+        map (fun k -> [ Script.Push k; Script.Checksigverify; Script.Small 1 ]) key;
+        map2
+          (fun k1 k2 ->
+            [ Script.Small 2; Script.Push k1; Script.Push k2; Script.Small 2;
+              Script.Checkmultisig ])
+          key key;
+        map
+          (fun p ->
+            [ Script.Sha256;
+              Script.Push (Abstract.apply_hash Abstract.Sha p);
+              Script.Equal ])
+          pre;
+        map
+          (fun p ->
+            [ Script.Hash160;
+              Script.Push (Abstract.apply_hash Abstract.H160 p);
+              Script.Equalverify; Script.Small 1 ])
+          pre;
+        map
+          (fun t -> [ Script.Num t; Script.Cltv; Script.Drop ])
+          (oneofl [ 5; 100; 600_000_000; 700_000_000 ]);
+        map (fun t -> [ Script.Num t; Script.Csv; Script.Drop ]) (1 -- 10);
+        map (fun v -> [ Script.Small v ]) (0 -- 2);
+        map (fun s -> [ Script.Push s ]) (string_size (0 -- 4));
+        return [ Script.Dup; Script.Drop ];
+        return [ Script.Verify ];
+        return [ Script.Return ] ]
+  in
+  let body = map List.concat (list_size (1 -- 3) leaf) in
+  let cond =
+    map3
+      (fun neg thn els ->
+        [ (if neg then Script.Notif else Script.If) ]
+        @ thn @ [ Script.Else ] @ els @ [ Script.Endif ])
+      bool body body
+  in
+  oneof [ leaf; cond ]
+
+let gen_script : Script.t QCheck.Gen.t =
+  QCheck.Gen.(map List.concat (list_size (1 -- 4) gen_fragment))
+
+let fuzz_ctxs =
+  [ Witness.context_for ~check_sig:Witness.sig_tag_checker
+      { Abstract.taken = "-"; verdict = `Sat; arity = 0; slots = [];
+        cltv = []; csv = 0; keys = []; notes = [] };
+    { Interp.check_sig = Witness.sig_tag_checker; tx_locktime = 499_999_999;
+      input_age = 1000 };
+    { Interp.check_sig = Witness.sig_tag_checker; tx_locktime = 1_000_000_000;
+      input_age = 1000 } ]
+
+(* Direction 1: every Sat path must execute under its synthesized
+   witness. *)
+let prop_sat_paths_execute =
+  QCheck.Test.make ~name:"Sat paths run Ok under synthesized witnesses"
+    ~count:500
+    (QCheck.make ~print:(fun s -> Fmt.str "%a" Script.pp s) gen_script)
+    (fun script ->
+      let a = Abstract.analyze script in
+      List.for_all
+        (fun (p : Abstract.path) ->
+          match p.Abstract.verdict with
+          | `Sat -> (
+              match Witness.synthesize fuzz_oracle p with
+              | None -> true (* oracle gap (e.g. unknown digest): skip *)
+              | Some stack ->
+                  let ctx =
+                    Witness.context_for ~check_sig:Witness.sig_tag_checker p
+                  in
+                  Interp.run ctx script stack = Ok ())
+          | _ -> true)
+        a.Abstract.paths)
+
+(* Direction 2: a script with no satisfiable path must reject every
+   witness we can throw at it, under every context. *)
+let prop_unsat_scripts_reject =
+  let value_pool =
+    [ ""; "\001"; "\000"; "x"; "P1"; "P2" ]
+    @ List.map (fun k -> "sig:" ^ k) fuzz_keys
+  in
+  QCheck.Test.make ~name:"unsatisfiable scripts reject all witnesses"
+    ~count:500
+    (QCheck.pair
+       (QCheck.make ~print:(fun s -> Fmt.str "%a" Script.pp s) gen_script)
+       (QCheck.make QCheck.Gen.(list_size (0 -- 6) (oneofl value_pool))))
+    (fun (script, stack) ->
+      let a = Abstract.analyze script in
+      if Abstract.satisfiable a then true
+      else
+        List.for_all
+          (fun ctx -> Interp.run ctx script stack <> Ok ())
+          fuzz_ctxs)
+
+let () =
+  Alcotest.run "daric-staticcheck"
+    [ ( "abstract",
+        [ Alcotest.test_case "daric commit paths" `Quick
+            test_daric_commit_paths;
+          Alcotest.test_case "lightning to_local" `Quick
+            test_lightning_to_local;
+          Alcotest.test_case "structural findings" `Quick
+            test_structural_findings ] );
+      ( "witness",
+        [ Alcotest.test_case "synthesis executes" `Quick
+            test_synthesis_executes;
+          Alcotest.test_case "synthesis with real crypto" `Quick
+            test_synthesis_real_crypto ] );
+      ( "mutations",
+        [ Alcotest.test_case "base model clean" `Quick test_base_model_clean;
+          Alcotest.test_case "all mutations caught" `Quick
+            test_mutations_caught ] );
+      ( "sweep",
+        [ Alcotest.test_case "registry sweep has no errors" `Slow
+            test_sweep_no_errors ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_sat_paths_execute;
+          QCheck_alcotest.to_alcotest prop_unsat_scripts_reject ] ) ]

@@ -168,10 +168,10 @@ let write_scale_json (samples : Daric_analysis.Scale.sample list) : unit =
   pf "  }\n}\n";
   close_out oc
 
-(* The same tiny trace under a forced 1-domain pool and a forced
-   2-domain pool must agree exactly: the parallel tick/discharge path
-   promises sequential semantics. Checked on every scale run (and on
-   runtest through the bench-scale-smoke alias). *)
+(* The same tiny trace under forced 1-, 2- and 4-domain pools must
+   agree exactly: the sharded tick and staged assembly promise
+   sequential semantics at any pool size. Checked on every scale run
+   (and on runtest through the bench-scale-smoke alias). *)
 let check_domain_consistency () =
   let trace () =
     let s =
@@ -183,28 +183,44 @@ let check_domain_consistency () =
       s.Daric_analysis.Scale.accepted_txs,
       s.Daric_analysis.Scale.tower_storage_bytes )
   in
-  let t1 = Daric_util.Dpool.with_domains 1 trace in
-  let t2 = Daric_util.Dpool.with_domains 2 trace in
-  if t1 <> t2 then begin
-    Fmt.epr "scale: 1-domain and 2-domain traces diverged@.";
-    exit 1
-  end;
-  Fmt.pr "domain-consistency: DPOOL_DOMAINS=1 and 2-domain traces agree@."
+  let reference = Daric_util.Dpool.with_domains 1 trace in
+  List.iter
+    (fun d ->
+      if Daric_util.Dpool.with_domains d trace <> reference then begin
+        Fmt.epr "scale: %d-domain trace diverged from sequential@." d;
+        exit 1
+      end)
+    [ 2; 4 ];
+  Fmt.pr "domain-consistency: 1-, 2- and 4-domain traces agree@."
 
-let run_scale ~smoke ~full () =
+let run_scale ~smoke ~quick ~full ~domains () =
   section "Experiment SCALE: N-channel update+monitor sweep (Daric)";
   check_domain_consistency ();
   let ns =
     if smoke then [ 24 ]
+    else if quick then [ 100; 1_000 ]
     else if full then [ 100; 1_000; 10_000; 100_000 ]
     else [ 100; 1_000; 10_000 ]
   in
+  (* [--domains D] forces the worker-pool size for the whole sweep (the
+     default is the environment's DPOOL_DOMAINS / recommended size) —
+     used to measure how updates/sec scales with the domain count. *)
+  let in_pool : 'a. (unit -> 'a) -> 'a =
+   fun f ->
+    match domains with
+    | Some d -> Daric_util.Dpool.with_domains d f
+    | None -> f ()
+  in
+  (match domains with
+  | Some d -> Fmt.pr "forced domain count: %d@." d
+  | None -> ());
   let samples =
     List.map
       (fun n ->
         let s =
-          Daric_analysis.Scale.run ~channels:n ~updates:1
-            ~frauds:(min 8 n) ()
+          in_pool (fun () ->
+              Daric_analysis.Scale.run ~channels:n ~updates:1
+                ~frauds:(min 8 n) ())
         in
         Fmt.pr "%a@.@." Daric_analysis.Scale.pp s;
         if s.Daric_analysis.Scale.punished <> s.Daric_analysis.Scale.frauds
@@ -284,13 +300,8 @@ let bench_tests () =
       (Staged.stage (fun () -> ignore (Daric_crypto.Sha256.digest msg)))
   in
   let txid_tx =
-    { Tx.inputs =
-        [ Tx.input_of_outpoint { Tx.txid = String.make 32 'x'; vout = 0 } ];
-      locktime = 500_000_123;
-      outputs =
-        [ { Tx.value = 50_000; spk = Tx.P2wpkh (String.make 20 'h') };
-          { Tx.value = 50_000; spk = Tx.P2wsh (String.make 32 's') } ];
-      witnesses = [] }
+    Tx.make ~locktime:(500_000_123) ~inputs:[ Tx.input_of_outpoint { Tx.txid = String.make 32 'x'; vout = 0 } ] ~outputs:[ { Tx.value = 50_000; spk = Tx.P2wpkh (String.make 20 'h') };
+          { Tx.value = 50_000; spk = Tx.P2wsh (String.make 32 's') } ] ()
   in
   let txid_memo =
     Test.make ~name:"txid"
@@ -299,6 +310,39 @@ let bench_tests () =
   let txid_naive =
     Test.make ~name:"txid_naive"
       (Staged.stage (fun () -> ignore (Tx.txid_uncached txid_tx)))
+  in
+  (* zero-copy encode path: the memo hands back the cached body string;
+     the naive baseline re-runs the full serialization pass *)
+  let tx_encode =
+    Test.make ~name:"tx-encode"
+      (Staged.stage (fun () -> ignore (Tx.body_serialize txid_tx)))
+  in
+  let tx_encode_naive =
+    Test.make ~name:"tx-encode_naive"
+      (Staged.stage (fun () -> ignore (Tx.body_serialize_uncached txid_tx)))
+  in
+  (* amortized family sighash: all three flag messages over one body —
+     the memoized path computes each flag's midstate once and serves
+     the rest from the per-body slot cache *)
+  let sighash_flags =
+    Daric_tx.Sighash.[ All; Anyprevout; Anyprevout_single ]
+  in
+  let sighash_family =
+    Test.make ~name:"sighash-family"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun f ->
+               ignore (Daric_tx.Sighash.message f txid_tx ~input_index:0))
+             sighash_flags))
+  in
+  let sighash_family_naive =
+    Test.make ~name:"sighash-family_naive"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun f ->
+               ignore
+                 (Daric_tx.Sighash.message_uncached f txid_tx ~input_index:0))
+             sighash_flags))
   in
   (* one full channel-update round-trip per registered scheme (for
      Daric: both parties, all messages, no chain interaction) — the
@@ -341,7 +385,8 @@ let bench_tests () =
              Daric_schemes.Costmodel.all))
   in
   [ sign; verify; verify_naive; batch; batch_naive; pow_fixed; pow_naive;
-    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive ]
+    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive; tx_encode;
+    tx_encode_naive; sighash_family; sighash_family_naive ]
   @ scheme_updates @ [ weights ]
 
 (* Machine-readable perf trajectory: a flat name -> ns/run map written
@@ -370,7 +415,9 @@ let write_bench_json ~(quota_s : float) (entries : (string * float) list) :
    channel-update entry per registered scheme. *)
 let required_entries =
   [ "schnorr-sign"; "schnorr-verify"; "schnorr-verify_naive";
-    "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive" ]
+    "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive";
+    "txid"; "txid_naive"; "tx-encode"; "tx-encode_naive";
+    "sighash-family"; "sighash-family_naive" ]
   @ List.map
       (fun (module S : I.SCHEME) ->
         String.lowercase_ascii S.name ^ "-channel-update")
@@ -424,7 +471,31 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in
-  let args = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
+  let quick = List.mem "--quick" args in
+  let rec parse_domains = function
+    | "--domains" :: d :: _ -> (
+        match int_of_string_opt (String.trim d) with
+        | Some d when d >= 1 -> Some d
+        | _ ->
+            Fmt.epr "bench: --domains expects a positive integer, got %S@." d;
+            exit 2)
+    | "--domains" :: [] ->
+        Fmt.epr "bench: --domains expects a value@.";
+        exit 2
+    | _ :: rest -> parse_domains rest
+    | [] -> None
+  in
+  let domains = parse_domains args in
+  let rec strip_domains = function
+    | "--domains" :: _ :: rest -> strip_domains rest
+    | a :: rest -> a :: strip_domains rest
+    | [] -> []
+  in
+  let args =
+    strip_domains args
+    |> List.filter (fun a ->
+           a <> "--full" && a <> "--smoke" && a <> "--quick")
+  in
   let all = args = [] in
   let want x = all || List.mem x args in
   if want "table1" then run_table1 ~full ();
@@ -445,5 +516,5 @@ let () =
             ~dir:"results" ])
   end;
   (* explicit-only: the full sweep builds up to 100k channels *)
-  if List.mem "scale" args then run_scale ~smoke ~full ();
+  if List.mem "scale" args then run_scale ~smoke ~quick ~full ~domains ();
   if want "micro" then run_micro ~smoke ()

@@ -74,11 +74,7 @@ let () =
       ~rel_lock
   in
   let nested_commit_body =
-    { Tx.inputs = [];
-      locktime = s0;
-      outputs =
-        [ { Tx.value = 100_000; spk = Tx.P2wsh (Script.hash nested_commit_script) } ];
-      witnesses = [] }
+    Tx.make ~locktime:s0 ~inputs:[] ~outputs:[ { Tx.value = 100_000; spk = Tx.P2wsh (Script.hash nested_commit_script) } ] ()
   in
   let msg = Sighash.message Anyprevout nested_commit_body ~input_index:0 in
   let sig_a = Sighash.sign_message nested_a.Keys.main.sk Anyprevout msg in
@@ -99,11 +95,13 @@ let () =
   Fmt.pr "parent closed; its split output is the nested funding: %a@."
     Tx.pp_outpoint (Tx.outpoint_of parent_split 0);
   let nested_commit =
-    { nested_commit_body with
-      Tx.inputs = [ Tx.input_of_outpoint ~sequence:0 (Tx.outpoint_of parent_split 0) ];
-      witnesses =
+    Tx.make ~locktime:nested_commit_body.Tx.locktime
+      ~inputs:[ Tx.input_of_outpoint ~sequence:0 (Tx.outpoint_of parent_split 0) ]
+      ~outputs:nested_commit_body.Tx.outputs
+      ~witnesses:
         [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b;
-            Tx.Wscript nested_funding_script ] ] }
+            Tx.Wscript nested_funding_script ] ]
+      ()
   in
   (match Ledger.validate l nested_commit with
   | Ok () ->

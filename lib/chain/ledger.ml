@@ -58,8 +58,7 @@ type event =
   | Accepted of Tx.t
   | Rejected of Tx.t * reject_reason
 
-let dummy_tx : Tx.t =
-  { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] }
+let dummy_tx : Tx.t = Tx.empty
 
 let dummy_outpoint : Tx.outpoint = { Tx.txid = ""; vout = 0 }
 
@@ -78,8 +77,8 @@ type t = {
   spent_log : Tx.outpoint Vec.t;
       (** every spent outpoint in spend order — the watchtower
           notification feed (append-only; read through cursors) *)
-  pending : (int, Tx.t list ref) Hashtbl.t;
-      (** processing round → due txs, reverse posting order *)
+  pending : (int, Tx.t Vec.t) Hashtbl.t;
+      (** processing round → due txs, posting order *)
   mutable events : event list;  (** events of the current round, newest first *)
   mutable mints : int;  (** counter making minted coinbase txids unique *)
 }
@@ -176,14 +175,18 @@ let iter_spent_since (t : t) ~(cursor : int) (f : Tx.outpoint -> unit) : int =
   Vec.iter_from t.spent_log ~from:cursor f;
   Vec.length t.spent_log
 
-(* Shared shape of validation; [verify_witness] is either the inline
-   verifier or the deferring one. *)
-let validate_gen (t : t) (tx : Tx.t)
+(* Shared shape of validation, parameterized over the state view:
+   [known_txid] and [lookup] default to the ledger's confirmed state,
+   but staged validators (sharded tick, block assembly) substitute
+   views that overlay not-yet-committed effects. [verify_witness] is
+   either the inline verifier or the deferring one. *)
+let validate_gen (t : t) (tx : Tx.t) ~(known_txid : string -> bool)
+    ~(lookup : Tx.outpoint -> utxo option)
     ~(verify_witness :
        Tx.t -> input_index:int -> spent:Tx.output -> input_age:int ->
        (unit, Spend.error) result) : (unit, reject_reason) result =
   let txid = Tx.txid tx in
-  if Hashtbl.mem t.txids txid then Error Duplicate_txid
+  if known_txid txid then Error Duplicate_txid
   else if not (locktime_expired t tx.locktime) then Error Locktime_in_future
   else if
     List.exists (fun (o : Tx.output) -> o.value <= 0) tx.outputs
@@ -197,7 +200,7 @@ let validate_gen (t : t) (tx : Tx.t)
           if Tx.total_output_value tx > total_in then Error Value_overspent
           else Ok ()
       | input :: rest -> (
-          match find_utxo t input.prevout with
+          match lookup input.prevout with
           | None -> Error (Missing_input input.prevout)
           | Some utxo -> (
               let input_age = t.round - utxo.recorded in
@@ -209,8 +212,11 @@ let validate_gen (t : t) (tx : Tx.t)
     in
     check_inputs 0 tx.inputs 0
 
+let chain_txid (t : t) (id : string) : bool = Hashtbl.mem t.txids id
+
 let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
-  validate_gen t tx ~verify_witness:Spend.verify_input
+  validate_gen t tx ~known_txid:(chain_txid t) ~lookup:(find_utxo t)
+    ~verify_witness:Spend.verify_input
 
 (** Deferring validation: every structurally valid signature check is
     handed to [defer] and assumed true; all other checks run inline
@@ -221,7 +227,7 @@ let validate (t : t) (tx : Tx.t) : (unit, reject_reason) result =
 let validate_deferring (t : t) (tx : Tx.t)
     ~(defer : Daric_tx.Sighash.deferred -> unit) :
     (unit, reject_reason) result =
-  validate_gen t tx
+  validate_gen t tx ~known_txid:(chain_txid t) ~lookup:(find_utxo t)
     ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
       Spend.verify_input_deferred tx ~input_index ~spent ~input_age ~defer)
 
@@ -269,6 +275,70 @@ let validate_batched (t : t) (tx : Tx.t) : (unit, reject_reason) result =
           in
           if Daric_crypto.Schnorr.batch_verify items then Ok ()
           else validate t tx)
+
+(* ---------------- staged state views ---------------- *)
+
+(** A read-only overlay over the confirmed chain state: outpoints spent
+    and outputs/txids produced by not-yet-committed acceptances. Both
+    the sharded tick's reconciliation pass and the mempool's one-pass
+    block assembly validate against such a view and commit (through
+    {!record}) only after every deferred signature check has been
+    discharged — replacing the optimistic record-then-rollback scheme,
+    which serialized on mutating the live chain state. *)
+module Staged = struct
+  type view = {
+    base : t;
+    spent : (Tx.outpoint, unit) Hashtbl.t;
+    fresh : (Tx.outpoint, utxo) Hashtbl.t;
+        (** outputs created by staged acceptances (recorded this round) *)
+    ids : (string, unit) Hashtbl.t;  (** txids staged this round *)
+  }
+
+  let create (base : t) : view =
+    { base;
+      spent = Hashtbl.create 32;
+      fresh = Hashtbl.create 32;
+      ids = Hashtbl.create 32 }
+
+  let known_txid (v : view) (id : string) : bool =
+    Hashtbl.mem v.ids id || chain_txid v.base id
+
+  let lookup (v : view) (o : Tx.outpoint) : utxo option =
+    if Hashtbl.mem v.spent o then None
+    else
+      match Hashtbl.find_opt v.fresh o with
+      | Some _ as u -> u
+      | None -> find_utxo v.base o
+
+  (** Overlay the effects of accepting [tx] (assumed validated against
+      this view) without touching the underlying ledger. *)
+  let stage_accept (v : view) (tx : Tx.t) : unit =
+    let txid = Tx.txid tx in
+    Hashtbl.replace v.ids txid ();
+    List.iter
+      (fun (i : Tx.input) -> Hashtbl.replace v.spent i.prevout ())
+      tx.inputs;
+    List.iteri
+      (fun vout output ->
+        Hashtbl.replace v.fresh { Tx.txid; vout }
+          { recorded = v.base.round; output })
+      tx.outputs
+end
+
+(** {!validate} against a staged view. *)
+let validate_staged (v : Staged.view) (tx : Tx.t) :
+    (unit, reject_reason) result =
+  validate_gen v.Staged.base tx ~known_txid:(Staged.known_txid v)
+    ~lookup:(Staged.lookup v) ~verify_witness:Spend.verify_input
+
+(** {!validate_deferring} against a staged view. *)
+let validate_deferring_staged (v : Staged.view) (tx : Tx.t)
+    ~(defer : Daric_tx.Sighash.deferred -> unit) :
+    (unit, reject_reason) result =
+  validate_gen v.Staged.base tx ~known_txid:(Staged.known_txid v)
+    ~lookup:(Staged.lookup v)
+    ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
+      Spend.verify_input_deferred tx ~input_index ~spent ~input_age ~defer)
 
 let record (t : t) (tx : Tx.t) =
   let txid = Tx.txid tx in
@@ -336,8 +406,11 @@ let post (t : t) (tx : Tx.t) ~(delay : int) =
   let delay = max 0 (min t.delta delay) in
   let due = t.round + max delay 1 in
   match Hashtbl.find_opt t.pending due with
-  | Some l -> l := tx :: !l
-  | None -> Hashtbl.add t.pending due (ref [ tx ])
+  | Some bucket -> Vec.push bucket tx
+  | None ->
+      let bucket = Vec.create ~dummy:dummy_tx () in
+      Vec.push bucket tx;
+      Hashtbl.add t.pending due bucket
 
 (** [mint t ~value ~spk] conjures a fresh funding UTXO (environment
     setup — stands in for pre-existing on-chain coins). *)
@@ -350,10 +423,7 @@ let mint (t : t) ~(value : int) ~(spk : Tx.spk) : Tx.outpoint =
       sequence = Tx.default_sequence }
   in
   let tx =
-    { Tx.inputs = [ coinbase ];
-      locktime = 0;
-      outputs = [ { Tx.value; spk } ];
-      witnesses = [] }
+    Tx.make ~inputs:[ coinbase ] ~outputs:[ { Tx.value; spk } ] ()
   in
   record t tx;
   { Tx.txid = Tx.txid tx; vout = 0 }
@@ -367,46 +437,210 @@ let process_sequential (t : t) (due : Tx.t list) : unit =
       | Error reason -> t.events <- Rejected (tx, reason) :: t.events)
     due
 
-(* Optimistic parallel processing: walk the due transactions in
-   posting order, deferring every signature check and recording
-   accepters immediately (so later transactions validate against the
-   same incremental state the sequential path would build), then
-   discharge all deferred checks at once across Dpool domains. If the
-   discharge rejects — some optimistically recorded transaction had an
-   invalid witness — roll the whole round back and replay it
-   sequentially; the sequential path is authoritative.
+(* ---------------- sharded round processing ----------------
 
-   Deferred triples are only added to the round's batch for
-   transactions that pass the deferring validation; a transaction
-   rejected in the deferring pass is rejected by the inline validator
-   too (deferral only widens acceptance), which is re-run to emit the
-   same isolating reject reason the sequential path reports. *)
-let process_parallel (t : t) (due : Tx.t list) : unit =
-  let ckpt = checkpoint t in
-  let deferred = ref [] in
-  List.iter
-    (fun tx ->
-      let mine = ref [] in
-      match validate_deferring t tx ~defer:(fun d -> mine := d :: !mine) with
+   The round's due transactions are partitioned by the hash of their
+   input outpoints into [Dpool.count ()] shards. A transaction whose
+   inputs all fall in one shard — and whose validity cannot depend on
+   any other due transaction — is validated entirely inside that
+   shard, against the immutable pre-round state plus a shard-local
+   spent set, with every signature check deferred. Shards only read
+   the shared ledger, so they run concurrently with no speculative
+   mutation and nothing to roll back.
+
+   Transactions a shard cannot decide alone form the reconciliation
+   set R:
+   - no inputs (no shard to own them; always value-overspent anyway),
+   - inputs spanning more than one shard,
+   - spending an output another due transaction creates
+     (prevout txid among the due txids),
+   - a txid duplicated within the round,
+   - transitively: spending an outpoint some R member also spends
+     (the poisoning fixpoint below) — otherwise the shard walk could
+     not know whether the contested outpoint is still unspent.
+
+   R is resolved in one sequential pass in posting order over ALL due
+   transactions: non-R verdicts are replayed onto a staged view at
+   their original positions (so an R transaction at index i sees
+   exactly the acceptances a sequential validator would have applied
+   before i), and R members validate against that view.
+
+   All deferred signature checks — shard and reconciliation alike —
+   are then discharged in a single batch across the pool. Only after
+   an accepting discharge does the commit pass mutate the ledger, in
+   posting order, reproducing the sequential event stream exactly. A
+   rejecting discharge abandons the verdicts (nothing was mutated)
+   and replays the round sequentially, which is authoritative. *)
+
+type verdict =
+  | V_accept of Daric_tx.Sighash.deferred list
+  | V_reject of reject_reason
+
+let shard_of_outpoint (nshards : int) (o : Tx.outpoint) : int =
+  (Hashtbl.hash o.txid + o.vout) mod nshards
+
+(* Shard of a transaction's inputs, or [None] when they span shards
+   (or there are none). *)
+let shard_of_tx (nshards : int) (tx : Tx.t) : int option =
+  match tx.inputs with
+  | [] -> None
+  | first :: rest ->
+      let s = shard_of_outpoint nshards first.prevout in
+      if
+        List.for_all
+          (fun (i : Tx.input) -> shard_of_outpoint nshards i.prevout = s)
+          rest
+      then Some s
+      else None
+
+(* Verdict of one transaction against a state view: deferring
+   validation first; a deferring reject re-runs the inline validator
+   (deferral only widens acceptance, so it rejects too) for the
+   authoritative isolating reason, exactly as the sequential
+   [validate_batched] fallback reports it. *)
+let verdict_of (t : t) ~(known_txid : string -> bool)
+    ~(lookup : Tx.outpoint -> utxo option) (tx : Tx.t) : verdict =
+  let defs = ref [] in
+  match
+    validate_gen t tx ~known_txid ~lookup
+      ~verify_witness:(fun tx ~input_index ~spent ~input_age ->
+        Spend.verify_input_deferred tx ~input_index ~spent ~input_age
+          ~defer:(fun d -> defs := d :: !defs))
+  with
+  | Ok () -> V_accept (List.rev !defs)
+  | Error _ -> (
+      match validate_gen t tx ~known_txid ~lookup ~verify_witness:Spend.verify_input with
+      | Error reason -> V_reject reason
       | Ok () ->
-          deferred := List.rev_append !mine !deferred;
-          record t tx
-      | Error _ -> (
-          match validate t tx with
-          | Error reason -> t.events <- Rejected (tx, reason) :: t.events
-          | Ok () ->
-              (* unreachable (deferral only widens acceptance), but if
-                 the impossible happens the inline verdict wins *)
-              record t tx))
-    due;
-  if not (discharge !deferred) then begin
-    rollback t ckpt;
-    process_sequential t due
-  end
+          (* unreachable (deferral only widens acceptance), but if the
+             impossible happens the inline verdict wins *)
+          V_accept [])
 
-(* Parallel processing only pays once a round carries enough deferred
-   work to split; below this many due transactions the sequential path
-   is used directly. *)
+let process_sharded (t : t) (due : Tx.t array) : unit =
+  let n = Array.length due in
+  let nshards = max 1 (Dpool.count ()) in
+  (* Reconciliation membership. *)
+  let in_recon = Array.make n false in
+  let shard = Array.make n 0 in
+  let id_count : (string, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun tx ->
+      let id = Tx.txid tx in
+      Hashtbl.replace id_count id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt id_count id)))
+    due;
+  for idx = 0 to n - 1 do
+    let tx = due.(idx) in
+    (match shard_of_tx nshards tx with
+    | None -> in_recon.(idx) <- true
+    | Some s -> shard.(idx) <- s);
+    if
+      Hashtbl.find id_count (Tx.txid tx) > 1
+      || List.exists
+           (fun (i : Tx.input) -> Hashtbl.mem id_count i.prevout.txid)
+           tx.inputs
+    then in_recon.(idx) <- true
+  done;
+  (* Poisoning fixpoint: an R member contests its input outpoints; any
+     transaction spending a contested outpoint joins R (its shard
+     cannot know whether the outpoint survives the earlier members). *)
+  let poisoned : (Tx.outpoint, unit) Hashtbl.t = Hashtbl.create 16 in
+  let poison (tx : Tx.t) =
+    List.iter
+      (fun (i : Tx.input) -> Hashtbl.replace poisoned i.prevout ())
+      tx.inputs
+  in
+  for idx = 0 to n - 1 do
+    if in_recon.(idx) then poison due.(idx)
+  done;
+  if Hashtbl.length poisoned > 0 then begin
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for idx = 0 to n - 1 do
+        if
+          (not in_recon.(idx))
+          && List.exists
+               (fun (i : Tx.input) -> Hashtbl.mem poisoned i.prevout)
+               due.(idx).inputs
+        then begin
+          in_recon.(idx) <- true;
+          poison due.(idx);
+          changed := true
+        end
+      done
+    done
+  end;
+  (* Shard walks: per-shard index lists in posting order, validated
+     read-only against the pre-round state plus a shard-local spent
+     set. Disjoint slots of [verdicts] are written from pool domains;
+     the [map_array] barrier publishes them to this domain. *)
+  let verdicts : verdict option array = Array.make n None in
+  let buckets = Array.make nshards [] in
+  for idx = n - 1 downto 0 do
+    if not in_recon.(idx) then buckets.(shard.(idx)) <- idx :: buckets.(shard.(idx))
+  done;
+  let walk_shard (idxs : int list) : unit =
+    let spent : (Tx.outpoint, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun idx ->
+        let tx = due.(idx) in
+        let v =
+          verdict_of t ~known_txid:(chain_txid t)
+            ~lookup:(fun o ->
+              if Hashtbl.mem spent o then None else find_utxo t o)
+            tx
+        in
+        (match v with
+        | V_accept _ ->
+            List.iter
+              (fun (i : Tx.input) -> Hashtbl.replace spent i.prevout ())
+              tx.inputs
+        | V_reject _ -> ());
+        verdicts.(idx) <- Some v)
+      idxs
+  in
+  ignore (Dpool.map_array walk_shard buckets);
+  (* Reconciliation: replay in posting order over a staged view. *)
+  let recon_count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_recon in
+  if recon_count > 0 then begin
+    let view = Staged.create t in
+    for idx = 0 to n - 1 do
+      let tx = due.(idx) in
+      match verdicts.(idx) with
+      | Some (V_accept _) -> Staged.stage_accept view tx
+      | Some (V_reject _) -> ()
+      | None ->
+          let v =
+            verdict_of t ~known_txid:(Staged.known_txid view)
+              ~lookup:(Staged.lookup view) tx
+          in
+          (match v with
+          | V_accept _ -> Staged.stage_accept view tx
+          | V_reject _ -> ());
+          verdicts.(idx) <- Some v
+    done
+  end;
+  (* One discharge for the whole round, then commit in posting order. *)
+  let deferred = ref [] in
+  for idx = n - 1 downto 0 do
+    match verdicts.(idx) with
+    | Some (V_accept ds) -> deferred := List.rev_append (List.rev ds) !deferred
+    | _ -> ()
+  done;
+  if discharge !deferred then
+    Array.iteri
+      (fun idx tx ->
+        match verdicts.(idx) with
+        | Some (V_accept _) -> record t tx
+        | Some (V_reject reason) -> t.events <- Rejected (tx, reason) :: t.events
+        | None -> assert false)
+      due
+  else process_sequential t (Array.to_list due)
+
+(* Sharded processing only pays once a round carries enough work to
+   split; below this many due transactions the sequential path is used
+   directly. *)
 let parallel_min_due = 2
 
 (** Advance one round: deliver due pending transactions (in posting
@@ -414,17 +648,11 @@ let parallel_min_due = 2
 let tick (t : t) : event list =
   t.round <- t.round + 1;
   t.events <- [];
-  let due =
-    match Hashtbl.find_opt t.pending t.round with
-    | None -> []
-    | Some l ->
-        Hashtbl.remove t.pending t.round;
-        List.rev !l
-  in
-  (match due with
-  | [] -> ()
-  | _ :: rest when rest <> [] && Dpool.count () > 1
-                   && List.length due >= parallel_min_due ->
-      process_parallel t due
-  | _ -> process_sequential t due);
+  (match Hashtbl.find_opt t.pending t.round with
+  | None -> ()
+  | Some bucket ->
+      Hashtbl.remove t.pending t.round;
+      if Vec.length bucket >= parallel_min_due && Dpool.count () > 1 then
+        process_sharded t (Vec.to_array bucket)
+      else process_sequential t (Vec.to_list bucket));
   List.rev t.events

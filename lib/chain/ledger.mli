@@ -113,6 +113,32 @@ val validate_batched : t -> Tx.t -> (unit, reject_reason) result
     {!Daric_crypto.Schnorr.batch_verify}; on any rejection it falls
     back to {!validate}, which isolates the invalid witness index. *)
 
+(** Read-only overlay over the confirmed state: outpoints spent and
+    outputs/txids produced by not-yet-committed acceptances. Staged
+    validators (the sharded {!tick} reconciliation pass, the mempool's
+    one-pass block assembly) accumulate acceptances here and commit
+    through {!record} only after the round's deferred signature checks
+    discharge — no speculative mutation, nothing to roll back. *)
+module Staged : sig
+  type view
+
+  val create : t -> view
+  val known_txid : view -> string -> bool
+  val lookup : view -> Tx.outpoint -> utxo option
+
+  val stage_accept : view -> Tx.t -> unit
+  (** Overlay the effects of accepting a transaction (assumed
+      validated against this view). *)
+end
+
+val validate_staged : Staged.view -> Tx.t -> (unit, reject_reason) result
+(** {!validate} against a staged view. *)
+
+val validate_deferring_staged :
+  Staged.view -> Tx.t -> defer:(Daric_tx.Sighash.deferred -> unit) ->
+  (unit, reject_reason) result
+(** {!validate_deferring} against a staged view. *)
+
 type checkpoint
 (** Snapshot of everything {!record} mutates; see {!rollback}. *)
 

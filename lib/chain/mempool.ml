@@ -25,7 +25,9 @@ let default_config =
     block_vbytes = 1_000_000;
     rounds_per_block = 1 }
 
-type entry = { tx : Tx.t; fee : int; vbytes : int }
+type entry = { tx : Tx.t; fee : int; vbytes : int; seq : int }
+(** [seq] is the admission sequence number — the fee-rate sort's
+    deterministic tie-break (earlier submission wins). *)
 
 let feerate (e : entry) : float = float_of_int e.fee /. float_of_int e.vbytes
 
@@ -49,11 +51,22 @@ type t = {
   config : config;
   ledger : Ledger.t;
   mutable pool : entry list;
+  by_outpoint : (Tx.outpoint, entry) Hashtbl.t;
+      (** admission conflict index: each outpoint spent by a pooled
+          transaction maps to its entry (the pool holds at most one
+          spender per outpoint), so conflict detection is O(inputs)
+          instead of a full pool scan *)
+  mutable next_seq : int;
   mutable confirmed_fees : int;  (** total fees collected by miners *)
 }
 
 let create ?(config = default_config) ~(ledger : Ledger.t) () : t =
-  { config; ledger; pool = []; confirmed_fees = 0 }
+  { config;
+    ledger;
+    pool = [];
+    by_outpoint = Hashtbl.create 64;
+    next_seq = 0;
+    confirmed_fees = 0 }
 
 let ledger (t : t) : Ledger.t = t.ledger
 
@@ -74,16 +87,31 @@ let fee_of (t : t) (tx : Tx.t) : (int, submit_error) result =
       let fee = total_in - Tx.total_output_value tx in
       if fee < 0 then Error Negative_fee else Ok fee
 
+(** Pooled entries spending any of [tx]'s inputs — O(inputs) lookups
+    in the admission index, deduplicated (an entry conflicting on two
+    outpoints is reported once). *)
 let conflicts_with (t : t) (tx : Tx.t) : entry list =
-  List.filter
-    (fun e ->
-      List.exists
-        (fun (i : Tx.input) ->
-          List.exists
-            (fun (j : Tx.input) -> Tx.outpoint_equal i.prevout j.prevout)
-            e.tx.inputs)
-        tx.inputs)
-    t.pool
+  List.fold_left
+    (fun acc (i : Tx.input) ->
+      match Hashtbl.find_opt t.by_outpoint i.prevout with
+      | Some e when not (List.memq e acc) -> e :: acc
+      | _ -> acc)
+    [] tx.inputs
+
+let index_add (t : t) (e : entry) : unit =
+  List.iter
+    (fun (i : Tx.input) -> Hashtbl.replace t.by_outpoint i.prevout e)
+    e.tx.inputs
+
+let index_remove (t : t) (e : entry) : unit =
+  List.iter
+    (fun (i : Tx.input) ->
+      (* only clear slots this entry still owns (a replacement may
+         already have overwritten some of them) *)
+      match Hashtbl.find_opt t.by_outpoint i.prevout with
+      | Some e' when e' == e -> Hashtbl.remove t.by_outpoint i.prevout
+      | _ -> ())
+    e.tx.inputs
 
 (** Submit a transaction to the mempool; applies standardness and
     BIP-125 replacement rules, then queues by fee rate. *)
@@ -96,10 +124,16 @@ let submit (t : t) (tx : Tx.t) : (unit, submit_error) result =
     | Ok fee ->
         if fee < t.config.min_relay_feerate * vb then Error Feerate_below_minimum
         else
-          let entry = { tx; fee; vbytes = vb } in
+          let admit () =
+            let entry = { tx; fee; vbytes = vb; seq = t.next_seq } in
+            t.next_seq <- t.next_seq + 1;
+            entry
+          in
           let conflicts = conflicts_with t tx in
           if conflicts = [] then begin
+            let entry = admit () in
             t.pool <- entry :: t.pool;
+            index_add t entry;
             Ok ()
           end
           else
@@ -109,14 +143,31 @@ let submit (t : t) (tx : Tx.t) : (unit, submit_error) result =
             in
             if
               fee >= old_fees + (t.config.min_relay_feerate * vb)
-              && feerate entry >= old_max_rate
+              && float_of_int fee /. float_of_int vb >= old_max_rate
             then begin
+              List.iter (index_remove t) conflicts;
+              let entry = admit () in
               t.pool <-
                 entry
                 :: List.filter (fun e -> not (List.memq e conflicts)) t.pool;
+              index_add t entry;
               Ok ()
             end
             else Error Rbf_insufficient_fee
+
+(* Replace the pool wholesale and rebuild the admission index to
+   match (assembly moves many entries at once; a rebuild is O(pool)). *)
+let set_pool (t : t) (pool : entry list) : unit =
+  t.pool <- pool;
+  Hashtbl.reset t.by_outpoint;
+  List.iter (index_add t) pool
+
+(* Candidate order for a block: descending fee rate, admission order
+   breaking ties — deterministic regardless of pool-list layout. *)
+let by_rate_order (a : entry) (b : entry) : int =
+  match Float.compare (feerate b) (feerate a) with
+  | 0 -> compare a.seq b.seq
+  | c -> c
 
 (* Authoritative greedy block assembly: walk entries by descending fee
    rate, confirm whatever still validates up to the capacity, evict
@@ -141,18 +192,20 @@ let assemble_sequential (t : t) (by_rate : entry list) : Tx.t list =
       end
       else remaining := e :: !remaining)
     by_rate;
-  t.pool <- List.rev !remaining;
+  set_pool t (List.rev !remaining);
   List.rev !confirmed
 
-(* Optimistic parallel assembly: same greedy walk, but every signature
-   check is deferred and the whole block's checks are discharged at
-   once across Dpool domains. A transaction rejected by the deferring
-   pass is rejected by the inline validator too (deferral only widens
-   acceptance), so eviction decisions match the sequential walk. If
-   the discharge rejects, roll the ledger back and report failure —
-   the caller replays sequentially, which is authoritative. *)
-let assemble_parallel (t : t) (by_rate : entry list) : Tx.t list option =
-  let ckpt = Ledger.checkpoint t.ledger in
+(* Staged one-pass assembly: the same greedy walk, but acceptances are
+   accumulated on a {!Ledger.Staged} view (the live chain state is
+   never touched) and every signature check is deferred, then the
+   whole block's checks are discharged at once across Dpool domains.
+   A transaction rejected by the deferring pass is rejected by the
+   inline validator too (deferral only widens acceptance), so eviction
+   decisions match the sequential walk. Only an accepting discharge
+   commits — in walk order, through {!Ledger.record} — so a rejecting
+   discharge simply abandons the view; there is no rollback. *)
+let assemble_staged (t : t) (by_rate : entry list) : Tx.t list option =
+  let view = Ledger.Staged.create t.ledger in
   let deferred = ref [] in
   let confirmed = ref [] in
   let used = ref 0 in
@@ -162,12 +215,12 @@ let assemble_parallel (t : t) (by_rate : entry list) : Tx.t list option =
       if !used + e.vbytes <= t.config.block_vbytes then begin
         let mine = ref [] in
         match
-          Ledger.validate_deferring t.ledger e.tx
+          Ledger.validate_deferring_staged view e.tx
             ~defer:(fun d -> mine := d :: !mine)
         with
         | Ok () ->
             deferred := List.rev_append !mine !deferred;
-            Ledger.record t.ledger e.tx;
+            Ledger.Staged.stage_accept view e.tx;
             used := !used + e.vbytes;
             confirmed := e :: !confirmed
         | Error _ -> ()
@@ -175,32 +228,32 @@ let assemble_parallel (t : t) (by_rate : entry list) : Tx.t list option =
       else remaining := e :: !remaining)
     by_rate;
   if Ledger.discharge !deferred then begin
-    List.iter (fun e -> t.confirmed_fees <- t.confirmed_fees + e.fee) !confirmed;
-    t.pool <- List.rev !remaining;
+    List.iter
+      (fun e ->
+        Ledger.record t.ledger e.tx;
+        t.confirmed_fees <- t.confirmed_fees + e.fee)
+      (List.rev !confirmed);
+    set_pool t (List.rev !remaining);
     Some (List.rev_map (fun e -> e.tx) !confirmed)
   end
-  else begin
-    Ledger.rollback t.ledger ckpt;
-    None
-  end
+  else None
 
 (** Advance one round. On block rounds, confirm the highest-fee-rate
     transactions that still validate, up to the block capacity; returns
     the confirmed transactions. Blocks with at least two candidate
-    transactions assemble optimistically with witness verification
-    split across {!Daric_util.Dpool} domains; any rejection falls back
-    to the sequential walk, so confirmation semantics are identical. *)
+    transactions assemble on a staged view with witness verification
+    discharged across {!Daric_util.Dpool} domains; any rejection falls
+    back to the sequential walk (nothing was committed), so
+    confirmation semantics are identical. *)
 let tick (t : t) : Tx.t list =
   (* Advance the underlying ledger clock (it has nothing pending). *)
   ignore (Ledger.tick t.ledger);
   if Ledger.height t.ledger mod t.config.rounds_per_block <> 0 then []
   else begin
-    let by_rate =
-      List.sort (fun a b -> Float.compare (feerate b) (feerate a)) t.pool
-    in
+    let by_rate = List.sort by_rate_order t.pool in
     match by_rate with
     | _ :: _ :: _ when Daric_util.Dpool.count () > 1 -> (
-        match assemble_parallel t by_rate with
+        match assemble_staged t by_rate with
         | Some txs -> txs
         | None -> assemble_sequential t by_rate)
     | _ -> assemble_sequential t by_rate

@@ -71,10 +71,9 @@ let build_level ~(rng : Daric_util.Rng.t) ~(value : int) ~(s0 : int)
   in
   (* floating commit: no input, ANYPREVOUT over (nLT, outputs) *)
   let commit_body =
-    { Tx.inputs = [];
-      locktime = s0;
-      outputs = [ { Tx.value; spk = Tx.P2wsh (Script.hash commit_script) } ];
-      witnesses = [] }
+    Tx.make ~locktime:s0 ~inputs:[]
+      ~outputs:[ { Tx.value; spk = Tx.P2wsh (Script.hash commit_script) } ]
+      ()
   in
   let commit_msg = Sighash.message Anyprevout commit_body ~input_index:0 in
   let commit_sigs =
@@ -123,10 +122,12 @@ let build (ledger : Ledger.t) ~(rng : Daric_util.Rng.t) ~(depth : int)
     witness. *)
 let completed_commit (l : level) ~(funding : Tx.outpoint) : Tx.t =
   let sig_a, sig_b = l.commit_sigs in
-  { l.commit_body with
-    Tx.inputs = [ Tx.input_of_outpoint ~sequence:0 funding ];
-    witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript l.funding_script ] ] }
+  Tx.make ~locktime:l.commit_body.Tx.locktime
+    ~inputs:[ Tx.input_of_outpoint ~sequence:0 funding ]
+    ~outputs:l.commit_body.Tx.outputs
+    ~witnesses:
+      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript l.funding_script ] ]
+    ()
 
 let completed_split (l : level) ~(commit_outpoint : Tx.outpoint) : Tx.t =
   let sig_a, sig_b = l.split_sigs in

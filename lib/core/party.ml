@@ -99,6 +99,9 @@ type update_ctx = {
   mutable u_commit_mine : Tx.t option;  (** fully signed state-(sn+1) commit *)
   u_commit_mine_body : Tx.t;
   u_commit_theirs_body : Tx.t;
+  u_split_body : Tx.t;
+      (** state-(sn+1) split body, generated once per update so later
+          steps reuse its encoding memo instead of re-deriving it *)
   mutable u_split : split_data option;
   u_initiator : bool;
 }
@@ -440,20 +443,19 @@ let post_refund (t : t) (ctx : ctx) (c : chan) : unit =
   match (c.tid_mine, Ledger.find_utxo ctx.ledger (Option.get c.tid_mine)) with
   | Some tid, Some utxo ->
       let refund =
-        { Tx.inputs = [ Tx.input_of_outpoint tid ];
-          locktime = 0;
-          outputs =
+        Tx.make
+          ~inputs:[ Tx.input_of_outpoint tid ]
+          ~outputs:
             [ { Tx.value = utxo.output.value;
                 spk =
                   Tx.P2wpkh
-                    (Daric_crypto.Hash.hash160 (Keys.enc c.keys.Keys.main.pk)) } ];
-          witnesses = [] }
+                    (Daric_crypto.Hash.hash160 (Keys.enc c.keys.Keys.main.pk)) } ]
+          ()
       in
       let sig_mine = Sighash.sign c.keys.Keys.main.sk All refund ~input_index:0 in
       let refund =
-        { refund with
-          Tx.witnesses =
-            [ [ Tx.Data sig_mine; Tx.Data (Keys.enc c.keys.Keys.main.pk) ] ] }
+        Tx.with_witnesses refund
+          [ [ Tx.Data sig_mine; Tx.Data (Keys.enc c.keys.Keys.main.pk) ] ]
       in
       ctx.post refund;
       c.phase <- Refunding;
@@ -525,6 +527,7 @@ let on_update_req (t : t) (ctx : ctx) (c : chan) ~(theta : Tx.output list)
           u_commit_mine = None;
           u_commit_mine_body = commit_mine_body;
           u_commit_theirs_body = commit_theirs_body;
+          u_split_body = split_body;
           u_split = None;
           u_initiator = false };
     c.phase <- Upd_await_com_initiator;
@@ -563,6 +566,7 @@ let on_update_info (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
           u_commit_mine = None;
           u_commit_mine_body = commit_mine_body;
           u_commit_theirs_body = commit_theirs_body;
+          u_split_body = split_body;
           u_split =
             Some { split_body; split_sig_a = sig_a; split_sig_b = sig_b };
           u_initiator = true };
@@ -591,9 +595,7 @@ let on_update_com_initiator (t : t) (ctx : ctx) (c : chan)
   | None -> ()
   | Some u ->
       let theirs = Option.get c.their_keys in
-      let split_body =
-        Txs.gen_split ~theta:u.u_theta ~s0:c.cfg.s0 ~i:(c.sn + 1)
-      in
+      let split_body = u.u_split_body in
       let split_ok =
         verify_counted t theirs.Keys.sp_pk (Txs.split_message split_body)
           split_sig

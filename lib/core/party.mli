@@ -69,6 +69,7 @@ type update_ctx = {
   mutable u_commit_mine : Tx.t option;
   u_commit_mine_body : Tx.t;
   u_commit_theirs_body : Tx.t;
+  u_split_body : Tx.t;  (** state-(sn+1) split body, generated once *)
   mutable u_split : split_data option;
   u_initiator : bool;
 }

@@ -171,7 +171,7 @@ let read_tx r : Tx.t =
   let locktime = R.u32 r in
   let outputs = read_list r read_output in
   let witnesses = read_list r (fun r -> read_list r read_witness_elt) in
-  { Tx.inputs; locktime; outputs; witnesses }
+  Tx.make ~inputs ~locktime ~outputs ~witnesses ()
 
 let write_opt w f = function
   | None -> W.byte w 0

@@ -10,10 +10,59 @@ module Script = Daric_script.Script
 (* ------------------------------------------------------------------ *)
 (* Scripts (Appendix B).                                               *)
 
+(* Script generation and hashing are on the per-update hot path
+   (every commit pair rebuilds and rehashes its output scripts), but
+   the inputs are a handful of ints — public keys are group elements,
+   locks are heights — so scripts and their P2WSH hashes are memoized
+   on exactly those ints. Domain-local like the crypto memo tables;
+   bounded, reset wholesale when full. *)
+let memo_max = 1 lsl 14
+
+let memoize (type k v) () : (k -> v) -> k -> v =
+  let table : (k, v) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+  in
+  fun compute key ->
+    let cache = Domain.DLS.get table in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = compute key in
+        if Hashtbl.length cache >= memo_max then Hashtbl.reset cache;
+        Hashtbl.add cache key v;
+        v
+
+let funding_memo :
+    (Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr.public_key ->
+    Script.t * string) ->
+    Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr.public_key ->
+    Script.t * string =
+  memoize ()
+
+let funding_script_and_hash ~pk_a ~pk_b : Script.t * string =
+  funding_memo
+    (fun (pk_a, pk_b) ->
+      let s = Script.multisig_2 (Keys.enc pk_a) (Keys.enc pk_b) in
+      (s, Script.hash s))
+    (pk_a, pk_b)
+
 (** Funding output: [2 <pkA> <pkB> 2 OP_CHECKMULTISIG] behind P2WSH. *)
 let funding_script ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) : Script.t =
-  Script.multisig_2 (Keys.enc pk_a) (Keys.enc pk_b)
+  fst (funding_script_and_hash ~pk_a ~pk_b)
+
+(** The P2WPKH payout condition of a public key; the hash160 of the
+    33-byte encoding is memoized per key. *)
+let p2wpkh_memo :
+    (Daric_crypto.Schnorr.public_key -> Tx.spk) ->
+    Daric_crypto.Schnorr.public_key ->
+    Tx.spk =
+  memoize ()
+
+let p2wpkh_spk (pk : Daric_crypto.Schnorr.public_key) : Tx.spk =
+  p2wpkh_memo
+    (fun pk -> Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc pk)))
+    pk
 
 (** Commit output script:
     [<S0+i> CLTV DROP
@@ -21,12 +70,31 @@ let funding_script ~(pk_a : Daric_crypto.Schnorr.public_key)
      ELSE  <T> CSV DROP 2 <spl1> <spl2> 2 CHECKMULTISIG  (split branch)
      ENDIF]
     157 bytes under the Appendix-H size conventions. *)
+let commit_memo :
+    (int * int * int * int * int * int -> Script.t * string) ->
+    int * int * int * int * int * int ->
+    Script.t * string =
+  memoize ()
+
+let commit_script_and_hash ~(abs_lock : int) ~(rel_lock : int) ~rev_pk1
+    ~rev_pk2 ~spl_pk1 ~spl_pk2 : Script.t * string =
+  commit_memo
+    (fun (abs_lock, rel_lock, rev_pk1, rev_pk2, spl_pk1, spl_pk2) ->
+      let s =
+        [ Script.Num abs_lock; Cltv; Drop; If; Small 2;
+          Push (Keys.enc rev_pk1); Push (Keys.enc rev_pk2); Small 2;
+          Checkmultisig; Else; Num rel_lock; Csv; Drop; Small 2;
+          Push (Keys.enc spl_pk1); Push (Keys.enc spl_pk2); Small 2;
+          Checkmultisig; Endif ]
+      in
+      (s, Script.hash s))
+    (abs_lock, rel_lock, rev_pk1, rev_pk2, spl_pk1, spl_pk2)
+
 let commit_script ~(abs_lock : int) ~(rel_lock : int) ~rev_pk1 ~rev_pk2
     ~spl_pk1 ~spl_pk2 : Script.t =
-  [ Script.Num abs_lock; Cltv; Drop; If; Small 2; Push (Keys.enc rev_pk1);
-    Push (Keys.enc rev_pk2); Small 2; Checkmultisig; Else; Num rel_lock; Csv;
-    Drop; Small 2; Push (Keys.enc spl_pk1); Push (Keys.enc spl_pk2); Small 2;
-    Checkmultisig; Endif ]
+  fst
+    (commit_script_and_hash ~abs_lock ~rel_lock ~rev_pk1 ~rev_pk2 ~spl_pk1
+       ~spl_pk2)
 
 (* ------------------------------------------------------------------ *)
 (* Transaction bodies.                                                 *)
@@ -36,11 +104,12 @@ let commit_script ~(abs_lock : int) ~(rel_lock : int) ~rev_pk1 ~rev_pk2
 let gen_fund ~(tid_a : Tx.outpoint) ~(tid_b : Tx.outpoint) ~(cash : int)
     ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) : Tx.t =
-  { Tx.inputs = [ Tx.input_of_outpoint tid_a; Tx.input_of_outpoint tid_b ];
-    locktime = 0;
-    outputs =
-      [ { Tx.value = cash; spk = Tx.P2wsh (Script.hash (funding_script ~pk_a ~pk_b)) } ];
-    witnesses = [] }
+  Tx.make
+    ~inputs:[ Tx.input_of_outpoint tid_a; Tx.input_of_outpoint tid_b ]
+    ~outputs:
+      [ { Tx.value = cash;
+          spk = Tx.P2wsh (snd (funding_script_and_hash ~pk_a ~pk_b)) } ]
+    ()
 
 (** GenCommit: the pair of state-i commit transaction bodies.
     A's commit carries the (rv_A, rv_B) revocation branch; B's carries
@@ -49,18 +118,18 @@ let gen_commit ~(funding : Tx.outpoint) ~(value : int) ~(keys_a : Keys.pub)
     ~(keys_b : Keys.pub) ~(s0 : int) ~(i : int) ~(rel_lock : int) : Tx.t * Tx.t
     =
   let mk rev_pk1 rev_pk2 =
-    let script =
-      commit_script ~abs_lock:(s0 + i) ~rel_lock ~rev_pk1 ~rev_pk2
+    let _, script_hash =
+      commit_script_and_hash ~abs_lock:(s0 + i) ~rel_lock ~rev_pk1 ~rev_pk2
         ~spl_pk1:keys_a.Keys.sp_pk ~spl_pk2:keys_b.Keys.sp_pk
     in
     (* The state index is encoded in the input's sequence field so a
        punisher can reconstruct the (P2WSH-hidden) commit script of a
        revoked commit without storing old states — Section 8,
        "Compatibility with P2WSH transactions". *)
-    { Tx.inputs = [ Tx.input_of_outpoint ~sequence:i funding ];
-      locktime = 0;
-      outputs = [ { Tx.value; spk = Tx.P2wsh (Script.hash script) } ];
-      witnesses = [] }
+    Tx.make
+      ~inputs:[ Tx.input_of_outpoint ~sequence:i funding ]
+      ~outputs:[ { Tx.value; spk = Tx.P2wsh script_hash } ]
+      ()
   in
   (mk keys_a.Keys.rv_pk keys_b.Keys.rv_pk, mk keys_a.Keys.rv'_pk keys_b.Keys.rv'_pk)
 
@@ -79,7 +148,7 @@ let commit_script_of ~(role : Keys.role) ~(keys_a : Keys.pub)
 (** GenSplit: floating split transaction body for state i. Its
     nLockTime stores the state number (S0 + i); it carries no input. *)
 let gen_split ~(theta : Tx.output list) ~(s0 : int) ~(i : int) : Tx.t =
-  { Tx.inputs = []; locktime = s0 + i; outputs = theta; witnesses = [] }
+  Tx.make ~locktime:(s0 + i) ~inputs:[] ~outputs:theta ()
 
 (** GenRevoke: the pair of floating revocation transaction bodies
     revoking state [revoked]. nLockTime = S0 + revoked lets them spend
@@ -89,20 +158,16 @@ let gen_revoke ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) ~(cash : int) ~(s0 : int)
     ~(revoked : int) : Tx.t * Tx.t =
   let mk pk =
-    { Tx.inputs = [];
-      locktime = s0 + revoked;
-      outputs = [ { Tx.value = cash; spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc pk)) } ];
-      witnesses = [] }
+    Tx.make ~locktime:(s0 + revoked) ~inputs:[]
+      ~outputs:[ { Tx.value = cash; spk = p2wpkh_spk pk } ]
+      ()
   in
   (mk pk_a, mk pk_b)
 
 (** GenFinSplit: the modified split transaction of a collaborative
     close — spends the funding output directly. *)
 let gen_fin_split ~(funding : Tx.outpoint) ~(theta : Tx.output list) : Tx.t =
-  { Tx.inputs = [ Tx.input_of_outpoint funding ];
-    locktime = 0;
-    outputs = theta;
-    witnesses = [] }
+  Tx.make ~inputs:[ Tx.input_of_outpoint funding ] ~outputs:theta ()
 
 (* ------------------------------------------------------------------ *)
 (* Signing messages.                                                   *)
@@ -130,51 +195,52 @@ let multisig_witness ~(sig1 : string) ~(sig2 : string) (script : Script.t) :
 let complete_commit (body : Tx.t) ~(sig_a : string) ~(sig_b : string)
     ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) : Tx.t =
-  { body with
-    Tx.witnesses = [ multisig_witness ~sig1:sig_a ~sig2:sig_b (funding_script ~pk_a ~pk_b) ] }
+  Tx.with_witnesses body
+    [ multisig_witness ~sig1:sig_a ~sig2:sig_b (funding_script ~pk_a ~pk_b) ]
 
 (** Complete the funding transaction with the two parties' signatures
     over their respective P2WPKH funding sources. *)
 let complete_fund (body : Tx.t) ~(sig_a : string)
     ~(pk_a : Daric_crypto.Schnorr.public_key) ~(sig_b : string)
     ~(pk_b : Daric_crypto.Schnorr.public_key) : Tx.t =
-  { body with
-    Tx.witnesses =
-      [ [ Tx.Data sig_a; Tx.Data (Keys.enc pk_a) ];
-        [ Tx.Data sig_b; Tx.Data (Keys.enc pk_b) ] ] }
+  Tx.with_witnesses body
+    [ [ Tx.Data sig_a; Tx.Data (Keys.enc pk_a) ];
+      [ Tx.Data sig_b; Tx.Data (Keys.enc pk_b) ] ]
 
 (** Attach a published commit's output as the input of the floating
     split transaction and install its witness. The witness selects the
     split (ELSE) branch of the revealed commit script. *)
 let complete_split (split : Tx.t) ~(commit_outpoint : Tx.outpoint)
     ~(commit_script : Script.t) ~(sig_a : string) ~(sig_b : string) : Tx.t =
-  { split with
-    Tx.inputs = [ Tx.input_of_outpoint commit_outpoint ];
-    witnesses =
+  Tx.make ~locktime:split.Tx.locktime ~outputs:split.Tx.outputs
+    ~inputs:[ Tx.input_of_outpoint commit_outpoint ]
+    ~witnesses:
       [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data "";
-          Tx.Wscript commit_script ] ] }
+          Tx.Wscript commit_script ] ]
+    ()
 
 (** Attach a published (revoked) commit's output as the input of the
     floating revocation transaction. The witness selects the revocation
     (IF) branch. *)
 let complete_revocation (rv : Tx.t) ~(commit_outpoint : Tx.outpoint)
     ~(commit_script : Script.t) ~(sig1 : string) ~(sig2 : string) : Tx.t =
-  { rv with
-    Tx.inputs = [ Tx.input_of_outpoint commit_outpoint ];
-    witnesses =
+  Tx.make ~locktime:rv.Tx.locktime ~outputs:rv.Tx.outputs
+    ~inputs:[ Tx.input_of_outpoint commit_outpoint ]
+    ~witnesses:
       [ [ Tx.Data ""; Tx.Data sig1; Tx.Data sig2; Tx.Data "\001";
-          Tx.Wscript commit_script ] ] }
+          Tx.Wscript commit_script ] ]
+    ()
 
 (** Complete the collaborative-close split with both signatures. *)
 let complete_fin_split (body : Tx.t) ~(sig_a : string) ~(sig_b : string)
     ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) : Tx.t =
-  { body with
-    Tx.witnesses = [ multisig_witness ~sig1:sig_a ~sig2:sig_b (funding_script ~pk_a ~pk_b) ] }
+  Tx.with_witnesses body
+    [ multisig_witness ~sig1:sig_a ~sig2:sig_b (funding_script ~pk_a ~pk_b) ]
 
 (** A simple channel state: two balance outputs paying the parties. *)
 let balance_state ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) ~(bal_a : int) ~(bal_b : int) :
     Tx.output list =
-  [ { Tx.value = bal_a; spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc pk_a)) };
-    { Tx.value = bal_b; spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc pk_b)) } ]
+  [ { Tx.value = bal_a; spk = p2wpkh_spk pk_a };
+    { Tx.value = bal_b; spk = p2wpkh_spk pk_b } ]

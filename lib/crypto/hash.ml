@@ -14,29 +14,41 @@ let tagged_uncached (tag : string) (msg : string) : string =
 
 (* The repository uses a small fixed set of domain-separation tags
    ("daric/challenge", "daric/nonce", "daric/sighash", ...), so the
-   64-byte prefix SHA256(tag) || SHA256(tag) of each tagged hash is
-   cached — one full digest saved per call. The cache is domain-local
-   (one table per domain), so tagged hashing is safe from the
-   Dpool worker domains that parallelize witness verification. *)
-let tag_prefix_cache : (string, string) Hashtbl.t Domain.DLS.key =
+   *midstate* of each tagged hash — the SHA-256 chaining value after
+   absorbing the 64-byte prefix SHA256(tag) || SHA256(tag), which is
+   exactly one block — is cached. Every tagged call then pays only the
+   message blocks: one compression and the prefix concatenation
+   cheaper than rehashing the prefix. The cache is domain-local (one
+   table per domain), so tagged hashing is safe from the Dpool worker
+   domains that parallelize witness verification. *)
+let tag_midstate_cache : (string, Sha256.st) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
-let tag_prefix (tag : string) : string =
-  let cache = Domain.DLS.get tag_prefix_cache in
+let tag_midstate (tag : string) : Sha256.st =
+  let cache = Domain.DLS.get tag_midstate_cache in
   match Hashtbl.find_opt cache tag with
-  | Some p -> p
+  | Some st -> st
   | None ->
       let th = Sha256.digest tag in
-      let p = th ^ th in
+      let st = Sha256.st_create () in
+      Sha256.st_feed st th 0 32;
+      Sha256.st_feed st th 0 32;
       if Hashtbl.length cache >= 256 then Hashtbl.reset cache;
-      Hashtbl.add cache tag p;
-      p
+      Hashtbl.add cache tag st;
+      st
 
 (** BIP-340 style tagged hash: SHA256(SHA256(tag) || SHA256(tag) || msg).
     Used to domain-separate nonce derivation, challenges, etc.
-    Equal to {!tagged_uncached}; the per-tag prefix is memoized. *)
+    Equal to {!tagged_uncached}; the per-tag prefix midstate is
+    memoized. *)
 let tagged (tag : string) (msg : string) : string =
-  Sha256.digest (tag_prefix tag ^ msg)
+  Sha256.st_digest (tag_midstate tag) [ (msg, 0, String.length msg) ]
+
+(** [tagged_parts tag parts] = {!tagged} of the concatenation of the
+    [(string, off, len)] slices, computed without materializing it —
+    the zero-copy path for sighashes over cached body encodings. *)
+let tagged_parts (tag : string) (parts : (string * int * int) list) : string =
+  Sha256.st_digest (tag_midstate tag) parts
 
 (** Interpret the first 8 bytes of a digest as a non-negative int. *)
 let digest_to_int (d : string) : int =

@@ -12,6 +12,11 @@ val tagged : string -> string -> string
     of nonces, challenges and sighashes. The per-tag 64-byte prefix is
     memoized (the repository uses a small fixed tag set). *)
 
+val tagged_parts : string -> (string * int * int) list -> string
+(** [tagged_parts tag parts] = [tagged tag (concat parts)] where each
+    part is a [(string, off, len)] slice, computed from the cached tag
+    midstate without materializing the concatenation. *)
+
 val tagged_uncached : string -> string -> string
 (** Reference path of {!tagged} recomputing the tag digest every call;
     the property tests assert pointwise agreement. *)

@@ -46,9 +46,29 @@ let is_valid_key (pk : int) : bool =
           true
         end
 
-(** 33-byte encoding: 0x02 marker, 28 zero bytes, 4-byte element. *)
-let encode_public_key (pk : public_key) : string =
+(* Encoded-key cache: the 33-byte encoding is rebuilt inside every
+   script construction and witness completion for the same handful of
+   channel keys; strings are immutable, so sharing one per key is
+   safe. Domain-local like the other memo tables. *)
+let encoded_keys : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let encoded_keys_max = 1 lsl 14
+
+let encode_public_key_uncached (pk : public_key) : string =
   "\x02" ^ String.make 28 '\000' ^ Group.encode_element pk
+
+(** 33-byte encoding: 0x02 marker, 28 zero bytes, 4-byte element.
+    Memoized per key. *)
+let encode_public_key (pk : public_key) : string =
+  let cache = Domain.DLS.get encoded_keys in
+  match Hashtbl.find_opt cache pk with
+  | Some s -> s
+  | None ->
+      let s = encode_public_key_uncached pk in
+      if Hashtbl.length cache >= encoded_keys_max then Hashtbl.reset cache;
+      Hashtbl.add cache pk s;
+      s
 
 let all_zero (s : string) ~(from : int) ~(upto : int) : bool =
   let rec go i = i > upto || (s.[i] = '\000' && go (i + 1)) in

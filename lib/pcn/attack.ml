@@ -169,8 +169,11 @@ let run_eltoo (cfg : config) : eltoo_result =
           List.map (fun (_, _, c) -> c) l )
       in
       ignore block;
-      let tx = { Tx.inputs; locktime = (channels.(0)).Eltoo.s0 + next_state;
-                 outputs; witnesses } in
+      let tx =
+        Tx.make ~inputs
+          ~locktime:((channels.(0)).Eltoo.s0 + next_state)
+          ~outputs ~witnesses ()
+      in
       Some (add_fee ledger adv_key ~fee:delay_fee ~fund_value:(2 * delay_fee) tx)
   in
   let victim_override (i : int) ~(fee : int) : Tx.t =

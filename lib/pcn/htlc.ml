@@ -40,29 +40,19 @@ let output (h : terms) : Tx.output =
 let redeem (h : terms) ~(payee_sk : Schnorr.secret_key) ~(preimage : string)
     ~(htlc_outpoint : Tx.outpoint) : Tx.t =
   let body =
-    { Tx.inputs = [ Tx.input_of_outpoint htlc_outpoint ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = h.amount;
-            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payee_pk)) } ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint htlc_outpoint ] ~outputs:[ { Tx.value = h.amount;
+            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payee_pk)) } ] ()
   in
   let sg = Sighash.sign payee_sk All body ~input_index:0 in
-  { body with
-    Tx.witnesses = [ [ Tx.Data sg; Tx.Data preimage; Tx.Wscript (script h) ] ] }
+  Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data preimage; Tx.Wscript (script h) ] ]
 
 (** Claim-back transaction: the payer reclaims after the timeout
     (the Claimback' transaction: 180 witness bytes). *)
 let claimback (h : terms) ~(payer_sk : Schnorr.secret_key)
     ~(htlc_outpoint : Tx.outpoint) : Tx.t =
   let body =
-    { Tx.inputs = [ Tx.input_of_outpoint htlc_outpoint ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = h.amount;
-            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payer_pk)) } ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint htlc_outpoint ] ~outputs:[ { Tx.value = h.amount;
+            spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc h.payer_pk)) } ] ()
   in
   let sg = Sighash.sign payer_sk All body ~input_index:0 in
-  { body with
-    Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript (script h) ] ] }
+  Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript (script h) ] ]

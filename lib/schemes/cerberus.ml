@@ -65,10 +65,7 @@ let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int)
              (output_script t ~rev_pk1:who.rev_current.Keys.pk ~rev_pk2:wt_pk
                 ~delayed_pk:who.delayed.Keys.pk)) }
   in
-  { Tx.inputs = [ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs = [ out own bal_own; out other bal_other ];
-    witnesses = [] }
+  Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ] ~outputs:[ out own bal_own; out other bal_other ] ()
 
 let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let msg = Sighash.message All body ~input_index:0 in
@@ -77,9 +74,7 @@ let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
   in
-  { body with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
     ~(bal_a : int) ~(bal_b : int) () : t =
@@ -91,19 +86,15 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let cash = bal_a + bal_b in
   let fund_src = Ledger.mint ledger ~value:cash ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.main.Keys.pk)
-                      (Keys.enc b.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
-  let empty = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let empty = Tx.make ~inputs:[] ~outputs:[] () in
   let t =
     { ledger; rng = Daric_util.Rng.split rng; cash; rel_lock; fund;
       wt = Keys.keygen rng; wt_rev = []; a; b; sn = 0; commit_a = empty;
@@ -152,16 +143,11 @@ let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
         | `B -> List.assoc revoked t.a.received_rev
       in
       let body =
-        { Tx.inputs =
-            [ Tx.input_of_outpoint (Tx.outpoint_of published 0);
-              Tx.input_of_outpoint (Tx.outpoint_of published 1) ];
-          locktime = 0;
-          outputs =
-            [ { Tx.value = t.cash;
+        Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0);
+              Tx.input_of_outpoint (Tx.outpoint_of published 1) ] ~outputs:[ { Tx.value = t.cash;
                 spk =
                   Tx.P2wpkh
-                    (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
-          witnesses = [] }
+                    (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ] ()
       in
       let wit i rev_sk delayed_pk =
         let script =
@@ -175,10 +161,8 @@ let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
           Tx.Data "\001"; Tx.Wscript script ]
       in
       Some
-        { body with
-          Tx.witnesses =
-            [ wit 0 cheater_rev_sk cheater.delayed.Keys.pk;
-              wit 1 victim_rev_sk side.delayed.Keys.pk ] }
+        (Tx.with_witnesses body [ wit 0 cheater_rev_sk cheater.delayed.Keys.pk;
+              wit 1 victim_rev_sk side.delayed.Keys.pk ])
   | _ -> None
 
 let commit_of (t : t) (who : [ `A | `B ]) : Tx.t =
@@ -314,15 +298,11 @@ module Scheme : Scheme_intf.SCHEME = struct
     in
     let value = (List.hd commit.Tx.outputs).Tx.value in
     let body =
-      { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ];
-        locktime = 0;
-        outputs = [ I.pay_to_pk ~value s.ch.a.main.Keys.pk ];
-        witnesses = [] }
+      Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ] ~outputs:[ I.pay_to_pk ~value s.ch.a.main.Keys.pk ] ()
     in
     let sg = Sighash.sign s.ch.a.delayed.Keys.sk All body ~input_index:0 in
     let sweep =
-      { body with
-        Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+      Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ]
     in
     let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
     let ok = I.spent s.env (Tx.outpoint_of commit 0) in

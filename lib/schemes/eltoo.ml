@@ -73,19 +73,15 @@ type t = {
 (** Floating update transaction body for state i: single output holding
     the channel funds under the state-i update script. *)
 let gen_update (t : t) ~(i : int) : Tx.t =
-  { Tx.inputs = [];
-    locktime = t.s0 + i;
-    outputs =
-      [ { Tx.value = t.cash;
+  Tx.make ~locktime:(t.s0 + i) ~inputs:[] ~outputs:[ { Tx.value = t.cash;
           spk =
             Tx.P2wsh
               (Script.hash
                  (update_script ~s0:t.s0 ~i ~rel_lock:t.rel_lock ~ka:t.ka
-                    ~kb:t.kb)) } ];
-    witnesses = [] }
+                    ~kb:t.kb)) } ] ()
 
 let gen_settlement (t : t) ~(theta : Tx.output list) ~(i : int) : Tx.t =
-  { Tx.inputs = []; locktime = t.s0 + i; outputs = theta; witnesses = [] }
+  Tx.make ~locktime:(t.s0 + i) ~inputs:[] ~outputs:theta ()
 
 let balance_state (t : t) ~(bal_a : int) ~(bal_b : int) : Tx.output list =
   Daric_core.Txs.balance_state ~pk_a:t.ka.main.Keys.pk ~pk_b:t.kb.main.Keys.pk
@@ -116,22 +112,18 @@ let create ?(s0 = 500_000_000) ?(rel_lock = 3) ~(ledger : Ledger.t)
      output is the 2-of-2 on the update keys, spendable by any floating
      update transaction. *)
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash;
             spk =
               Tx.Raw
                 (Script.multisig_2 (Keys.enc ka.upd.Keys.pk)
-                   (Keys.enc kb.upd.Keys.pk)) } ];
-      witnesses = [ [] ] }
+                   (Keys.enc kb.upd.Keys.pk)) } ] ()
   in
   Ledger.record ledger fund;
   let t =
     { ledger; ka; kb; cash; s0; rel_lock; fund; sn = 0;
-      update_tx = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] };
+      update_tx = Tx.make ~inputs:[] ~outputs:[] ();
       update_sigs = ("", "");
-      settlement = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] };
+      settlement = Tx.make ~inputs:[] ~outputs:[] ();
       settlement_sigs = ("", "");
       ops_signs = 0; ops_verifies = 0; ops_exps = 0 }
   in
@@ -171,18 +163,22 @@ let complete_update (t : t) ((body, (sig_a, sig_b)) : Tx.t * (string * string))
     ~(from : [ `Funding | `Update of int ]) ~(outpoint : Tx.outpoint) : Tx.t =
   match from with
   | `Funding ->
-      { body with
-        Tx.inputs = [ Tx.input_of_outpoint outpoint ];
-        witnesses = [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b ] ] }
+      Tx.make ~locktime:body.Tx.locktime
+        ~inputs:[ Tx.input_of_outpoint outpoint ]
+        ~outputs:body.Tx.outputs
+        ~witnesses:[ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b ] ]
+        ()
   | `Update j ->
       let script =
         update_script ~s0:t.s0 ~i:j ~rel_lock:t.rel_lock ~ka:t.ka ~kb:t.kb
       in
-      { body with
-        Tx.inputs = [ Tx.input_of_outpoint outpoint ];
-        witnesses =
+      Tx.make ~locktime:body.Tx.locktime
+        ~inputs:[ Tx.input_of_outpoint outpoint ]
+        ~outputs:body.Tx.outputs
+        ~witnesses:
           [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data "";
-              Tx.Wscript script ] ] }
+              Tx.Wscript script ] ]
+        ()
 
 (** Complete the floating settlement of state [i] to spend the state-i
     update output (only valid after T rounds). *)
@@ -190,11 +186,12 @@ let complete_settlement (t : t)
     ((body, (sig_a, sig_b)) : Tx.t * (string * string)) ~(i : int)
     ~(outpoint : Tx.outpoint) : Tx.t =
   let script = update_script ~s0:t.s0 ~i ~rel_lock:t.rel_lock ~ka:t.ka ~kb:t.kb in
-  { body with
-    Tx.inputs = [ Tx.input_of_outpoint outpoint ];
-    witnesses =
+  Tx.make ~locktime:body.Tx.locktime ~outputs:body.Tx.outputs
+    ~inputs:[ Tx.input_of_outpoint outpoint ]
+    ~witnesses:
       [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data "\001";
-          Tx.Wscript script ] ] }
+          Tx.Wscript script ] ]
+    ()
 
 let funding_outpoint (t : t) : Tx.outpoint = Tx.outpoint_of t.fund 0
 

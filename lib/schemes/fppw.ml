@@ -73,16 +73,12 @@ let gen_commit (t : t) : Tx.t =
   let rev_a = t.a.rev_current.Keys.pk and rev_b = t.b.rev_current.Keys.pk in
   let rev_w = (List.assoc t.sn t.wt_rev).Keys.pk in
   let y_a = t.a.pen.Keys.pk and y_b = t.b.pen.Keys.pk in
-  { Tx.inputs = [ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs =
-      [ { Tx.value = t.cash;
+  Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ] ~outputs:[ { Tx.value = t.cash;
           spk = Tx.P2wsh (Script.hash (main_script t ~rev_a ~rev_b ~rev_w)) };
         { Tx.value = t.collateral;
           spk =
             Tx.P2wsh
-              (Script.hash (collateral_script t ~rev_a ~rev_b ~rev_w ~y_a ~y_b)) } ];
-    witnesses = [] }
+              (Script.hash (collateral_script t ~rev_a ~rev_b ~rev_w ~y_a ~y_b)) } ] ()
 
 let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let msg = Sighash.message All body ~input_index:0 in
@@ -91,9 +87,7 @@ let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
   in
-  { body with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
     ~(bal_a : int) ~(bal_b : int) () : t =
@@ -107,22 +101,18 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let collateral = cash in
   let fund_src = Ledger.mint ledger ~value:(cash + collateral) ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash + collateral;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash + collateral;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.main.Keys.pk)
-                      (Keys.enc b.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
   let t =
     { ledger; rng = Daric_util.Rng.split rng; cash; collateral; rel_lock; fund;
       wt; wt_rev = [ (0, Keys.keygen rng) ]; a; b; sn = 0;
-      commit_a = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] };
+      commit_a = Tx.make ~inputs:[] ~outputs:[] ();
       ops_signs = 0; ops_verifies = 0; ops_exps = 0 }
   in
   (* oversize funding carries the watchtower collateral; split cash
@@ -181,21 +171,16 @@ let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
           ~y_b:t.b.pen.Keys.pk
       in
       let body =
-        { Tx.inputs =
-            [ Tx.input_of_outpoint (Tx.outpoint_of published 0);
-              Tx.input_of_outpoint (Tx.outpoint_of published 1) ];
-          locktime = 0;
-          outputs =
-            [ { Tx.value = t.cash + t.collateral;
-                spk = Tx.P2wsh (Script.hash (Script.p2pk (Keys.enc side.main.Keys.pk))) } ];
-          witnesses = [] }
+        Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0);
+              Tx.input_of_outpoint (Tx.outpoint_of published 1) ] ~outputs:[ { Tx.value = t.cash + t.collateral;
+                spk = Tx.P2wsh (Script.hash (Script.p2pk (Keys.enc side.main.Keys.pk))) } ] ()
       in
       let sign i sk = Sighash.sign sk All body ~input_index:i in
       let wit i script =
         [ Tx.Data ""; Tx.Data (sign i rev_a_sk); Tx.Data (sign i rev_b_sk);
           Tx.Data (sign i wt_rev.Keys.sk); Tx.Data "\001"; Tx.Wscript script ]
       in
-      Some { body with Tx.witnesses = [ wit 0 main; wit 1 coll ] }
+      Some (Tx.with_witnesses body [ wit 0 main; wit 1 coll ])
   | _ -> None
 
 let commit_latest (t : t) : Tx.t = t.commit_a
@@ -329,20 +314,14 @@ module Scheme : Scheme_intf.SCHEME = struct
         ~rev_w:(List.assoc s.ch.sn s.ch.wt_rev).Keys.pk
     in
     let body =
-      { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ];
-        locktime = 0;
-        outputs =
-          [ I.pay_to_pk ~value:bal_a s.ch.a.main.Keys.pk;
-            I.pay_to_pk ~value:bal_b s.ch.b.main.Keys.pk ];
-        witnesses = [] }
+      Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ] ~outputs:[ I.pay_to_pk ~value:bal_a s.ch.a.main.Keys.pk;
+            I.pay_to_pk ~value:bal_b s.ch.b.main.Keys.pk ] ()
     in
     let sig_a = Sighash.sign s.ch.a.main.Keys.sk All body ~input_index:0 in
     let sig_b = Sighash.sign s.ch.b.main.Keys.sk All body ~input_index:0 in
     let split =
-      { body with
-        Tx.witnesses =
-          [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data "";
-              Tx.Wscript script ] ] }
+      Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data "";
+              Tx.Wscript script ] ]
     in
     let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" split in
     let ok = I.spent s.env (Tx.outpoint_of commit 0) in

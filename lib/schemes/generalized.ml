@@ -86,18 +86,11 @@ let gen_commit (t : t) : Tx.t =
       ~h_rev_a:(Daric_crypto.Sha256.digest t.a.current.rev_preimage)
       ~h_rev_b:(Daric_crypto.Sha256.digest t.b.current.rev_preimage)
   in
-  { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs = [ { Tx.value = t.cash; spk = Tx.P2wsh (Script.hash script) } ];
-    witnesses = [] }
+  Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of t.fund 0) ] ~outputs:[ { Tx.value = t.cash; spk = Tx.P2wsh (Script.hash script) } ] ()
 
 let gen_split (t : t) ~(bal_a : int) ~(bal_b : int) : Tx.t =
-  { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of t.commit 0) ];
-    locktime = 0;
-    outputs =
-      Daric_core.Txs.balance_state ~pk_a:t.a.main.Keys.pk ~pk_b:t.b.main.Keys.pk
-        ~bal_a ~bal_b;
-    witnesses = [] }
+  Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of t.commit 0) ] ~outputs:(Daric_core.Txs.balance_state ~pk_a:t.a.main.Keys.pk ~pk_b:t.b.main.Keys.pk
+        ~bal_a ~bal_b) ()
 
 (** Exchange pre-signatures and split signatures for the current
     commit/split pair. *)
@@ -141,19 +134,15 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let cash = bal_a + bal_b in
   let fund_src = Ledger.mint ledger ~value:cash ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.main.Keys.pk)
-                      (Keys.enc b.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
-  let empty = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let empty = Tx.make ~inputs:[] ~outputs:[] () in
   let t =
     { ledger; rng = Daric_util.Rng.split rng; cash; rel_lock; fund; a; b;
       sn = 0; commit = empty; split = empty; split_sigs = ("", "");
@@ -208,9 +197,7 @@ let publish_commit_as_a (t : t) (o : old_state) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
   in
-  { o.o_commit with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses o.o_commit [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 (** Victim B: extract A's publishing witness from the on-chain adapted
     signature, look up the revoked preimage, and claim all funds. *)
@@ -228,22 +215,16 @@ let punish_as_b (t : t) ~(published : Tx.t) (o : old_state) : Tx.t option =
       | Some full_b ->
           let y_a = Adaptor.extract full_b o.o_presig_a in
           let body =
-            { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-              locktime = 0;
-              outputs =
-                [ { Tx.value = t.cash;
+            Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = t.cash;
                     spk =
                       Tx.P2wpkh
-                        (Daric_crypto.Hash.hash160 (Keys.enc t.b.main.Keys.pk)) } ];
-              witnesses = [] }
+                        (Daric_crypto.Hash.hash160 (Keys.enc t.b.main.Keys.pk)) } ] ()
           in
           let sig_y = Sighash.sign y_a All body ~input_index:0 in
           let sig_p = Sighash.sign t.b.punish.Keys.sk All body ~input_index:0 in
           Some
-            { body with
-              Tx.witnesses =
-                [ [ Tx.Data preimage; Tx.Data ""; Tx.Data sig_y; Tx.Data sig_p;
-                    Tx.Data "\001"; Tx.Data "\001"; Tx.Wscript o.o_script ] ] })
+            (Tx.with_witnesses body [ [ Tx.Data preimage; Tx.Data ""; Tx.Data sig_y; Tx.Data sig_p;
+                    Tx.Data "\001"; Tx.Data "\001"; Tx.Wscript o.o_script ] ]))
 
 (** Honest split after the CSV delay. *)
 let split_completed (t : t) : Tx.t =
@@ -253,9 +234,7 @@ let split_completed (t : t) : Tx.t =
       ~h_rev_b:(Daric_crypto.Sha256.digest t.b.current.rev_preimage)
   in
   let sig_a, sig_b = t.split_sigs in
-  { t.split with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data ""; Tx.Wscript script ] ] }
+  Tx.with_witnesses t.split [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Data ""; Tx.Wscript script ] ]
 
 let commit_completed_latest (t : t) : Tx.t =
   publish_commit_as_a t

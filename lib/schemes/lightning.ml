@@ -50,7 +50,7 @@ type t = {
   mutable ops_exps : int;
 }
 
-let empty_tx = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] }
+let empty_tx = Tx.make ~inputs:[] ~outputs:[] ()
 
 (** Commit transaction held by [owner]: to_local (delayed/revocable by
     the owner's current revocation key) + to_remote (counter-party,
@@ -71,10 +71,7 @@ let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int) ~(bal_other : int
       spk =
         Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc other.keys.main.Keys.pk)) }
   in
-  { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs = [ to_local; to_remote ];
-    witnesses = [] }
+  Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of t.fund 0) ] ~outputs:[ to_local; to_remote ] ()
 
 let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let msg = Sighash.message All body ~input_index:0 in
@@ -83,8 +80,7 @@ let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.keys.main.Keys.pk) (Keys.enc t.b.keys.main.Keys.pk)
   in
-  { body with
-    Tx.witnesses = [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
     ~(bal_a : int) ~(bal_b : int) () : t =
@@ -98,16 +94,12 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let cash = bal_a + bal_b in
   let fund_src = Ledger.mint ledger ~value:cash ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.keys.main.Keys.pk)
-                      (Keys.enc b.keys.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.keys.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
   let t =
@@ -171,20 +163,14 @@ let penalty (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t)
       in
       let to_local_value = (List.nth published.Tx.outputs 0).Tx.value in
       let body =
-        { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-          locktime = 0;
-          outputs =
-            [ { Tx.value = to_local_value;
+        Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = to_local_value;
                 spk =
                   Tx.P2wpkh
-                    (Daric_crypto.Hash.hash160 (Keys.enc side.keys.main.Keys.pk)) } ];
-          witnesses = [] }
+                    (Daric_crypto.Hash.hash160 (Keys.enc side.keys.main.Keys.pk)) } ] ()
       in
       let sg = Sighash.sign secret All body ~input_index:0 in
       Some
-        { body with
-          Tx.witnesses =
-            [ [ Tx.Data sg; Tx.Data "\001"; Tx.Wscript script ] ] }
+        (Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data "\001"; Tx.Wscript script ] ])
 
 (** Non-collaborative close by [who]: post the own commit, then after T
     rounds sweep to_local with the delayed key. *)
@@ -199,16 +185,12 @@ let sweep_to_local (t : t) ~(who : [ `A | `B ]) ~(published : Tx.t) : Tx.t =
   in
   let v = (List.nth published.Tx.outputs 0).Tx.value in
   let body =
-    { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = v;
+    Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = v;
             spk =
-              Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc side.keys.main.Keys.pk)) } ];
-      witnesses = [] }
+              Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc side.keys.main.Keys.pk)) } ] ()
   in
   let sg = Sighash.sign side.keys.delayed.Keys.sk All body ~input_index:0 in
-  { body with Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ]
 
 let funding_outpoint (t : t) : Tx.outpoint = Tx.outpoint_of t.fund 0
 

@@ -112,10 +112,7 @@ let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int)
     if t.sn = 0 then (String.make 32 '\000', String.make 32 '\000')
     else (chain_value t.a ~j:(t.sn - 1), chain_value t.b ~j:(t.sn - 1))
   in
-  { Tx.inputs = [ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs =
-      [ { Tx.value = bal_own;
+  Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ] ~outputs:[ { Tx.value = bal_own;
           spk =
             Tx.P2wsh
               (Script.hash
@@ -125,8 +122,7 @@ let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int)
         { Tx.value = bal_other;
           spk =
             Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc other.main.Keys.pk)) };
-        { Tx.value = 1; spk = Tx.Raw (data_script ~value_a ~value_b) } ];
-    witnesses = [] }
+        { Tx.value = 1; spk = Tx.Raw (data_script ~value_a ~value_b) } ] ()
 
 let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let msg = Sighash.message All body ~input_index:0 in
@@ -135,9 +131,7 @@ let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
   in
-  { body with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
     ~(bal_a : int) ~(bal_b : int) () : t =
@@ -151,19 +145,15 @@ let create ?(rel_lock = 3) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
      eventually closes the channel *)
   let fund_src = Ledger.mint ledger ~value:(cash + 1) ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash + 1;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash + 1;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.main.Keys.pk)
-                      (Keys.enc b.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
-  let empty = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let empty = Tx.make ~inputs:[] ~outputs:[] () in
   let t =
     { ledger; cash; rel_lock; fund; a; b; sn = 0; commit_a = empty;
       commit_b = empty; ops_signs = 0; ops_verifies = 0 }
@@ -213,22 +203,16 @@ let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
         in
         let v_out = (List.nth published.Tx.outputs 0).Tx.value in
         let body =
-          { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-            locktime = 0;
-            outputs =
-              [ { Tx.value = v_out;
+          Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = v_out;
                   spk =
                     Tx.P2wpkh
-                      (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
-            witnesses = [] }
+                      (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ] ()
         in
         let sig_rev = Sighash.sign sk_rev All body ~input_index:0 in
         let sig_pen = Sighash.sign side.penalty.Keys.sk All body ~input_index:0 in
         Some
-          { body with
-            Tx.witnesses =
-              [ [ Tx.Data ""; Tx.Data sig_rev; Tx.Data sig_pen; Tx.Data "\001";
-                  Tx.Wscript script ] ] }
+          (Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_rev; Tx.Data sig_pen; Tx.Data "\001";
+                  Tx.Wscript script ] ])
 
 let commit_of (t : t) (who : [ `A | `B ]) : Tx.t =
   match who with `A -> t.commit_a | `B -> t.commit_b
@@ -370,15 +354,11 @@ module Scheme : Scheme_intf.SCHEME = struct
     in
     let value = (List.hd commit.Tx.outputs).Tx.value in
     let body =
-      { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ];
-        locktime = 0;
-        outputs = [ I.pay_to_pk ~value s.ch.a.main.Keys.pk ];
-        witnesses = [] }
+      Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of commit 0) ] ~outputs:[ I.pay_to_pk ~value s.ch.a.main.Keys.pk ] ()
     in
     let sg = Sighash.sign s.ch.a.main.Keys.sk All body ~input_index:0 in
     let sweep =
-      { body with
-        Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+      Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ]
     in
     let* () = I.post_confirmed s.env ~scheme:name ~stage:"force_close" sweep in
     let ok = I.spent s.env (Tx.outpoint_of commit 0) in

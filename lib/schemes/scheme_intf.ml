@@ -183,10 +183,7 @@ let coop_close_tx ~(outpoint : Tx.outpoint) ~(outputs : Tx.output list)
     ~(sk_a : Daric_crypto.Schnorr.secret_key)
     ~(sk_b : Daric_crypto.Schnorr.secret_key) ~(wscript : Script.t option) :
     Tx.t =
-  let body =
-    { Tx.inputs = [ Tx.input_of_outpoint outpoint ]; locktime = 0; outputs;
-      witnesses = [] }
-  in
+  let body = Tx.make ~inputs:[ Tx.input_of_outpoint outpoint ] ~outputs () in
   let msg = Sighash.message All body ~input_index:0 in
   let sig_a = Sighash.sign_message sk_a All msg in
   let sig_b = Sighash.sign_message sk_b All msg in
@@ -196,7 +193,7 @@ let coop_close_tx ~(outpoint : Tx.outpoint) ~(outputs : Tx.output list)
         [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ]
     | None -> [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b ]
   in
-  { body with Tx.witnesses = [ wit ] }
+  Tx.with_witnesses body [ wit ]
 
 (** P2WPKH output paying [value] to [pk]. *)
 let pay_to_pk ~(value : int) (pk : Daric_crypto.Schnorr.public_key) :

@@ -59,16 +59,12 @@ let gen_commit (t : t) ~(owner : [ `A | `B ]) ~(bal_own : int)
         Tx.P2wsh
           (Script.hash (output_script t ~rev_pk:who_rev ~other_pk ~owner_pk)) }
   in
-  { Tx.inputs = [ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ];
-    locktime = 0;
-    outputs =
-      [ (* the publisher's own balance: revocable by the other side,
+  Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:t.sn (Tx.outpoint_of t.fund 0) ] ~outputs:[ (* the publisher's own balance: revocable by the other side,
            claimable by the owner only after T_end *)
         out own.rev_current.Keys.pk other.main.Keys.pk own.main.Keys.pk bal_own;
         (* the counter-party's balance: symmetric *)
         out other.rev_current.Keys.pk own.main.Keys.pk other.main.Keys.pk
-          bal_other ];
-    witnesses = [] }
+          bal_other ] ()
 
 let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let msg = Sighash.message All body ~input_index:0 in
@@ -77,9 +73,7 @@ let sign_commit (t : t) (body : Tx.t) : Tx.t =
   let script =
     Script.multisig_2 (Keys.enc t.a.main.Keys.pk) (Keys.enc t.b.main.Keys.pk)
   in
-  { body with
-    Tx.witnesses =
-      [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b; Tx.Wscript script ] ]
 
 let create ~(t_end : int) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
     ~(bal_a : int) ~(bal_b : int) () : t =
@@ -90,19 +84,15 @@ let create ~(t_end : int) ~(ledger : Ledger.t) ~(rng : Daric_util.Rng.t)
   let cash = bal_a + bal_b in
   let fund_src = Ledger.mint ledger ~value:cash ~spk:Tx.Op_return in
   let fund =
-    { Tx.inputs = [ Tx.input_of_outpoint fund_src ];
-      locktime = 0;
-      outputs =
-        [ { Tx.value = cash;
+    Tx.make ~witnesses:[ [] ] ~inputs:[ Tx.input_of_outpoint fund_src ] ~outputs:[ { Tx.value = cash;
             spk =
               Tx.P2wsh
                 (Script.hash
                    (Script.multisig_2 (Keys.enc a.main.Keys.pk)
-                      (Keys.enc b.main.Keys.pk))) } ];
-      witnesses = [ [] ] }
+                      (Keys.enc b.main.Keys.pk))) } ] ()
   in
   Ledger.record ledger fund;
-  let empty = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let empty = Tx.make ~inputs:[] ~outputs:[] () in
   let t =
     { ledger; rng = Daric_util.Rng.split rng; cash; t_end; fund; a; b; sn = 0;
       commit_a = empty; commit_b = empty; ops_signs = 0; ops_verifies = 0 }
@@ -144,22 +134,16 @@ let punish (t : t) ~(victim : [ `A | `B ]) ~(published : Tx.t) : Tx.t option =
       in
       let v = (List.nth published.Tx.outputs 0).Tx.value in
       let body =
-        { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-          locktime = 0;
-          outputs =
-            [ { Tx.value = v;
+        Tx.make ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = v;
                 spk =
                   Tx.P2wpkh
-                    (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
-          witnesses = [] }
+                    (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ] ()
       in
       let sig_rev = Sighash.sign rev_sk All body ~input_index:0 in
       let sig_own = Sighash.sign side.main.Keys.sk All body ~input_index:0 in
       Some
-        { body with
-          Tx.witnesses =
-            [ [ Tx.Data ""; Tx.Data sig_rev; Tx.Data sig_own; Tx.Data "\001";
-                Tx.Wscript script ] ] }
+        (Tx.with_witnesses body [ [ Tx.Data ""; Tx.Data sig_rev; Tx.Data sig_own; Tx.Data "\001";
+                Tx.Wscript script ] ])
 
 (** The publisher sweeps her own balance — only valid once the
     spending transaction's nLockTime can reach T_end. For an old commit
@@ -178,16 +162,12 @@ let sweep_own ?(rev_pk : Schnorr.public_key option) (t : t)
   in
   let v = (List.nth published.Tx.outputs 0).Tx.value in
   let body =
-    { Tx.inputs = [ Tx.input_of_outpoint (Tx.outpoint_of published 0) ];
-      locktime = t.t_end;
-      outputs =
-        [ { Tx.value = v;
+    Tx.make ~locktime:t.t_end ~inputs:[ Tx.input_of_outpoint (Tx.outpoint_of published 0) ] ~outputs:[ { Tx.value = v;
             spk =
-              Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ];
-      witnesses = [] }
+              Tx.P2wpkh (Daric_crypto.Hash.hash160 (Keys.enc side.main.Keys.pk)) } ] ()
   in
   let sg = Sighash.sign side.main.Keys.sk All body ~input_index:0 in
-  { body with Tx.witnesses = [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ] }
+  Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data ""; Tx.Wscript script ] ]
 
 let commit_of (t : t) (who : [ `A | `B ]) : Tx.t =
   match who with `A -> t.commit_a | `B -> t.commit_b

@@ -115,10 +115,7 @@ let build ?(n_states = 4) ?(s0 = 600_000_000) ?(rel_lock = 3) ?(seed = 11)
   let commit role i =
     let script = commit_script role i in
     let body =
-      { Tx.inputs = [ Tx.input_of_outpoint ~sequence:i fund_op ];
-        locktime = 0;
-        outputs = [ { Tx.value = cash; spk = Tx.P2wsh (Script.hash script) } ];
-        witnesses = [] }
+      Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:i fund_op ] ~outputs:[ { Tx.value = cash; spk = Tx.P2wsh (Script.hash script) } ] ()
     in
     let sig_a = Sighash.sign ka.Keys.main.Keys.sk All body ~input_index:0 in
     let sig_b = Sighash.sign kb.Keys.main.Keys.sk All body ~input_index:0 in
@@ -137,7 +134,9 @@ let build ?(n_states = 4) ?(s0 = 600_000_000) ?(rel_lock = 3) ?(seed = 11)
     let body = Txs.gen_split ~theta:(theta i) ~s0 ~i in
     let body =
       if is Off_by_one_locktime then
-        { body with Tx.locktime = body.Tx.locktime - 1 }
+        Tx.make
+          ~locktime:(body.Tx.locktime - 1)
+          ~inputs:body.Tx.inputs ~outputs:body.Tx.outputs ()
       else body
     in
     let sig_a = Sighash.sign ka.Keys.sp.Keys.sk Anyprevout body ~input_index:0 in

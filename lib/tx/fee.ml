@@ -24,15 +24,16 @@ let attach (tx : Tx.t) ~(source : Tx.outpoint) ~(source_value : int)
       spk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key pk)) }
   in
   let tx' =
-    { tx with
-      Tx.inputs = tx.inputs @ [ Tx.input_of_outpoint source ];
-      outputs = tx.outputs @ [ change ] }
+    Tx.make ~locktime:tx.locktime
+      ~witnesses:tx.witnesses
+      ~inputs:(tx.inputs @ [ Tx.input_of_outpoint source ])
+      ~outputs:(tx.outputs @ [ change ])
+      ()
   in
   let idx = List.length tx'.inputs - 1 in
   let sg = Sighash.sign key_sk All tx' ~input_index:idx in
-  { tx' with
-    Tx.witnesses =
-      tx.witnesses @ [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  Tx.with_witnesses tx'
+    (tx.witnesses @ [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ])
 
 (** Fee actually paid by a transaction given the values of its inputs. *)
 let paid ~(input_values : int list) (tx : Tx.t) : int =

@@ -26,51 +26,60 @@ let flag_of_byte = function
   | 0x43 -> Some Anyprevout_single
   | _ -> None
 
+(* Fully uncached reference: fresh serialization, fresh tag digest. *)
 let message_uncached (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
   let payload =
     match flag with
-    | All -> "all/" ^ Tx.body_serialize tx
+    | All -> "all/" ^ Tx.body_serialize_uncached tx
     | Anyprevout -> "apo/" ^ Tx.floating_body_serialize tx
     | Anyprevout_single ->
         let o = List.nth tx.outputs input_index in
-        let single = { tx with outputs = [ o ]; inputs = []; witnesses = [] } in
+        let single = Tx.make ~locktime:tx.locktime ~inputs:[] ~outputs:[ o ] () in
         "apos/" ^ Tx.floating_body_serialize single
   in
-  Daric_crypto.Hash.tagged "daric/sighash" payload
+  Daric_crypto.Hash.tagged_uncached "daric/sighash" payload
 
-(* Sighash digests are memoized per flag on exactly the body parts each
-   flag authorizes (bodies are immutable after construction): the same
-   commit/split/revocation message is hashed by signer, peer, watchtower
-   and ledger alike. Bounded; reset wholesale when full. *)
-type msg_key =
-  | K_all of Tx.input list * int * Tx.output list
-  | K_apo of int * Tx.output list
-  | K_apos of int * Tx.output  (** (nLT, the one authorized output) *)
-
-let msg_cache : (msg_key, string) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
-
-let msg_cache_max = 1 lsl 16
-
-(** Message hashed and signed for a given flag.
-    [input_index] selects the authorized output under
-    [Anyprevout_single]. The memo table is domain-local, so sighash
-    computation is safe from Dpool worker domains. *)
-let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
-  let cache = Domain.DLS.get msg_cache in
-  let key =
+(* Zero-copy digest path: the cached body encoding is fed to the
+   cached "daric/sighash" midstate as slices — a family's floating
+   members (commit/split/revocation sharing ⌊TX⌋ structure) reuse the
+   very suffix bytes of the full body, and nothing is concatenated. *)
+let message_compute (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
+  let parts =
     match flag with
-    | All -> K_all (tx.Tx.inputs, tx.Tx.locktime, tx.Tx.outputs)
-    | Anyprevout -> K_apo (tx.Tx.locktime, tx.Tx.outputs)
+    | All ->
+        let body, _ = Tx.body_encoding tx in
+        [ ("all/", 0, 4); (body, 0, String.length body) ]
+    | Anyprevout ->
+        let body, off = Tx.body_encoding tx in
+        [ ("apo/", 0, 4); (body, off, String.length body - off) ]
     | Anyprevout_single ->
-        K_apos (tx.Tx.locktime, List.nth tx.Tx.outputs input_index)
+        let o = List.nth tx.outputs input_index in
+        let single = Tx.make ~locktime:tx.locktime ~inputs:[] ~outputs:[ o ] () in
+        let body, off = Tx.body_encoding single in
+        [ ("apos/", 0, 5); (body, off, String.length body - off) ]
   in
-  match Hashtbl.find_opt cache key with
+  Daric_crypto.Hash.tagged_parts "daric/sighash" parts
+
+(** Message hashed and signed for a given flag. [input_index] selects
+    the authorized output under [Anyprevout_single].
+
+    Memoized in the transaction's own encoding memo (slot 0 = ALL,
+    1 = ANYPREVOUT, 2+i = ANYPREVOUT|SINGLE): the same commit/split/
+    revocation message is hashed by signer, peer, watchtower and ledger
+    alike, and after the first computation each re-derivation is an
+    array read — no table lookup, no structural key hashing. *)
+let message (flag : flag) (tx : Tx.t) ~(input_index : int) : string =
+  let slot =
+    match flag with
+    | All -> 0
+    | Anyprevout -> 1
+    | Anyprevout_single -> 2 + input_index
+  in
+  match Tx.cached_msg tx slot with
   | Some m -> m
   | None ->
-      let m = message_uncached flag tx ~input_index in
-      if Hashtbl.length cache >= msg_cache_max then Hashtbl.reset cache;
-      Hashtbl.add cache key m;
+      let m = message_compute flag tx ~input_index in
+      Tx.cache_msg tx slot m;
       m
 
 (** Sign a transaction for one input; returns the 73-byte flagged

@@ -37,16 +37,46 @@ type witness_elt =
 type witness = witness_elt list
 (** Bottom-to-top witness stack for one input (script last). *)
 
+(* In-place encoding memo. Carrying the memo on the transaction itself
+   (instead of a global table keyed by the whole body) makes txid and
+   sighash derivation a field read after the first computation: no
+   structural hashing of input/output lists, no equality walk on
+   lookup, no long-lived table entries for the GC to promote and mark.
+
+   Races are benign by construction: the memo is a pure function of the
+   immutable body, so when two domains compute it concurrently both
+   write structurally identical values and either pointer is a correct
+   published state (word-sized writes don't tear). A lost update only
+   costs a recomputation. *)
+type enc = {
+  e_body : string;  (** serialized body [TX] *)
+  e_float_off : int;  (** ⌊TX⌋ = suffix of [e_body] from this offset *)
+  mutable e_txid : string;  (** "" until first demanded — txid costs a
+                                hash256, and many signed bodies never
+                                need theirs *)
+  mutable e_msgs : string option array;
+      (** sighash digests: slot 0 = ALL, 1 = ANYPREVOUT,
+          2+i = ANYPREVOUT|SINGLE for input index i *)
+}
+
 type t = {
   inputs : input list;
   locktime : int;  (** nLockTime *)
   outputs : output list;
   witnesses : witness list;  (** parallel to [inputs] *)
+  mutable enc : enc option;  (** encoding memo; never part of equality
+                                 or serialization *)
 }
 
 let default_sequence = 0xffffffff
 
 let input_of_outpoint ?(sequence = default_sequence) prevout = { prevout; sequence }
+
+let make ?(locktime = 0) ?(witnesses = []) ~inputs ~outputs () : t =
+  { inputs; locktime; outputs; witnesses; enc = None }
+
+let empty : t =
+  { inputs = []; locktime = 0; outputs = []; witnesses = []; enc = None }
 
 (* ------------------------------------------------------------------ *)
 (* Serialization of the body [TX] = (Input, nLT, Output) for txids.   *)
@@ -65,76 +95,106 @@ let spk_serialize (w : Daric_util.Byteio.Writer.t) (spk : spk) =
       W.var_string w (Script.serialize s)
   | Op_return -> W.byte w 0x03
 
-let body_serialize (tx : t) : string =
+(* The floating body ⌊TX⌋ = (nLT, Output) is serialized *after* the
+   inputs, so the full body embeds it as an exact suffix: one encoding
+   pass yields both views, and consumers slice instead of
+   re-serializing. *)
+let body_serialize_uncached_off (tx : t) : string * int =
   let module W = Daric_util.Byteio.Writer in
-  let w = W.create () in
-  W.varint w (List.length tx.inputs);
-  List.iter
-    (fun (i : input) ->
-      W.var_string w i.prevout.txid;
-      W.u32 w i.prevout.vout;
-      W.u32 w i.sequence)
-    tx.inputs;
-  W.u32 w tx.locktime;
-  W.varint w (List.length tx.outputs);
-  List.iter
-    (fun (o : output) ->
-      W.u64 w (Int64.of_int o.value);
-      spk_serialize w o.spk)
-    tx.outputs;
-  W.contents w
+  W.with_scratch (fun w ->
+      W.varint w (List.length tx.inputs);
+      List.iter
+        (fun (i : input) ->
+          W.var_string w i.prevout.txid;
+          W.u32 w i.prevout.vout;
+          W.u32 w i.sequence)
+        tx.inputs;
+      let floating_off = W.length w in
+      W.u32 w tx.locktime;
+      W.varint w (List.length tx.outputs);
+      List.iter
+        (fun (o : output) ->
+          W.u64 w (Int64.of_int o.value);
+          spk_serialize w o.spk)
+        tx.outputs;
+      (W.contents w, floating_off))
 
-(* txid memoization: tx bodies are immutable after construction and the
-   protocol recomputes the same txids constantly (every ledger lookup,
-   outpoint derivation and pp). The cache key is exactly the data the
-   txid depends on — (Input, nLT, Output) — so structurally equal bodies
-   share one digest while witness completion ({tx with witnesses = _})
-   never misses. Bounded: reset wholesale when full. *)
-type body_key = {
-  k_inputs : input list;
-  k_locktime : int;
-  k_outputs : output list;
-}
-
-let txid_cache : (body_key, string) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
-
-let txid_cache_max = 1 lsl 16
+(** Reference encoder: one fresh serialization pass, no memo table. *)
+let body_serialize_uncached (tx : t) : string =
+  fst (body_serialize_uncached_off tx)
 
 let txid_uncached (tx : t) : string =
-  Daric_crypto.Hash.hash256 (body_serialize tx)
+  Daric_crypto.Hash.hash256 (body_serialize_uncached tx)
 
-(** txid = H([TX]); 32 bytes. Memoized on the immutable body. The
-    cache is domain-local so txid derivation is safe from Dpool
-    worker domains. *)
-let txid (tx : t) : string =
-  let cache = Domain.DLS.get txid_cache in
-  let key =
-    { k_inputs = tx.inputs; k_locktime = tx.locktime; k_outputs = tx.outputs }
-  in
-  match Hashtbl.find_opt cache key with
-  | Some id -> id
+(* The memo is computed once per transaction value and then read off
+   the record; see the note on [enc] above for why the unsynchronized
+   store is safe from Dpool worker domains. *)
+let encode_body (tx : t) : enc =
+  match tx.enc with
+  | Some e -> e
   | None ->
-      let id = txid_uncached tx in
-      if Hashtbl.length cache >= txid_cache_max then Hashtbl.reset cache;
-      Hashtbl.add cache key id;
-      id
+      let body, off = body_serialize_uncached_off tx in
+      let e = { e_body = body; e_float_off = off; e_txid = ""; e_msgs = [||] } in
+      tx.enc <- Some e;
+      e
+
+(** [with_witnesses tx ws] is [tx] with its witness stacks replaced —
+    the witness-completion idiom. The body is untouched, so the copy
+    shares the original's encoding memo (forced here so both views
+    benefit from one serialization). *)
+let with_witnesses (tx : t) (witnesses : witness list) : t =
+  ignore (encode_body tx);
+  { tx with witnesses }
+
+let body_serialize (tx : t) : string = (encode_body tx).e_body
+
+(** The serialized body and the offset of its floating suffix, from
+    the memo — the zero-copy path: slice, don't re-serialize. *)
+let body_encoding (tx : t) : string * int =
+  let e = encode_body tx in
+  (e.e_body, e.e_float_off)
+
+(** txid = H([TX]); 32 bytes. Memoized in place on the transaction. *)
+let txid (tx : t) : string =
+  let e = encode_body tx in
+  if String.length e.e_txid <> 0 then e.e_txid
+  else begin
+    let id = Daric_crypto.Hash.hash256 e.e_body in
+    e.e_txid <- id;
+    id
+  end
 
 let outpoint_of (tx : t) (vout : int) : outpoint = { txid = txid tx; vout }
 
 (** [TX] without inputs — the part authorized by ANYPREVOUT sigs
     (the paper's notation ⌊TX⌋ = (nLT, Output)). *)
 let floating_body_serialize (tx : t) : string =
-  let module W = Daric_util.Byteio.Writer in
-  let w = W.create () in
-  W.u32 w tx.locktime;
-  W.varint w (List.length tx.outputs);
-  List.iter
-    (fun (o : output) ->
-      W.u64 w (Int64.of_int o.value);
-      spk_serialize w o.spk)
-    tx.outputs;
-  W.contents w
+  let e = encode_body tx in
+  String.sub e.e_body e.e_float_off (String.length e.e_body - e.e_float_off)
+
+(* ------------------------------------------------------------------ *)
+(* Sighash-digest slots, used by {!Sighash.message}. Slot layout is
+   documented on [e_msgs]; the array is grown on demand (transactions
+   here have at most a handful of inputs). Same benign-race argument
+   as the memo itself: slots hold pure functions of the body. *)
+
+let cached_msg (tx : t) (slot : int) : string option =
+  let e = encode_body tx in
+  if slot < Array.length e.e_msgs then Array.unsafe_get e.e_msgs slot else None
+
+let cache_msg (tx : t) (slot : int) (msg : string) : unit =
+  let e = encode_body tx in
+  let a = e.e_msgs in
+  let a =
+    if slot < Array.length a then a
+    else begin
+      let a' = Array.make (max (slot + 1) 4) None in
+      Array.blit a 0 a' 0 (Array.length a);
+      e.e_msgs <- a';
+      a'
+    end
+  in
+  a.(slot) <- Some msg
 
 (* ------------------------------------------------------------------ *)
 (* Weight accounting (Appendix H conventions).                        *)

@@ -32,18 +32,66 @@ type witness_elt =
 type witness = witness_elt list
 (** Bottom-to-top witness stack for one input (script last). *)
 
-type t = {
+type enc
+(** Opaque in-place encoding memo: serialized body, floating-suffix
+    offset, txid and sighash digests, computed once per transaction
+    value. *)
+
+type t = private {
   inputs : input list;
   locktime : int;  (** nLockTime *)
   outputs : output list;
   witnesses : witness list;  (** parallel to [inputs] *)
+  mutable enc : enc option;  (** encoding memo — maintained by this
+                                 module; never observable through the
+                                 serialization or sizing functions *)
 }
+(** The record is [private]: construct with {!make} / {!with_witnesses}
+    so a body change can never carry a stale memo along. Field reads
+    and pattern matching work as usual. *)
+
+val make :
+  ?locktime:int -> ?witnesses:witness list ->
+  inputs:input list -> outputs:output list -> unit -> t
+(** [make ~inputs ~outputs ()] builds a transaction (locktime 0 and no
+    witnesses unless given). The encoding memo starts empty and is
+    filled on first use. *)
+
+val with_witnesses : t -> witness list -> t
+(** [with_witnesses tx ws] is [tx] with its witness stacks replaced —
+    the witness-completion idiom. The body is unchanged, so the result
+    shares [tx]'s encoding memo: completing a transaction never
+    re-serializes or re-hashes. *)
+
+val empty : t
+(** The empty transaction (no inputs, no outputs, locktime 0) — a
+    placeholder for not-yet-negotiated slots. *)
 
 val default_sequence : int
 val input_of_outpoint : ?sequence:int -> outpoint -> input
 
+val cached_msg : t -> int -> string option
+(** [cached_msg tx slot] reads a sighash-digest slot of the memo
+    (slot 0 = ALL, 1 = ANYPREVOUT, 2+i = ANYPREVOUT|SINGLE for input
+    index i). Used by {!Sighash.message}; see {!cache_msg}. *)
+
+val cache_msg : t -> int -> string -> unit
+(** Store a sighash digest in the given slot. The digest must be the
+    pure function of the body that the slot denotes — the memo is
+    shared by every view of this transaction value. *)
+
 val body_serialize : t -> string
-(** Serialization of the body \[TX\] = (Input, nLT, Output). *)
+(** Serialization of the body \[TX\] = (Input, nLT, Output). Memoized
+    on the immutable body together with {!txid}. *)
+
+val body_serialize_uncached : t -> string
+(** Reference encoder: a fresh serialization pass with no memo table
+    (property tests and the [tx-encode_naive] baseline). *)
+
+val body_encoding : t -> string * int
+(** [(body, off)] where [body] = {!body_serialize} and the floating
+    body ⌊TX⌋ is exactly the suffix [body\[off..\]] — the zero-copy
+    view used by sighash computation. *)
 
 val txid : t -> string
 (** txid = H(\[TX\]); 32 bytes. Witness data never affects it.

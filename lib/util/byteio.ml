@@ -46,6 +46,32 @@ module Writer = struct
   let var_string (t : t) (s : string) =
     varint t (String.length s);
     string t s
+
+  (* Arena of reusable buffers, one small stack per domain: hot
+     encoders (tx bodies, scripts) borrow a cleared buffer instead of
+     allocating a fresh one per serialization. Nested borrows pop
+     further down the stack, so encoders that call encoders stay
+     safe. *)
+  let scratch_pool : t list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  (** [with_scratch f] runs [f] with a writer borrowed from the
+      domain-local arena (cleared, contents preserved only for the
+      duration of [f]). The writer must not escape [f]. *)
+  let with_scratch (f : t -> 'a) : 'a =
+    let pool = Domain.DLS.get scratch_pool in
+    let w =
+      match !pool with
+      | w :: rest ->
+          pool := rest;
+          Buffer.clear w;
+          w
+      | [] -> Buffer.create 256
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if Buffer.length w <= 1 lsl 16 then pool := w :: !pool)
+      (fun () -> f w)
 end
 
 module Reader = struct

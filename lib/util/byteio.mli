@@ -22,6 +22,12 @@ module Writer : sig
 
   val var_string : t -> string -> unit
   (** Varint length prefix followed by the raw bytes. *)
+
+  val with_scratch : (t -> 'a) -> 'a
+  (** [with_scratch f] runs [f] with a cleared writer borrowed from a
+      domain-local arena instead of a fresh allocation; the writer is
+      recycled when [f] returns and must not escape it. Borrows nest
+      safely. *)
 end
 
 module Reader : sig

@@ -62,3 +62,8 @@ let list_from (t : 'a t) ~(from : int) : 'a list =
   !acc
 
 let to_list (t : 'a t) : 'a list = list_from t ~from:0
+
+let to_array (t : 'a t) : 'a array = Array.sub t.data 0 t.len
+
+(** Drop all elements (capacity is kept for reuse). *)
+let clear (t : 'a t) : unit = truncate t 0

@@ -21,3 +21,9 @@ val list_from : 'a t -> from:int -> 'a list
 (** Elements [\[from, length)] in index order. *)
 
 val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+(** Elements [\[0, length)] as a fresh array. *)
+
+val clear : 'a t -> unit
+(** Drop all elements; capacity is kept for reuse. *)

@@ -69,10 +69,7 @@ let single_pair_commit (e : env) ~(i : int) : Tx.t * Script.t =
       ~rev_pk1:e.pub_a.Keys.rv_pk ~rev_pk2:e.pub_b.Keys.rv_pk
       ~spl_pk1:e.pub_a.Keys.sp_pk ~spl_pk2:e.pub_b.Keys.sp_pk
   in
-  ( { Tx.inputs = [ Tx.input_of_outpoint ~sequence:i e.funding ];
-      locktime = 0;
-      outputs = [ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ];
-      witnesses = [] },
+  ( Tx.make ~inputs:[ Tx.input_of_outpoint ~sequence:i e.funding ] ~outputs:[ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ] (),
     script )
 
 let test_single_rev_pair_self_punish () =
@@ -150,10 +147,10 @@ let test_no_ordering_old_split_rewinds () =
   (* the LATEST commit (state 5, say) under the unordered variant *)
   let commit_latest =
     complete_commit e
-      { Tx.inputs = [ Tx.input_of_outpoint ~sequence:5 e.funding ];
-        locktime = 0;
-        outputs = [ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ];
-        witnesses = [] }
+      (Tx.make
+         ~inputs:[ Tx.input_of_outpoint ~sequence:5 e.funding ]
+         ~outputs:[ { Tx.value = e.cash; spk = Tx.P2wsh (Script.hash script) } ]
+         ())
   in
   (* a REVOKED split from state 0 where A had 90k; without ordering the
      split has no state-bearing nLockTime either *)
@@ -161,7 +158,7 @@ let test_no_ordering_old_split_rewinds () =
     Txs.balance_state ~pk_a:e.pub_a.Keys.main_pk ~pk_b:e.pub_b.Keys.main_pk
       ~bal_a:90_000 ~bal_b:10_000
   in
-  let old_split = { Tx.inputs = []; locktime = 0; outputs = old_theta; witnesses = [] } in
+  let old_split = Tx.make ~inputs:[] ~outputs:old_theta () in
   let msg = Txs.split_message old_split in
   let sig_a = Sighash.sign_message e.keys_a.Keys.sp.sk Anyprevout msg in
   let sig_b = Sighash.sign_message e.keys_b.Keys.sp.sk Anyprevout msg in

@@ -373,14 +373,15 @@ let test_txid_memo () =
     let inputs = List.init (1 + Rng.int rng 3) (fun _ -> mk_in ()) in
     let outputs = List.init (1 + Rng.int rng 3) (fun _ -> mk_out ()) in
     let locktime = Rng.int rng 1000 in
-    let tx = { Tx.inputs; locktime; outputs; witnesses = [] } in
+    let tx = Tx.make ~inputs ~locktime ~outputs () in
     check_b "txid = txid_uncached" true (Tx.txid tx = Tx.txid_uncached tx);
     (* structurally equal body built separately: same txid *)
     let tx' =
-      { Tx.inputs = List.map (fun i -> { i with Tx.sequence = i.Tx.sequence }) inputs;
-        locktime;
-        outputs = List.map (fun o -> { o with Tx.value = o.Tx.value }) outputs;
-        witnesses = [ [ Tx.Data "w" ] ] }
+      Tx.make
+        ~inputs:(List.map (fun i -> { i with Tx.sequence = i.Tx.sequence }) inputs)
+        ~locktime
+        ~outputs:(List.map (fun o -> { o with Tx.value = o.Tx.value }) outputs)
+        ~witnesses:[ [ Tx.Data "w" ] ] ()
     in
     check_b "equal bodies share txid" true (Tx.txid tx = Tx.txid tx');
     check_b "witness does not affect txid" true

@@ -21,13 +21,13 @@ let p2wpkh pk = Tx.P2wpkh (Daric_crypto.Hash.hash160 (Schnorr.encode_public_key 
 (** Spend a P2WPKH utxo to a new P2WPKH output. *)
 let spend_tx ~sk ~pk ~(from : Tx.outpoint) ~value ~to_pk ?(locktime = 0) () =
   let tx =
-    { Tx.inputs = [ Tx.input_of_outpoint from ];
-      locktime;
-      outputs = [ { Tx.value; spk = p2wpkh to_pk } ];
-      witnesses = [] }
+    Tx.make ~locktime
+      ~inputs:[ Tx.input_of_outpoint from ]
+      ~outputs:[ { Tx.value; spk = p2wpkh to_pk } ]
+      ()
   in
   let sg = Sighash.sign sk All tx ~input_index:0 in
-  { tx with Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+  Tx.with_witnesses tx [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ]
 
 let test_mint_and_spend () =
   let l = Ledger.create ~delta:2 () in
@@ -95,10 +95,7 @@ let test_batched_validation () =
   let ops = List.init 3 (fun _ -> Ledger.mint l ~value:100 ~spk:(p2wpkh pk)) in
   let mk_tx ~signers =
     let tx =
-      { Tx.inputs = List.map Tx.input_of_outpoint ops;
-        locktime = 0;
-        outputs = [ { Tx.value = 300; spk = p2wpkh pk2 } ];
-        witnesses = [] }
+      Tx.make ~inputs:(List.map Tx.input_of_outpoint ops) ~outputs:[ { Tx.value = 300; spk = p2wpkh pk2 } ] ()
     in
     let witnesses =
       List.mapi
@@ -107,7 +104,7 @@ let test_batched_validation () =
           [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk_i) ])
         signers
     in
-    { tx with Tx.witnesses }
+    Tx.with_witnesses tx witnesses
   in
   let good = mk_tx ~signers:[ (sk, pk); (sk, pk); (sk, pk) ] in
   check_b "batched accepts valid multi-input tx" true

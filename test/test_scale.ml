@@ -76,7 +76,20 @@ let gen_trace ~seed ~rounds ~keys:nkeys ~mints =
         if kind = 0 then keys.((k + 1) mod nkeys) (* wrong key *)
         else keys.(k)
       in
+      (* sometimes spend a second candidate in the same transaction —
+         its outpoint usually hashes to a different tick shard, which
+         exercises the cross-shard reconciliation pass *)
+      let extra =
+        if kind >= 8 then
+          match pick_candidate () with
+          | op2, _, _ when Tx.outpoint_equal op2 op -> None
+          | op2, v2, k2 -> Some (op2, v2, k2)
+        else None
+      in
       let out_value = if kind = 1 then value + 1 (* overspend *) else value in
+      let out_value =
+        match extra with Some (_, v2, _) -> out_value + v2 | None -> out_value
+      in
       let k_to = Rng.int rng nkeys in
       let split = out_value > 1 && Rng.int rng 2 = 0 in
       let outputs =
@@ -87,16 +100,26 @@ let gen_trace ~seed ~rounds ~keys:nkeys ~mints =
               spk = p2wpkh (snd keys.((k_to + 1) mod nkeys)) } ]
         else [ { Tx.value = out_value; spk = p2wpkh (snd keys.(k_to)) } ]
       in
-      let body =
-        { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0; outputs;
-          witnesses = [] }
+      let inputs =
+        Tx.input_of_outpoint op
+        :: (match extra with
+           | Some (op2, _, _) -> [ Tx.input_of_outpoint op2 ]
+           | None -> [])
       in
-      let sg = Sighash.sign sk All body ~input_index:0 in
-      let tx =
-        { body with
-          Tx.witnesses =
-            [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+      let body = Tx.make ~inputs ~outputs () in
+      let wit0 =
+        let sg = Sighash.sign sk All body ~input_index:0 in
+        [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ]
       in
+      let witnesses =
+        match extra with
+        | None -> [ wit0 ]
+        | Some (_, _, k2) ->
+            let sk2, pk2 = keys.(k2) in
+            let sg2 = Sighash.sign sk2 All body ~input_index:1 in
+            [ wit0; [ Tx.Data sg2; Tx.Data (Schnorr.encode_public_key pk2) ] ]
+      in
+      let tx = Tx.with_witnesses body witnesses in
       List.iteri
         (fun vout (o : Tx.output) ->
           add_candidate (Tx.outpoint_of tx vout, o.value, k_to))
@@ -180,19 +203,19 @@ let test_event_stream_differential () =
     (fun seed ->
       let delta = 2 in
       let trace = gen_trace ~seed ~rounds:12 ~keys:5 ~mints:8 in
-      let seq_stream, seq_l =
-        Dpool.with_domains 1 (fun () -> replay_indexed ~delta trace)
-      in
-      let par_stream, par_l =
-        Dpool.with_domains 2 (fun () -> replay_indexed ~delta trace)
-      in
       let ref_stream, ref_l = replay_reference ~delta trace in
-      check_sl "sequential = reference" ref_stream seq_stream;
-      check_sl "parallel = reference" ref_stream par_stream;
-      check_i "same accepted count (seq/ref)" (Ledger.accepted_count ref_l)
-        (Ledger.accepted_count seq_l);
-      check_i "same accepted count (par/ref)" (Ledger.accepted_count ref_l)
-        (Ledger.accepted_count par_l))
+      List.iter
+        (fun domains ->
+          let stream, l =
+            Dpool.with_domains domains (fun () -> replay_indexed ~delta trace)
+          in
+          check_sl
+            (Printf.sprintf "%d-domain tick = reference" domains)
+            ref_stream stream;
+          check_i
+            (Printf.sprintf "same accepted count (%d domains)" domains)
+            (Ledger.accepted_count ref_l) (Ledger.accepted_count l))
+        [ 1; 2; 4 ])
     [ 3; 17; 42; 2026 ]
 
 let test_indexed_reads_vs_scan () =
@@ -257,13 +280,11 @@ let test_checkpoint_rollback () =
   let op = Ledger.mint l ~value:100 ~spk:(p2wpkh pk) in
   let c = Ledger.checkpoint l in
   let body =
-    { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0;
-      outputs = [ { Tx.value = 100; spk = p2wpkh pk2 } ]; witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint op ] ~outputs:[ { Tx.value = 100; spk = p2wpkh pk2 } ] ()
   in
   let sg = Sighash.sign sk All body ~input_index:0 in
   let tx =
-    { body with
-      Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+    Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ]
   in
   Ledger.record l tx;
   check_b "spent after record" true (Ledger.spender_of l op <> None);
@@ -290,14 +311,11 @@ let test_pending_buckets () =
       let sk, pk = Schnorr.keygen (Rng.create ~seed:1) in
       let op = Ledger.mint l ~value:10 ~spk:(p2wpkh pk) in
       let body =
-        { Tx.inputs = [ Tx.input_of_outpoint op ]; locktime = 0;
-          outputs = [ { Tx.value = 10; spk = p2wpkh pk } ]; witnesses = [] }
+        Tx.make ~inputs:[ Tx.input_of_outpoint op ] ~outputs:[ { Tx.value = 10; spk = p2wpkh pk } ] ()
       in
       let sg = Sighash.sign sk All body ~input_index:0 in
       let tx =
-        { body with
-          Tx.witnesses =
-            [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+        Tx.with_witnesses body [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ]
       in
       Ledger.post l tx ~delay;
       let landing = max delay 1 in
@@ -389,8 +407,13 @@ let test_vec () =
   Vec.truncate v 10;
   check_i "truncated" 10 (Vec.length v);
   check_b "to_list" true (Vec.to_list v = List.init 10 Fun.id);
+  check_b "to_array" true (Vec.to_array v = Array.init 10 Fun.id);
   for i = 10 to 20 do Vec.push v i done;
-  check_i "regrows" 21 (Vec.length v)
+  check_i "regrows" 21 (Vec.length v);
+  Vec.clear v;
+  check_i "cleared" 0 (Vec.length v);
+  Vec.push v 5;
+  check_b "reusable after clear" true (Vec.to_list v = [ 5 ])
 
 let test_dpool () =
   (* forced counts drive the chunked map; results match the sequential
@@ -408,8 +431,62 @@ let test_dpool () =
           check_b "all_chunks true" true
             (Dpool.all_chunks (Array.for_all (fun x -> x >= 0)) xs);
           check_b "all_chunks false" false
-            (Dpool.all_chunks (Array.for_all (fun x -> x < 999)) xs)))
+            (Dpool.all_chunks (Array.for_all (fun x -> x < 999)) xs);
+          check_b "map_array preserves order" true
+            (Dpool.map_array (fun x -> 2 * x) xs
+            = Array.map (fun x -> 2 * x) xs)))
     [ 1; 2; 3 ]
+
+exception Boom
+
+let test_dpool_exceptions () =
+  let xs = Array.init 64 Fun.id in
+  (* an exception raised on a worker chunk resurfaces on the calling
+     domain, for every forced count *)
+  List.iter
+    (fun k ->
+      Dpool.with_domains k (fun () ->
+          Alcotest.check_raises
+            (Printf.sprintf "worker exception propagates (%d domains)" k)
+            Boom
+            (fun () ->
+              ignore
+                (Dpool.map_chunks
+                   (fun chunk -> if Array.exists (fun x -> x >= 32) chunk then raise Boom else 0)
+                   xs))))
+    [ 1; 2; 4 ];
+  (* the pool stays usable after a propagated failure *)
+  Dpool.with_domains 2 (fun () ->
+      let partials = Dpool.map_chunks (Array.fold_left ( + ) 0) xs in
+      check_i "pool reusable after exception" (Array.fold_left ( + ) 0 xs)
+        (Array.fold_left ( + ) 0 partials))
+
+let test_dpool_env_parsing () =
+  let original = Sys.getenv_opt "DPOOL_DOMAINS" in
+  let set v = Unix.putenv "DPOOL_DOMAINS" v in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value ~default:"" original))
+    (fun () ->
+      (* a valid setting wins over the runtime recommendation *)
+      set "5";
+      check_i "explicit count" 5 (Dpool.count ());
+      set " 3 ";
+      check_i "whitespace trimmed" 3 (Dpool.count ());
+      (* the recommendation is whatever an unparseable setting falls
+         back to; all rejected forms must agree with it and be >= 1 *)
+      set "";
+      let fallback = Dpool.count () in
+      check_b "fallback is positive" true (fallback >= 1);
+      List.iter
+        (fun bad ->
+          set bad;
+          check_i (Printf.sprintf "rejected %S" bad) fallback (Dpool.count ()))
+        [ "0"; "-2"; "garbage"; "2.5" ];
+      (* with_domains overrides any environment setting *)
+      set "7";
+      Dpool.with_domains 2 (fun () ->
+          check_i "with_domains beats env" 2 (Dpool.count ()));
+      check_i "env restored after with_domains" 7 (Dpool.count ()))
 
 let () =
   Alcotest.run "daric-scale"
@@ -429,4 +506,6 @@ let () =
             test_pending_buckets ] );
       ( "util",
         [ Alcotest.test_case "vec" `Quick test_vec;
-          Alcotest.test_case "dpool" `Quick test_dpool ] ) ]
+          Alcotest.test_case "dpool" `Quick test_dpool;
+          Alcotest.test_case "dpool exceptions" `Quick test_dpool_exceptions;
+          Alcotest.test_case "dpool env parsing" `Quick test_dpool_env_parsing ] ) ]

@@ -72,7 +72,7 @@ let test_eltoo_override_old_update () =
   (* and the OLD settlement cannot spend the NEW update output *)
   let stale_settlement =
     Eltoo.complete_settlement ch
-      ( { Tx.inputs = []; locktime = ch.Eltoo.s0; outputs = []; witnesses = [] },
+      ( Tx.make ~locktime:ch.Eltoo.s0 ~inputs:[] ~outputs:[] (),
         ("", "") )
       ~i:0
       ~outpoint:(Tx.outpoint_of latest 0)

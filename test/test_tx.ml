@@ -24,22 +24,20 @@ let test_txid_excludes_witness () =
   let rng = Rng.create ~seed:1 in
   let _, pk = Schnorr.keygen rng in
   let tx =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 7;
-      outputs = [ p2wpkh_out 100 pk ];
-      witnesses = [] }
+    Tx.make ~locktime:7 ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 100 pk ] ()
   in
-  let tx' = { tx with Tx.witnesses = [ [ Tx.Data "w" ] ] } in
+  let tx' = Tx.with_witnesses tx [ [ Tx.Data "w" ] ] in
   check_b "same txid with/without witness" true (Tx.txid tx = Tx.txid tx');
-  let tx'' = { tx with Tx.locktime = 8 } in
+  let tx'' =
+    Tx.make ~locktime:8 ~inputs:tx.Tx.inputs ~outputs:tx.Tx.outputs ()
+  in
   check_b "locktime changes txid" true (Tx.txid tx <> Tx.txid tx'')
 
 let test_sighash_flags () =
   let rng = Rng.create ~seed:2 in
   let _, pk = Schnorr.keygen rng in
   let mk inputs =
-    { Tx.inputs; locktime = 500_000_001; outputs = [ p2wpkh_out 5 pk ];
-      witnesses = [] }
+    Tx.make ~inputs ~locktime:500_000_001 ~outputs:[ p2wpkh_out 5 pk ] ()
   in
   let tx1 = mk [ Tx.input_of_outpoint (dummy_outpoint 'a') ] in
   let tx2 = mk [ Tx.input_of_outpoint (dummy_outpoint 'b') ] in
@@ -56,14 +54,15 @@ let test_anyprevout_single () =
   let rng = Rng.create ~seed:3 in
   let _, pk = Schnorr.keygen rng in
   let base =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 0;
-      outputs = [ p2wpkh_out 5 pk ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 5 pk ] ()
   in
   (* adding a fee output beyond the signed index does not change the
      APO|SINGLE message (Section 8, fee handling) *)
-  let with_fee = { base with Tx.outputs = base.outputs @ [ p2wpkh_out 3 pk ] } in
+  let with_fee =
+    Tx.make ~locktime:base.Tx.locktime ~inputs:base.Tx.inputs
+      ~outputs:(base.Tx.outputs @ [ p2wpkh_out 3 pk ])
+      ()
+  in
   check_b "extra output invisible to APO|SINGLE" true
     (Sighash.message Anyprevout_single base ~input_index:0
     = Sighash.message Anyprevout_single with_fee ~input_index:0);
@@ -76,20 +75,21 @@ let test_p2wpkh_spend () =
   let sk, pk = Schnorr.keygen rng in
   let spent = p2wpkh_out 50 pk in
   let tx =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 0;
-      outputs = [ p2wpkh_out 50 pk ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 50 pk ] ()
   in
   let sg = Sighash.sign sk All tx ~input_index:0 in
   let tx =
-    { tx with
-      Tx.witnesses = [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+    Tx.with_witnesses tx [ [ Tx.Data sg; Tx.Data (Schnorr.encode_public_key pk) ] ]
   in
   check_b "valid spend" true
     (Spend.verify_input tx ~input_index:0 ~spent ~input_age:0 = Ok ());
   (* tampering with outputs invalidates the SIGHASH_ALL signature *)
-  let tampered = { tx with Tx.outputs = [ p2wpkh_out 49 pk ] } in
+  let tampered =
+    Tx.make ~locktime:tx.Tx.locktime ~witnesses:tx.Tx.witnesses
+      ~inputs:tx.Tx.inputs
+      ~outputs:[ p2wpkh_out 49 pk ]
+      ()
+  in
   check_b "tampered outputs rejected" true
     (Spend.verify_input tampered ~input_index:0 ~spent ~input_age:0 <> Ok ())
 
@@ -102,31 +102,24 @@ let test_p2wsh_spend () =
   in
   let spent = { Tx.value = 50; spk = Tx.P2wsh (Script.hash script) } in
   let tx =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 0;
-      outputs = [ p2wpkh_out 50 pk1 ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 50 pk1 ] ()
   in
   let s1 = Sighash.sign sk1 All tx ~input_index:0 in
   let s2 = Sighash.sign sk2 All tx ~input_index:0 in
   let good =
-    { tx with
-      Tx.witnesses = [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2; Tx.Wscript script ] ] }
+    Tx.with_witnesses tx [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2; Tx.Wscript script ] ]
   in
   check_b "valid multisig spend" true
     (Spend.verify_input good ~input_index:0 ~spent ~input_age:0 = Ok ());
   let wrong_script =
-    { tx with
-      Tx.witnesses =
-        [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2;
-            Tx.Wscript (Script.p2pk (Schnorr.encode_public_key pk1)) ] ] }
+    Tx.with_witnesses tx [ [ Tx.Data ""; Tx.Data s1; Tx.Data s2;
+            Tx.Wscript (Script.p2pk (Schnorr.encode_public_key pk1)) ] ]
   in
   check_b "script hash mismatch" true
     (Spend.verify_input wrong_script ~input_index:0 ~spent ~input_age:0
     = Error Spend.Witness_script_mismatch);
   let one_sig =
-    { tx with
-      Tx.witnesses = [ [ Tx.Data ""; Tx.Data s1; Tx.Data s1; Tx.Wscript script ] ] }
+    Tx.with_witnesses tx [ [ Tx.Data ""; Tx.Data s1; Tx.Data s1; Tx.Wscript script ] ]
   in
   check_b "duplicated signature rejected" true
     (Spend.verify_input one_sig ~input_index:0 ~spent ~input_age:0 <> Ok ())
@@ -230,16 +223,12 @@ let test_fee_attach_preserves_apo_single () =
   let sk, pk = Schnorr.keygen rng in
   let fee_sk, fee_pk = Schnorr.keygen rng in
   let base =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 0;
-      outputs = [ p2wpkh_out 500 pk ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 500 pk ] ()
   in
   (* channel signature with APO|SINGLE over (nLT, outputs[0]) *)
   let chan_sig = Sighash.sign sk Anyprevout_single base ~input_index:0 in
   let base =
-    { base with
-      Tx.witnesses = [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+    Tx.with_witnesses base [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ]
   in
   let spent = p2wpkh_out 500 pk in
   check_b "base tx valid" true
@@ -268,15 +257,11 @@ let test_fee_attach_breaks_sighash_all () =
   let sk, pk = Schnorr.keygen rng in
   let fee_sk, _ = Schnorr.keygen rng in
   let base =
-    { Tx.inputs = [ Tx.input_of_outpoint (dummy_outpoint 'a') ];
-      locktime = 0;
-      outputs = [ p2wpkh_out 500 pk ];
-      witnesses = [] }
+    Tx.make ~inputs:[ Tx.input_of_outpoint (dummy_outpoint 'a') ] ~outputs:[ p2wpkh_out 500 pk ] ()
   in
   let chan_sig = Sighash.sign sk All base ~input_index:0 in
   let base =
-    { base with
-      Tx.witnesses = [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ] }
+    Tx.with_witnesses base [ [ Tx.Data chan_sig; Tx.Data (Schnorr.encode_public_key pk) ] ]
   in
   let with_fee =
     Daric_tx.Fee.attach base ~source:(dummy_outpoint 'f') ~source_value:300
@@ -289,7 +274,7 @@ let test_fee_attach_breaks_sighash_all () =
 let test_fee_rejects_bad_fee () =
   let rng = Rng.create ~seed:11 in
   let sk, _ = Schnorr.keygen rng in
-  let base = { Tx.inputs = []; locktime = 0; outputs = []; witnesses = [] } in
+  let base = Tx.make ~inputs:[] ~outputs:[] () in
   check_b "fee > value rejected" true
     (try
        ignore

@@ -235,6 +235,93 @@ let run_scale ~smoke ~quick ~full ~domains () =
   write_scale_json samples;
   Fmt.pr "wrote %s@." scale_json_file
 
+(* ------------- durable tower sweep (snapshot + WAL layer) ------------- *)
+
+let tower_json_file = "BENCH_tower.json"
+
+(* Same flat sorted shape as BENCH_scale.json so successive PRs diff
+   the same entries. *)
+let write_tower_json (samples : Daric_analysis.Tower_sim.sample list) : unit =
+  let entries =
+    List.concat_map
+      (fun (s : Daric_analysis.Tower_sim.sample) ->
+        let p name v = (Printf.sprintf "n%06d/%s" s.channels name, v) in
+        [ p "recovery-s" s.recovery_seconds;
+          p "recovery-replayed" (float_of_int s.recovery_replayed);
+          p "wal-bytes-per-round" s.wal_bytes_per_round;
+          p "wal-bytes-total" (float_of_int s.wal_bytes_total);
+          p "snapshot-bytes" (float_of_int s.snapshot_bytes);
+          p "snapshots" (float_of_int s.snapshots_taken);
+          p "monitor-s" s.monitor_seconds;
+          p "frauds" (float_of_int s.frauds);
+          p "punished" (float_of_int s.punished);
+          p "tower-bytes" (float_of_int s.tower_storage_bytes);
+          p "replicas" (float_of_int s.replicas) ])
+      samples
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  let oc = open_out tower_json_file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"daric-bench-tower/1\",\n";
+  pf "  \"unit\": \"seconds unless suffixed otherwise\",\n";
+  pf
+    "  \"note\": \"recovery-s re-opens the probe tower's store (snapshot \
+     decode + WAL replay + catch-up poll) after a simulated crash; \
+     wal-bytes-per-round is the journal overhead of one monitoring \
+     round\",\n";
+  pf "  \"entries\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      pf "    %S: %g%s\n" name v
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  pf "  }\n}\n";
+  close_out oc
+
+(* The journaled tower must be observationally identical to the plain
+   one: same punished set, same chain trace, same in-RAM storage. *)
+let check_durable_consistency () =
+  let probe durable =
+    let s =
+      Daric_analysis.Scale.run ~channels:12 ~updates:1 ~frauds:3 ~seed:13
+        ~durable ()
+    in
+    ( s.Daric_analysis.Scale.punished,
+      s.Daric_analysis.Scale.frauds,
+      s.Daric_analysis.Scale.ledger_height,
+      s.Daric_analysis.Scale.accepted_txs,
+      s.Daric_analysis.Scale.tower_storage_bytes )
+  in
+  if probe true <> probe false then begin
+    Fmt.epr "tower: durable scale trace diverged from plain tower@.";
+    exit 1
+  end;
+  Fmt.pr "durable-consistency: journaled and plain towers agree@."
+
+let run_tower ~smoke ~quick ~full () =
+  section "Experiment TOWER: durable replicated watchtower sweep";
+  check_durable_consistency ();
+  let ns =
+    if smoke then [ 100 ]
+    else if quick then [ 100; 1_000 ]
+    else if full then [ 100; 1_000; 10_000 ]
+    else [ 100; 1_000; 10_000 ]
+  in
+  let samples =
+    List.map
+      (fun n ->
+        let s =
+          Daric_analysis.Tower_sim.run ~channels:n ~updates:1
+            ~frauds:(min 8 n) ~rounds:24 ()
+        in
+        Fmt.pr "%a@.@." Daric_analysis.Tower_sim.pp s;
+        s)
+      ns
+  in
+  write_tower_json samples;
+  Fmt.pr "wrote %s@." tower_json_file
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bench_tests () =
@@ -517,4 +604,6 @@ let () =
   end;
   (* explicit-only: the full sweep builds up to 100k channels *)
   if List.mem "scale" args then run_scale ~smoke ~quick ~full ~domains ();
+  (* explicit-only: builds up to 10k channels with R+1 towers *)
+  if List.mem "tower" args then run_tower ~smoke ~quick ~full ();
   if want "micro" then run_micro ~smoke ()

@@ -21,6 +21,7 @@ module I = Daric_schemes.Scheme_intf
 module DS = Daric_schemes.Daric_scheme
 module Ledger = Daric_chain.Ledger
 module Watchtower = Daric_core.Watchtower
+module Durable = Daric_core.Durable
 
 type sample = {
   channels : int;
@@ -43,6 +44,9 @@ type sample = {
   ledger_height : int;
   accepted_txs : int;
   tower_storage_bytes : int;
+  durable : bool;  (** tower ran behind the snapshot+WAL layer *)
+  wal_bytes : int;  (** total WAL appended (0 when not durable) *)
+  snapshot_bytes : int;  (** latest snapshot (0 when not durable) *)
 }
 
 let timed (f : unit -> 'a) : 'a * float =
@@ -54,7 +58,8 @@ let timed (f : unit -> 'a) : 'a * float =
     system and returns the measured sample. [frauds] is clamped to
     [channels]; every channel gets [updates] off-chain updates (at
     least 1 — a revoked state must exist for the tower to be of use). *)
-let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7) () : sample =
+let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7)
+    ?(durable = false) () : sample =
   (* An update's allocations are almost all dead within the round; the
      default 256k-word minor heap still promotes a slice of them at
      every minor cycle, and at N=100k that promoted garbage is what the
@@ -99,20 +104,37 @@ let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7) () : sample =
             done)
           chans)
   in
-  (* Delegate every channel to one tower. *)
-  let tower = Watchtower.create ~wid:"tower" () in
+  (* Delegate every channel to one tower — behind the snapshot+WAL
+     layer when [durable], so the sweep also prices the journal. *)
+  let dtower =
+    if durable then
+      Some (Durable.create ~wid:"tower" (Durable.memory_store ()))
+    else None
+  in
+  let tower =
+    match dtower with
+    | Some d -> Durable.tower d
+    | None -> Watchtower.create ~wid:"tower" ()
+  in
+  let do_watch r =
+    match dtower with
+    | Some d -> Durable.watch d r
+    | None -> Watchtower.watch tower r
+  in
   Array.iter
     (fun s ->
       match DS.watch_record (Option.get s) with
       | Some r ->
-          if not (Watchtower.watch tower r) then
+          if not (do_watch r) then
             failwith "scale: tower rejected a valid record"
       | None -> failwith "scale: no record after update")
     chans;
   let post tx = Ledger.post env.ledger tx ~delay:0 in
   let eor () =
-    Watchtower.end_of_round tower ~round:(Ledger.height env.ledger)
-      ~ledger:env.ledger ~post
+    let round = Ledger.height env.ledger in
+    match dtower with
+    | Some d -> Durable.end_of_round d ~round ~ledger:env.ledger ~post
+    | None -> Watchtower.end_of_round tower ~round ~ledger:env.ledger ~post
   in
   (* First poll swallows the one-time fresh-record check (O(N), paid
      once per watch, not per round); idle polls after it are what a
@@ -179,7 +201,11 @@ let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7) () : sample =
     fraud_react_seconds;
     ledger_height = Ledger.height env.ledger;
     accepted_txs = Ledger.accepted_count env.ledger;
-    tower_storage_bytes = Watchtower.storage_bytes tower }
+    tower_storage_bytes = Watchtower.storage_bytes tower;
+    durable;
+    wal_bytes = (match dtower with Some d -> Durable.wal_bytes d | None -> 0);
+    snapshot_bytes =
+      (match dtower with Some d -> Durable.snapshot_bytes d | None -> 0) }
 
 let pp ppf (s : sample) =
   Fmt.pf ppf
@@ -188,9 +214,13 @@ let pp ppf (s : sample) =
      monitor/round (indexed): %.6fs over %d polls@,\
      monitor/round (scan, %d-channel sample): %.6fs → %.4fs extrapolated at N@,\
      frauds: %d posted, %d punished (react poll: %.6fs)@,\
-     height=%d accepted=%d tower=%dB@]"
+     height=%d accepted=%d tower=%dB%s@]"
     s.channels s.updates_per_channel s.open_seconds s.update_seconds
     s.updates_per_sec s.monitor_seconds_per_poll s.monitor_polls
     s.scan_sample_channels s.scan_seconds_per_poll s.scan_seconds_extrapolated
     s.frauds s.punished s.fraud_react_seconds s.ledger_height s.accepted_txs
     s.tower_storage_bytes
+    (if s.durable then
+       Printf.sprintf " (durable: wal=%dB snapshot=%dB)" s.wal_bytes
+         s.snapshot_bytes
+     else "")

@@ -21,11 +21,17 @@ type sample = {
   ledger_height : int;
   accepted_txs : int;
   tower_storage_bytes : int;
+  durable : bool;
+  wal_bytes : int;
+  snapshot_bytes : int;
 }
 
 val run :
-  ?channels:int -> ?updates:int -> ?frauds:int -> ?seed:int -> unit -> sample
+  ?channels:int -> ?updates:int -> ?frauds:int -> ?seed:int ->
+  ?durable:bool -> unit -> sample
 (** Build the system and measure. [frauds] is clamped to [channels];
-    [updates] is at least 1. *)
+    [updates] is at least 1. With [~durable:true] the tower runs
+    behind the {!Daric_core.Durable} snapshot+WAL layer (memory
+    store), so the sweep also prices the journal. *)
 
 val pp : Format.formatter -> sample -> unit

@@ -355,6 +355,10 @@ let record (t : t) (tx : Tx.t) =
       t.utxos <-
         Outpoint_map.add { Tx.txid; vout } { recorded = t.round; output } t.utxos)
     tx.outputs;
+  (* The tx is now retained forever in the accepted log; drop its
+     encode/sighash memo (txid survives) so the log doesn't pin dead
+     serialization bytes in the heap the major GC keeps marking. *)
+  Tx.seal tx;
   t.events <- Accepted tx :: t.events
 
 (* ---------------- journaled rollback ---------------- *)

@@ -1,0 +1,82 @@
+(** Durable watchtower: snapshot + write-ahead-log persistence around
+    {!Watchtower}, with crash recovery by snapshot + replay.
+
+    Write-ahead discipline: watches are journaled before [watch]
+    returns; a monitoring round journals its punishments and cursor
+    advance before the revocation transactions are released to the
+    chain. Every [snapshot_every] rounds the full tower state is
+    snapshotted and the WAL reset, bounding the store at one snapshot
+    plus K rounds of deltas. A recovered tower re-checks replayed
+    watches directly and rescans the spent log from its restored
+    cursor, so it punishes exactly what a never-crashed tower would. *)
+
+module Wal = Daric_util.Wal
+
+type store = {
+  wal_sink : Wal.Sink.t;
+  save_snapshot : string -> unit;
+  load_snapshot : unit -> string option;
+  erase : unit -> unit;
+}
+(** Where the snapshot and WAL live — both halves must name the same
+    durable location family. *)
+
+val memory_store : unit -> store
+(** Volatile store surviving a *simulated* crash (tests/benches): drop
+    the in-RAM tower, keep the store object. *)
+
+val file_store : string -> store
+(** WAL at [path], snapshot at [path ^ ".snap"] (temp-file + rename,
+    so a crash mid-snapshot keeps the previous one). *)
+
+type t
+
+val create : ?snapshot_every:int -> wid:string -> store -> t
+(** Fresh durable tower; erases whatever the store held. Default
+    snapshot cadence: every 16 rounds. *)
+
+type recovery = {
+  t : t;
+  replayed : int;  (** WAL records applied on top of the snapshot *)
+  wal_status : Wal.status;
+  had_snapshot : bool;
+}
+
+val recover :
+  ?snapshot_every:int -> wid:string -> store -> (recovery, Persist.error) result
+(** Rebuild from the store: snapshot (if any) + WAL replay, torn tail
+    truncated. [wid] applies only when the store is empty. *)
+
+val tower : t -> Watchtower.t
+(** The live in-RAM tower (read-only use; mutate through this module
+    so the journal stays ahead of the state). *)
+
+val store : t -> store
+
+val watch : t -> Watchtower.record -> bool
+(** Journaled {!Watchtower.watch}; [false] (nothing journaled) when
+    the record's signatures do not verify. *)
+
+val unwatch : t -> channel_id:string -> unit
+
+val end_of_round :
+  t -> round:int -> ledger:Daric_chain.Ledger.t ->
+  post:(Daric_tx.Tx.t -> unit) -> unit
+(** Monitor with write-ahead semantics: posts are buffered, the
+    round's punishments and cursor advance are journaled, then the
+    buffered revocations are released. Snapshots on cadence. *)
+
+val snapshot : t -> unit
+(** Snapshot now and reset the WAL. *)
+
+val wal_bytes : t -> int
+(** Total WAL bytes appended through this handle (overhead metric;
+    not reset by snapshots). *)
+
+val wal_size : t -> int
+(** Current WAL length on the store (reset by snapshots). *)
+
+val snapshots_taken : t -> int
+
+val snapshot_bytes : t -> int
+(** Size of the most recent snapshot blob. *)

@@ -1,15 +1,22 @@
-(** Durable channel state: serialize exactly what a Daric party must
-    retain per channel and restore it into a fresh party.
+(** Durable state codecs: versioned binary snapshots of exactly what a
+    Daric party must retain per channel and of a watchtower's full
+    guarded-set state (records, punished set, spent-log cursor).
 
-    This makes the Table 1 storage claim operational rather than
-    merely counted: the encoded blob IS the party's entire per-channel
-    storage, its size is constant in the number of updates, and a
-    party restarted from it can still close, settle and punish.
+    The channel blob IS the party's entire per-channel storage — its
+    size is constant in the number of updates, and a party restarted
+    from it can still close, settle and punish. Only quiescent
+    channels (flag = 1, no update in flight) are persisted — a crashed
+    mid-update party recovers by ForceClose from its last durable
+    state, exactly the conservative behaviour the protocol prescribes.
 
-    Only quiescent channels (flag = 1, no update in flight) are
-    persisted — a crashed mid-update party recovers by ForceClose from
-    its last durable state, exactly the conservative behaviour the
-    protocol prescribes. *)
+    The tower snapshot is the at-rest half of the {!Durable}
+    subsystem: {!encode_tower} every K rounds, journal the
+    watch/unwatch/punish/cursor deltas in between ({!Daric_util.Wal}),
+    recover with {!restore_tower} + replay.
+
+    Every blob opens with a 7-byte magic and a format-version byte;
+    decoding failures are the typed {!error} variant (rendered for the
+    CLI by {!error_to_string}), never a raw exception. *)
 
 module Tx = Daric_tx.Tx
 module Script = Daric_script.Script
@@ -17,7 +24,42 @@ module W = Daric_util.Byteio.Writer
 module R = Daric_util.Byteio.Reader
 module Schnorr = Daric_crypto.Schnorr
 
-let magic = "DARIC1\x00"
+type error = Bad_magic | Bad_version | Truncated | Bad_field of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic"
+  | Bad_version -> "unsupported blob version"
+  | Truncated -> "truncated blob"
+  | Bad_field m -> m
+
+(* Blob kinds are distinguished by magic; both share the version byte
+   that follows it. *)
+let chan_magic = "DARICCH"
+let tower_magic = "DARICTW"
+let format_version = 1
+
+exception Bad_blob of string
+
+let write_header w ~magic =
+  W.string w magic;
+  W.byte w format_version
+
+(** Check magic + version; all further decoding errors surface as
+    {!Truncated} or {!Bad_field} via {!wrap_decode}. *)
+let read_header r ~magic : (unit, error) result =
+  match R.string r (String.length magic) with
+  | exception R.Truncated -> Error Truncated
+  | m when not (String.equal m magic) -> Error Bad_magic
+  | _ -> (
+      match R.byte r with
+      | exception R.Truncated -> Error Truncated
+      | v when v <> format_version -> Error Bad_version
+      | _ -> Ok ())
+
+let wrap_decode (f : unit -> ('a, error) result) : ('a, error) result =
+  try f () with
+  | R.Truncated -> Error Truncated
+  | Bad_blob m -> Error (Bad_field m)
 
 (* ---- transaction encoding (full, with witnesses) ------------------ *)
 
@@ -33,8 +75,6 @@ let write_spk w (spk : Tx.spk) =
       W.byte w 2;
       W.var_string w (Script.serialize s)
   | Tx.Op_return -> W.byte w 3
-
-exception Bad_blob of string
 
 let read_spk r : Tx.spk =
   match R.byte r with
@@ -200,20 +240,26 @@ let read_pub r : Keys.pub =
   let rv'_pk = R.u32 r in
   { Keys.main_pk; sp_pk; rv_pk; rv'_pk }
 
+let write_role w (role : Keys.role) =
+  W.byte w (match role with Keys.Alice -> 0 | Keys.Bob -> 1)
+
+let read_role r : Keys.role = if R.byte r = 0 then Keys.Alice else Keys.Bob
+
 (* ---- channel encoding --------------------------------------------- *)
 
 (** Serialize a quiescent channel. Fails if an update or closure is in
     flight (persist only between operations). *)
-let encode_chan (c : Party.chan) : (string, string) result =
+let encode_chan (c : Party.chan) : (string, error) result =
   if c.Party.phase <> Party.Operational then
     Error
-      (Fmt.str "channel %s is not quiescent (%s)" c.Party.cfg.id
-         (Party.phase_to_string c.Party.phase))
+      (Bad_field
+         (Fmt.str "channel %s is not quiescent (%s)" c.Party.cfg.id
+            (Party.phase_to_string c.Party.phase)))
   else begin
     let w = W.create () in
-    W.string w magic;
+    write_header w ~magic:chan_magic;
     W.var_string w c.Party.cfg.id;
-    W.byte w (match c.Party.cfg.role with Keys.Alice -> 0 | Keys.Bob -> 1);
+    write_role w c.Party.cfg.role;
     W.var_string w c.Party.cfg.peer;
     W.u32 w c.Party.cfg.bal_a;
     W.u32 w c.Party.cfg.bal_b;
@@ -241,60 +287,150 @@ let encode_chan (c : Party.chan) : (string, string) result =
   end
 
 (** Restore a channel into [party] (which must not already track it). *)
-let restore_chan (party : Party.t) (blob : string) : (unit, string) result =
-  try
-    let r = R.create blob in
-    if R.string r (String.length magic) <> magic then Error "bad magic"
-    else begin
-      let id = R.var_string r in
-      if Party.find_chan party id <> None then Error ("duplicate channel " ^ id)
-      else begin
-        let role = if R.byte r = 0 then Keys.Alice else Keys.Bob in
-        let peer = R.var_string r in
-        let bal_a = R.u32 r in
-        let bal_b = R.u32 r in
-        let rel_lock = R.u32 r in
-        let s0 = R.u32 r in
-        let cfg = { Party.id; role; peer; bal_a; bal_b; rel_lock; s0 } in
-        let main = read_keypair r in
-        let sp = read_keypair r in
-        let rv = read_keypair r in
-        let rv' = read_keypair r in
-        let keys = { Keys.main; sp; rv; rv' } in
-        let their_keys = read_opt r read_pub in
-        let sn = R.u32 r in
-        let st = read_list r read_output in
-        let fund = read_opt r read_tx in
-        let commit_mine = read_opt r read_tx in
-        let commit_theirs_body = read_opt r read_tx in
-        let split =
-          read_opt r (fun r ->
-              let split_body = read_tx r in
-              let split_sig_a = R.var_string r in
-              let split_sig_b = R.var_string r in
-              { Party.split_body; split_sig_a; split_sig_b })
-        in
-        let rev_sig_theirs = read_opt r (fun r -> R.var_string r) in
-        let rev_sig_mine = read_opt r (fun r -> R.var_string r) in
-        if not (R.at_end r) then Error "trailing bytes"
-        else begin
-          let c : Party.chan =
-            { cfg; keys; their_keys; tid_mine = None; tid_theirs = None; fund;
-              fund_sig_mine = None; fund_sig_theirs = None; sn; st; flag = 1;
-              st' = None; commit_mine; commit_theirs_body; split;
-              rev_sig_theirs; rev_sig_mine; pending = None;
-              requested_theta = None; phase = Party.Operational;
-              deadline = None; fin_split = None; commit_on_chain = None;
-              split_posted = false; punish_posted = None; outcome = None }
-          in
-          party.Party.chans <- (id, c) :: party.Party.chans;
-          Ok ()
-        end
-      end
-    end
-  with
-  | R.Truncated -> Error "truncated blob"
-  | Bad_blob m -> Error m
+let restore_chan (party : Party.t) (blob : string) : (unit, error) result =
+  let r = R.create blob in
+  match read_header r ~magic:chan_magic with
+  | Error e -> Error e
+  | Ok () ->
+      wrap_decode (fun () ->
+          let id = R.var_string r in
+          if Party.find_chan party id <> None then
+            Error (Bad_field ("duplicate channel " ^ id))
+          else begin
+            let role = read_role r in
+            let peer = R.var_string r in
+            let bal_a = R.u32 r in
+            let bal_b = R.u32 r in
+            let rel_lock = R.u32 r in
+            let s0 = R.u32 r in
+            let cfg = { Party.id; role; peer; bal_a; bal_b; rel_lock; s0 } in
+            let main = read_keypair r in
+            let sp = read_keypair r in
+            let rv = read_keypair r in
+            let rv' = read_keypair r in
+            let keys = { Keys.main; sp; rv; rv' } in
+            let their_keys = read_opt r read_pub in
+            let sn = R.u32 r in
+            let st = read_list r read_output in
+            let fund = read_opt r read_tx in
+            let commit_mine = read_opt r read_tx in
+            let commit_theirs_body = read_opt r read_tx in
+            let split =
+              read_opt r (fun r ->
+                  let split_body = read_tx r in
+                  let split_sig_a = R.var_string r in
+                  let split_sig_b = R.var_string r in
+                  { Party.split_body; split_sig_a; split_sig_b })
+            in
+            let rev_sig_theirs = read_opt r (fun r -> R.var_string r) in
+            let rev_sig_mine = read_opt r (fun r -> R.var_string r) in
+            if not (R.at_end r) then Error (Bad_field "trailing bytes")
+            else begin
+              let c : Party.chan =
+                { cfg; keys; their_keys; tid_mine = None; tid_theirs = None;
+                  fund; fund_sig_mine = None; fund_sig_theirs = None; sn; st;
+                  flag = 1; st' = None; commit_mine; commit_theirs_body; split;
+                  rev_sig_theirs; rev_sig_mine; pending = None;
+                  requested_theta = None; phase = Party.Operational;
+                  deadline = None; fin_split = None; commit_on_chain = None;
+                  split_posted = false; punish_posted = None; outcome = None }
+              in
+              party.Party.chans <- (id, c) :: party.Party.chans;
+              Ok ()
+            end
+          end)
 
-let blob_size (c : Party.chan) : (int, string) result =
+let blob_size (c : Party.chan) : (int, error) result =
   Result.map String.length (encode_chan c)
+
+(* ---- watchtower record & snapshot codecs -------------------------- *)
+
+(** One guarded-channel record, as journaled in the durable tower's
+    WAL (no header — the WAL frame already carries the version). *)
+let write_record w (r : Watchtower.record) =
+  W.var_string w r.Watchtower.channel_id;
+  W.var_string w r.Watchtower.funding.Tx.txid;
+  W.u32 w r.Watchtower.funding.Tx.vout;
+  write_pub w r.Watchtower.keys_a;
+  write_pub w r.Watchtower.keys_b;
+  W.u32 w r.Watchtower.s0;
+  W.u32 w r.Watchtower.rel_lock;
+  W.u32 w r.Watchtower.cash;
+  write_role w r.Watchtower.client_role;
+  W.u32 w r.Watchtower.revoked;
+  write_tx w r.Watchtower.rev_body;
+  W.var_string w r.Watchtower.sig_a;
+  W.var_string w r.Watchtower.sig_b
+
+let read_record r : Watchtower.record =
+  let channel_id = R.var_string r in
+  let txid = R.var_string r in
+  let vout = R.u32 r in
+  let keys_a = read_pub r in
+  let keys_b = read_pub r in
+  let s0 = R.u32 r in
+  let rel_lock = R.u32 r in
+  let cash = R.u32 r in
+  let client_role = read_role r in
+  let revoked = R.u32 r in
+  let rev_body = read_tx r in
+  let sig_a = R.var_string r in
+  let sig_b = R.var_string r in
+  { Watchtower.channel_id; funding = { Tx.txid; vout }; keys_a; keys_b; s0;
+    rel_lock; cash; client_role; revoked; rev_body; sig_a; sig_b }
+
+let encode_record (r : Watchtower.record) : string =
+  let w = W.create () in
+  write_record w r;
+  W.contents w
+
+let decode_record (blob : string) : (Watchtower.record, error) result =
+  wrap_decode (fun () ->
+      let r = R.create blob in
+      let rec_ = read_record r in
+      if not (R.at_end r) then Error (Bad_field "trailing bytes")
+      else Ok rec_)
+
+(** Full tower snapshot: identity, every guarded record, the punished
+    list (oldest first), the fresh list and the spent-log cursor.
+    Size is O(guarded channels) — each of them O(1) — which is the
+    Table 1 storage claim made durable. *)
+let encode_tower (t : Watchtower.t) : string =
+  let w = W.create () in
+  write_header w ~magic:tower_magic;
+  W.var_string w (Watchtower.wid t);
+  W.varint w (Watchtower.guarded_count t);
+  Watchtower.fold_records t (fun r () -> write_record w r) ();
+  write_list w (fun w s -> W.var_string w s)
+    (List.rev (Watchtower.punished t));
+  write_list w (fun w s -> W.var_string w s) (Watchtower.fresh_ids t);
+  W.u64 w (Int64.of_int (Watchtower.cursor t));
+  W.contents w
+
+(** Rebuild a tower from its snapshot. Records are installed through
+    {!Watchtower.restore_record} (no re-verification — they were
+    verified when watched and the store is CRC-framed). *)
+let restore_tower (blob : string) : (Watchtower.t, error) result =
+  let r = R.create blob in
+  match read_header r ~magic:tower_magic with
+  | Error e -> Error e
+  | Ok () ->
+      wrap_decode (fun () ->
+          let wid = R.var_string r in
+          let t = Watchtower.create ~wid () in
+          let n = R.varint r in
+          for _ = 1 to n do
+            Watchtower.restore_record t ~fresh:false (read_record r)
+          done;
+          let punished = read_list r (fun r -> R.var_string r) in
+          List.iter (Watchtower.mark_punished t) punished;
+          let fresh = read_list r (fun r -> R.var_string r) in
+          List.iter
+            (fun cid ->
+              match Watchtower.find_record t cid with
+              | Some rec_ -> Watchtower.restore_record t ~fresh:true rec_
+              | None -> ())
+            (List.rev fresh);
+          Watchtower.set_cursor t (Int64.to_int (R.u64 r));
+          if not (R.at_end r) then Error (Bad_field "trailing bytes")
+          else Ok t)

@@ -1,16 +1,45 @@
-(** Durable channel state: serialize exactly what a Daric party must
-    retain per channel and restore it into a fresh party. The blob IS
-    the party's entire per-channel storage — constant-size in the
-    number of updates — and a restarted party can still update, close
-    and punish from it. Only quiescent channels (no update/closure in
-    flight) are persisted. *)
+(** Durable state codecs: versioned binary snapshots of a party's
+    per-channel state and of a watchtower's full guarded-set state.
 
-val encode_chan : Party.chan -> (string, string) result
-(** Serialize a quiescent channel; [Error] names the blocking phase. *)
+    The channel blob IS the party's entire per-channel storage —
+    constant-size in the number of updates — and a restarted party can
+    still update, close and punish from it. Only quiescent channels
+    (no update/closure in flight) are persisted. The tower snapshot is
+    the at-rest half of {!Durable}: snapshot every K rounds, journal
+    deltas in a {!Daric_util.Wal} between snapshots, recover via
+    {!restore_tower} + replay. *)
 
-val restore_chan : Party.t -> string -> (unit, string) result
+type error = Bad_magic | Bad_version | Truncated | Bad_field of string
+(** Decoding failures: wrong leading magic, unknown format version,
+    input exhausted mid-field, or a structurally invalid field
+    (including trailing bytes, duplicate channel ids and
+    not-quiescent encode refusals). *)
+
+val error_to_string : error -> string
+
+val encode_chan : Party.chan -> (string, error) result
+(** Serialize a quiescent channel; [Error (Bad_field _)] names the
+    blocking phase when an update or closure is in flight. *)
+
+val restore_chan : Party.t -> string -> (unit, error) result
 (** Restore a channel into a party that does not already track it.
     Rejects malformed, truncated or padded blobs. *)
 
-val blob_size : Party.chan -> (int, string) result
-(** Size of the encoded blob in bytes. *)
+val blob_size : Party.chan -> (int, error) result
+(** Size of the encoded channel blob in bytes. *)
+
+val encode_record : Watchtower.record -> string
+(** One guarded-channel record, as journaled in a durable tower's WAL
+    (headerless — the WAL frame carries the version). *)
+
+val decode_record : string -> (Watchtower.record, error) result
+
+val encode_tower : Watchtower.t -> string
+(** Full tower snapshot: identity, every guarded record, the punished
+    list, the fresh list and the spent-log cursor — O(guarded
+    channels) bytes, each O(1). *)
+
+val restore_tower : string -> (Watchtower.t, error) result
+(** Rebuild a tower from {!encode_tower} output. Records install
+    without signature re-verification — they were verified when
+    watched and the store is CRC-framed. *)

@@ -106,6 +106,22 @@ let watch (t : t) (r : record) : bool =
     true
   end
 
+(** Install a record without re-running {!record_valid} — the recovery
+    path: the record came from this tower's own snapshot/WAL (it was
+    verified when first watched, and the store is CRC-framed), so the
+    batch verification is not paid again. [fresh] controls whether the
+    next poll re-checks the channel's funding directly — replayed
+    journal entries say [true] (their funding may have been spent while
+    the tower was down), snapshot restores carry the persisted flag. *)
+let restore_record (t : t) ~(fresh : bool) (r : record) : unit =
+  (match Hashtbl.find_opt t.records r.channel_id with
+  | Some old when not (Tx.outpoint_equal old.funding r.funding) ->
+      Hashtbl.remove t.by_funding old.funding
+  | _ -> ());
+  Hashtbl.replace t.records r.channel_id r;
+  Hashtbl.replace t.by_funding r.funding r.channel_id;
+  if fresh then t.fresh <- r.channel_id :: t.fresh
+
 let unwatch (t : t) ~(channel_id : string) : unit =
   match Hashtbl.find_opt t.records channel_id with
   | None -> ()
@@ -113,7 +129,30 @@ let unwatch (t : t) ~(channel_id : string) : unit =
       Hashtbl.remove t.records channel_id;
       Hashtbl.remove t.by_funding r.funding
 
+let wid (t : t) : string = t.wid
+
+let find_record (t : t) (channel_id : string) : record option =
+  Hashtbl.find_opt t.records channel_id
+
 let punished (t : t) : string list = t.punished_list
+let punished_mem (t : t) (channel_id : string) : bool =
+  Hashtbl.mem t.punished_set channel_id
+
+(** Replay a journaled punishment (recovery): record the fact without
+    posting anything — the revocation transaction was already posted
+    (or is already on chain) in the run that journaled it. *)
+let mark_punished (t : t) (channel_id : string) : unit =
+  if not (Hashtbl.mem t.punished_set channel_id) then begin
+    t.punished_list <- channel_id :: t.punished_list;
+    Hashtbl.replace t.punished_set channel_id ()
+  end
+
+let cursor (t : t) : int = t.cursor
+let set_cursor (t : t) (c : int) : unit = t.cursor <- c
+let fresh_ids (t : t) : string list = t.fresh
+
+let fold_records (t : t) (f : record -> 'a -> 'a) (init : 'a) : 'a =
+  Hashtbl.fold (fun _ r acc -> f r acc) t.records init
 
 let guarded_count (t : t) : int = Hashtbl.length t.records
 

@@ -24,6 +24,11 @@ type t
 
 val create : wid:string -> unit -> t
 
+val wid : t -> string
+
+val find_record : t -> string -> record option
+(** The record currently guarding this channel, if any. O(1). *)
+
 val record_valid : record -> bool
 (** Batch-verify the record's two revocation-branch signatures against
     the counter-party commit's revocation keys. *)
@@ -33,10 +38,36 @@ val watch : t -> record -> bool
     [false] — keeping the previous record — when {!record_valid}
     rejects the signatures. *)
 
+val restore_record : t -> fresh:bool -> record -> unit
+(** Install a record without re-running {!record_valid} — the
+    snapshot/WAL recovery path ({!Persist.restore_tower},
+    {!Durable.recover}): the record was verified when first watched
+    and the store is CRC-framed. [fresh] queues the channel for a
+    direct funding check at the next poll. *)
+
 val unwatch : t -> channel_id:string -> unit
 
 val punished : t -> string list
 (** Channels on which the tower has reacted, newest first. *)
+
+val punished_mem : t -> string -> bool
+
+val mark_punished : t -> string -> unit
+(** Replay a journaled punishment during recovery: record the fact
+    without re-posting (idempotent). *)
+
+val cursor : t -> int
+(** Position in the ledger's spent-outpoint log up to which this tower
+    has monitored. *)
+
+val set_cursor : t -> int -> unit
+(** Restore the spent-log cursor (recovery). *)
+
+val fresh_ids : t -> string list
+(** Channels (re)watched since the last poll, newest first. *)
+
+val fold_records : t -> (record -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every guarded record (snapshot encoding). *)
 
 val guarded_count : t -> int
 (** Number of channels currently watched. O(1). *)

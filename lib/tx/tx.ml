@@ -128,15 +128,36 @@ let txid_uncached (tx : t) : string =
 
 (* The memo is computed once per transaction value and then read off
    the record; see the note on [enc] above for why the unsynchronized
-   store is safe from Dpool worker domains. *)
+   store is safe from Dpool worker domains. A sealed memo (see {!seal})
+   is marked by a negative floating offset: it retains only the txid,
+   and the body is recomputed on the rare post-acceptance demand. *)
 let encode_body (tx : t) : enc =
   match tx.enc with
-  | Some e -> e
-  | None ->
+  | Some e when e.e_float_off >= 0 -> e
+  | prior ->
       let body, off = body_serialize_uncached_off tx in
-      let e = { e_body = body; e_float_off = off; e_txid = ""; e_msgs = [||] } in
+      let e_txid = match prior with Some e -> e.e_txid | None -> "" in
+      let e = { e_body = body; e_float_off = off; e_txid; e_msgs = [||] } in
       tx.enc <- Some e;
       e
+
+(** Drop the memo's serialized body and sighash slots, keeping only
+    the txid. Called when a transaction is chain-recorded: nothing
+    signs or re-serializes an accepted transaction on the hot path,
+    but the ledger retains it forever in the accepted log — without
+    sealing, every recorded tx pins ~its own weight in dead memo
+    bytes that the major GC must mark for the rest of the run. The
+    txid survives (indexes and rollback depend on it being O(1));
+    any later body/sighash demand transparently recomputes. *)
+let seal (tx : t) : unit =
+  match tx.enc with
+  | Some e when e.e_float_off >= 0 ->
+      let id =
+        if String.length e.e_txid <> 0 then e.e_txid
+        else Daric_crypto.Hash.hash256 e.e_body
+      in
+      tx.enc <- Some { e_body = ""; e_float_off = -1; e_txid = id; e_msgs = [||] }
+  | _ -> ()
 
 (** [with_witnesses tx ws] is [tx] with its witness stacks replaced —
     the witness-completion idiom. The body is untouched, so the copy
@@ -154,15 +175,19 @@ let body_encoding (tx : t) : string * int =
   let e = encode_body tx in
   (e.e_body, e.e_float_off)
 
-(** txid = H([TX]); 32 bytes. Memoized in place on the transaction. *)
+(** txid = H([TX]); 32 bytes. Memoized in place on the transaction;
+    survives {!seal} without reviving the body. *)
 let txid (tx : t) : string =
-  let e = encode_body tx in
-  if String.length e.e_txid <> 0 then e.e_txid
-  else begin
-    let id = Daric_crypto.Hash.hash256 e.e_body in
-    e.e_txid <- id;
-    id
-  end
+  match tx.enc with
+  | Some e when String.length e.e_txid <> 0 -> e.e_txid
+  | _ ->
+      let e = encode_body tx in
+      if String.length e.e_txid <> 0 then e.e_txid
+      else begin
+        let id = Daric_crypto.Hash.hash256 e.e_body in
+        e.e_txid <- id;
+        id
+      end
 
 let outpoint_of (tx : t) (vout : int) : outpoint = { txid = txid tx; vout }
 

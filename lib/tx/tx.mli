@@ -101,6 +101,15 @@ val txid_uncached : t -> string
 (** Recompute the digest without consulting the memo table (reference
     path for the property tests). *)
 
+val seal : t -> unit
+(** Drop the encoding memo's serialized body and sighash slots,
+    keeping only the txid. Called by {!Daric_chain.Ledger.record} once
+    the transaction is on chain: accepted transactions are retained
+    forever in the ledger's log, and without sealing each one pins its
+    dead memo bytes in the live heap the major GC must keep marking.
+    Later body/sighash demands transparently recompute; {!txid} stays
+    O(1). Idempotent. *)
+
 val outpoint_of : t -> int -> outpoint
 
 val floating_body_serialize : t -> string

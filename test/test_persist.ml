@@ -33,11 +33,11 @@ let test_blob_roundtrip () =
   assert (do_update d alice bob ~bal_a:55_000);
   let c = Party.chan_exn alice "c" in
   match Persist.encode_chan c with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Persist.error_to_string e)
   | Ok blob ->
       let fresh = Party.create ~pid:"alice" ~seed:99 () in
       (match Persist.restore_chan fresh blob with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Persist.error_to_string e)
       | Ok () ->
           let c' = Party.chan_exn fresh "c" in
           check_i "sn restored" c.Party.sn c'.Party.sn;
@@ -56,7 +56,7 @@ let test_blob_size_constant () =
   let size_at_1 =
     match Persist.blob_size (Party.chan_exn alice "c") with
     | Ok n -> n
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Persist.error_to_string e)
   in
   for k = 2 to 30 do
     assert (do_update d alice bob ~bal_a:(60_000 - (100 * k)))
@@ -64,7 +64,7 @@ let test_blob_size_constant () =
   let size_at_30 =
     match Persist.blob_size (Party.chan_exn alice "c") with
     | Ok n -> n
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Persist.error_to_string e)
   in
   check_i "blob size constant across updates" size_at_1 size_at_30;
   check_b "blob is small" true (size_at_30 < 2_500)
@@ -76,14 +76,14 @@ let test_restored_party_operates () =
   let blob =
     match Persist.encode_chan (Party.chan_exn alice "c") with
     | Ok b -> b
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Persist.error_to_string e)
   in
   (* simulate a restart: replace alice by a fresh process sharing only
      the blob; re-register under the same network identity *)
   let alice2 = Party.create ~pid:"alice" ~seed:1234 () in
   (match Persist.restore_chan alice2 blob with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Persist.error_to_string e));
   let d2 = d in
   (* swap the party object inside the driver by corrupting the old one
      and driving the new one manually *)
@@ -106,12 +106,12 @@ let test_restored_party_punishes () =
   let blob =
     match Persist.encode_chan (Party.chan_exn alice "c") with
     | Ok b -> b
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Persist.error_to_string e)
   in
   let alice2 = Party.create ~pid:"alice" ~seed:4321 () in
   (match Persist.restore_chan alice2 blob with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Persist.error_to_string e));
   Driver.corrupt d "alice";
   Driver.corrupt d "bob";
   Driver.adversary_post d old_commit;
@@ -130,22 +130,31 @@ let test_reject_malformed () =
   let blob =
     match Persist.encode_chan (Party.chan_exn alice "c") with
     | Ok b -> b
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Persist.error_to_string e)
   in
   let fresh () = Party.create ~pid:"x" ~seed:7 () in
-  check_b "truncated rejected" true
+  check_b "truncated -> Truncated" true
     (Persist.restore_chan (fresh ())
        (String.sub blob 0 (String.length blob - 3))
-    |> Result.is_error);
-  check_b "padded rejected" true
-    (Persist.restore_chan (fresh ()) (blob ^ "zz") |> Result.is_error);
-  check_b "bad magic rejected" true
+    = Error Persist.Truncated);
+  check_b "padded -> Bad_field" true
+    (match Persist.restore_chan (fresh ()) (blob ^ "zz") with
+    | Error (Persist.Bad_field _) -> true
+    | _ -> false);
+  check_b "bad magic -> Bad_magic" true
     (Persist.restore_chan (fresh ()) ("XXXXXXX" ^ String.sub blob 7 (String.length blob - 7))
-    |> Result.is_error);
+    = Error Persist.Bad_magic);
+  let bumped = Bytes.of_string blob in
+  Bytes.set bumped 7 '\xff';
+  check_b "future version -> Bad_version" true
+    (Persist.restore_chan (fresh ()) (Bytes.to_string bumped)
+    = Error Persist.Bad_version);
   let p = fresh () in
   check_b "first restore ok" true (Persist.restore_chan p blob |> Result.is_ok);
-  check_b "duplicate rejected" true
-    (Persist.restore_chan p blob |> Result.is_error)
+  check_b "duplicate -> Bad_field" true
+    (match Persist.restore_chan p blob with
+    | Error (Persist.Bad_field _) -> true
+    | _ -> false)
 
 let test_reject_mid_update () =
   let d, alice, bob = session ~seed:31 () in

@@ -146,7 +146,11 @@ let write_scale_json (samples : Daric_analysis.Scale.sample list) : unit =
           p "frauds" (float_of_int s.frauds);
           p "punished" (float_of_int s.punished);
           p "tower-bytes" (float_of_int s.tower_storage_bytes);
-          p "accepted-txs" (float_of_int s.accepted_txs) ])
+          p "accepted-txs" (float_of_int s.accepted_txs);
+          p "gc-top-heap-words" (float_of_int s.gc.Daric_util.Memtune.top_heap_words);
+          p "gc-major-collections"
+            (float_of_int s.gc.Daric_util.Memtune.major_collections);
+          p "gc-promoted-words" s.gc.Daric_util.Memtune.promoted_words ])
       samples
   in
   let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
@@ -234,6 +238,78 @@ let run_scale ~smoke ~quick ~full ~domains () =
   in
   write_scale_json samples;
   Fmt.pr "wrote %s@." scale_json_file
+
+(* ---------------- memory sweep (retained heap engine) ---------------- *)
+
+let mem_json_file = "BENCH_mem.json"
+
+(* Same flat sorted name -> value shape as BENCH_scale.json. *)
+let write_mem_json (samples : Daric_analysis.Memprobe.sample list) : unit =
+  let entries =
+    List.concat_map
+      (fun (s : Daric_analysis.Memprobe.sample) ->
+        let p name v = (Printf.sprintf "n%06d/%s" s.channels name, v) in
+        [ p "retained-words-per-channel" s.retained_words_per_channel;
+          p "retained-words" (float_of_int s.retained_words);
+          p "top-heap-words" (float_of_int s.top_heap_words);
+          p "promoted-words-per-update" s.promoted_words_per_update;
+          p "major-gc-time-share" s.major_time_share;
+          p "updates-per-sec" s.updates_per_sec;
+          p "tower-arena-bytes" (float_of_int s.tower_arena_bytes);
+          p "ledger-pack-bytes" (float_of_int s.ledger_pack_bytes);
+          p "ledger-compacted-entries" (float_of_int s.ledger_compacted);
+          p "intern-saved-bytes" (float_of_int s.intern_saved_bytes) ])
+      samples
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  let oc = open_out mem_json_file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"daric-bench-mem/1\",\n";
+  pf "  \"unit\": \"words/bytes/ratios as suffixed\",\n";
+  pf
+    "  \"note\": \"retained-words diffs quiesced Gc live_words around the \
+     whole N-channel build (parties + packed tower arena + compacted \
+     ledger + indexes); major-gc-time-share is an estimate (one timed \
+     full major x majors during updates / update seconds)\",\n";
+  pf "  \"entries\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      pf "    %S: %g%s\n" name v
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  pf "  }\n}\n";
+  close_out oc
+
+let run_mem ~smoke ~quick ~full () =
+  section "Experiment MEM: retained heap per channel (memory engine)";
+  let ns =
+    if smoke then [ 200 ]
+    else if quick then [ 1_000 ]
+    else if full then [ 1_000; 10_000; 100_000 ]
+    else [ 1_000; 10_000 ]
+  in
+  let samples =
+    List.map
+      (fun n ->
+        let s = Daric_analysis.Memprobe.run ~channels:n ~updates:2 () in
+        Fmt.pr "%a@.@." Daric_analysis.Memprobe.pp s;
+        s)
+      ns
+  in
+  (* The packed arenas must be carrying real weight: at every N the
+     tower holds one packed record per channel and the ledger has
+     compacted the settled prefix of the accepted log. *)
+  List.iter
+    (fun (s : Daric_analysis.Memprobe.sample) ->
+      if s.tower_arena_bytes <= 0 || s.ledger_compacted <= 0 then begin
+        Fmt.epr "mem: packed state missing at N=%d (arena=%dB compacted=%d)@."
+          s.channels s.tower_arena_bytes s.ledger_compacted;
+        exit 1
+      end)
+    samples;
+  write_mem_json samples;
+  Fmt.pr "wrote %s@." mem_json_file
 
 (* ------------- durable tower sweep (snapshot + WAL layer) ------------- *)
 
@@ -606,4 +682,6 @@ let () =
   if List.mem "scale" args then run_scale ~smoke ~quick ~full ~domains ();
   (* explicit-only: builds up to 10k channels with R+1 towers *)
   if List.mem "tower" args then run_tower ~smoke ~quick ~full ();
+  (* explicit-only: the full sweep retains up to 100k channels *)
+  if List.mem "mem" args then run_mem ~smoke ~quick ~full ();
   if want "micro" then run_micro ~smoke ()

@@ -22,6 +22,7 @@ module DS = Daric_schemes.Daric_scheme
 module Ledger = Daric_chain.Ledger
 module Watchtower = Daric_core.Watchtower
 module Durable = Daric_core.Durable
+module Memtune = Daric_util.Memtune
 
 type sample = {
   channels : int;
@@ -47,6 +48,7 @@ type sample = {
   durable : bool;  (** tower ran behind the snapshot+WAL layer *)
   wal_bytes : int;  (** total WAL appended (0 when not durable) *)
   snapshot_bytes : int;  (** latest snapshot (0 when not durable) *)
+  gc : Memtune.stats;  (** collector quick-stats at end of run *)
 }
 
 let timed (f : unit -> 'a) : 'a * float =
@@ -63,12 +65,10 @@ let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7)
   (* An update's allocations are almost all dead within the round; the
      default 256k-word minor heap still promotes a slice of them at
      every minor cycle, and at N=100k that promoted garbage is what the
-     major GC spends the run collecting. 1M words (8 MB — still
-     cache-benign) lets most of it die young: ~15–20% more updates/sec
-     at N ≥ 10k, flat effect below that. *)
-  (let g = Gc.get () in
-   if g.minor_heap_size < 1_048_576 then
-     Gc.set { g with minor_heap_size = 1_048_576 });
+     major GC spends the run collecting. [Memtune.pace] raises the
+     minor heap to 1M words (8 MB — still cache-benign) so most of it
+     dies young: ~15–20% more updates/sec at N ≥ 10k, flat below. *)
+  Memtune.pace ();
   let env = I.make_env ~delta:1 ~seed () in
   let updates = max 1 updates in
   let frauds = min (max frauds 0) channels in
@@ -178,7 +178,7 @@ let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7)
      points *inside* whatever code runs next, inflating a one-shot
      timing ~8× at N=100k. Finish the outstanding cycle first so the
      timing measures the punish path, not the collector's backlog. *)
-  Gc.full_major ();
+  Memtune.quiesce ();
   let (), fraud_react_seconds = timed eor in
   I.settle env 1;
   (* let the revocations confirm, then settle the punished list *)
@@ -205,7 +205,8 @@ let run ?(channels = 100) ?(updates = 1) ?(frauds = 4) ?(seed = 7)
     durable;
     wal_bytes = (match dtower with Some d -> Durable.wal_bytes d | None -> 0);
     snapshot_bytes =
-      (match dtower with Some d -> Durable.snapshot_bytes d | None -> 0) }
+      (match dtower with Some d -> Durable.snapshot_bytes d | None -> 0);
+    gc = Memtune.quick_stats () }
 
 let pp ppf (s : sample) =
   Fmt.pf ppf
@@ -214,7 +215,8 @@ let pp ppf (s : sample) =
      monitor/round (indexed): %.6fs over %d polls@,\
      monitor/round (scan, %d-channel sample): %.6fs → %.4fs extrapolated at N@,\
      frauds: %d posted, %d punished (react poll: %.6fs)@,\
-     height=%d accepted=%d tower=%dB%s@]"
+     height=%d accepted=%d tower=%dB%s@,\
+     gc: top-heap=%dw majors=%d promoted=%.0fw@]"
     s.channels s.updates_per_channel s.open_seconds s.update_seconds
     s.updates_per_sec s.monitor_seconds_per_poll s.monitor_polls
     s.scan_sample_channels s.scan_seconds_per_poll s.scan_seconds_extrapolated
@@ -224,3 +226,5 @@ let pp ppf (s : sample) =
        Printf.sprintf " (durable: wal=%dB snapshot=%dB)" s.wal_bytes
          s.snapshot_bytes
      else "")
+    s.gc.Memtune.top_heap_words s.gc.Memtune.major_collections
+    s.gc.Memtune.promoted_words

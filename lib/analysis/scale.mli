@@ -24,6 +24,7 @@ type sample = {
   durable : bool;
   wal_bytes : int;
   snapshot_bytes : int;
+  gc : Daric_util.Memtune.stats;
 }
 
 val run :

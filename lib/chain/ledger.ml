@@ -24,8 +24,10 @@
     the optimistic parallel pass rejects. *)
 
 module Tx = Daric_tx.Tx
+module Txcodec = Daric_tx.Txcodec
 module Spend = Daric_tx.Spend
 module Vec = Daric_util.Vec
+module Arena = Daric_util.Arena
 module Dpool = Daric_util.Dpool
 
 module Outpoint_map = Map.Make (struct
@@ -62,18 +64,35 @@ let dummy_tx : Tx.t = Tx.empty
 
 let dummy_outpoint : Tx.outpoint = { Tx.txid = ""; vout = 0 }
 
+(** An accepted-log entry. Entries start [Live] and, once
+    [compact_depth] rounds deep (reorg-safe territory for every
+    rollback user, which operates within a single round), are packed
+    to their serialized bytes in the [pack] arena — the major GC then
+    scans one slot-record per entry instead of the whole transaction
+    graph. Reads re-materialize transparently. Transactions the
+    persistence codec cannot express (raw-script outputs from
+    adversarial tests) simply stay [Live]. *)
+type log_entry = Live of Tx.t | Packed of Arena.slot
+
 type t = {
   delta : int;
   genesis_time : int;
   seconds_per_round : int;
+  compact_depth : int;
+      (** accepted txs this many rounds behind the tip are packed *)
   mutable round : int;
   mutable utxos : utxo Outpoint_map.t;
   txids : (string, int) Hashtbl.t;  (** txid → recording round *)
-  accepted_log : (int * Tx.t) Vec.t;  (** (round, tx), oldest first *)
+  accepted_log : (int * log_entry) Vec.t;  (** (round, entry), oldest first *)
+  pack : Arena.t;  (** packed bytes of compacted entries *)
+  mutable compact_watermark : int;
+      (** accepted-log index up to which compaction has scanned *)
+  mutable compacted : int;  (** entries currently packed *)
   mutable accepted_view : (int * Tx.t) list;
       (** cached oldest-first list view of [accepted_log] *)
   mutable accepted_view_len : int;  (** log length the view reflects *)
-  spenders : (Tx.outpoint, Tx.t) Hashtbl.t;  (** outpoint → spending tx *)
+  spenders : (Tx.outpoint, int) Hashtbl.t;
+      (** outpoint → accepted-log index of the spending tx *)
   spent_log : Tx.outpoint Vec.t;
       (** every spent outpoint in spend order — the watchtower
           notification feed (append-only; read through cursors) *)
@@ -88,16 +107,23 @@ type t = {
    ~10^8 updates before outrunning the clock. *)
 let default_genesis_time = 600_000_000
 
+let default_compact_depth = 16
+
 let create ?(genesis_time = default_genesis_time) ?(seconds_per_round = 1)
-    ~(delta : int) () : t =
+    ?(compact_depth = default_compact_depth) ~(delta : int) () : t =
   if delta < 0 then invalid_arg "Ledger.create: negative delta";
+  if compact_depth < 1 then invalid_arg "Ledger.create: compact_depth < 1";
   { delta;
     genesis_time;
     seconds_per_round;
+    compact_depth;
     round = 0;
     utxos = Outpoint_map.empty;
     txids = Hashtbl.create 64;
-    accepted_log = Vec.create ~dummy:(0, dummy_tx) ();
+    accepted_log = Vec.create ~dummy:(0, Live dummy_tx) ();
+    pack = Arena.create ();
+    compact_watermark = 0;
+    compacted = 0;
     accepted_view = [];
     accepted_view_len = 0;
     spenders = Hashtbl.create 64;
@@ -126,23 +152,46 @@ let fold_utxos (t : t) (f : Tx.outpoint -> utxo -> 'a -> 'a) (init : 'a) : 'a =
 let total_value (t : t) : int =
   fold_utxos t (fun _ u acc -> acc + u.output.value) 0
 
-(** Who spent this outpoint, if anyone (it must have existed). O(1). *)
+(* Re-materialize a log entry (decode of the packed bytes; identity
+   for live entries). *)
+let entry_tx (t : t) (e : log_entry) : Tx.t =
+  match e with
+  | Live tx -> tx
+  | Packed slot -> Txcodec.decode_tx_exn (Arena.read t.pack slot)
+
+(** Who spent this outpoint, if anyone (it must have existed). O(1)
+    index lookup plus at most one packed-entry decode. *)
 let spender_of (t : t) (o : Tx.outpoint) : Tx.t option =
-  Hashtbl.find_opt t.spenders o
+  match Hashtbl.find_opt t.spenders o with
+  | None -> None
+  | Some idx ->
+      let _, e = Vec.get t.accepted_log idx in
+      Some (entry_tx t e)
 
 (** Reference spender lookup: a linear scan of the full accepted
     history, reproducing the pre-index cost shape (the seed kept a
     historical spend list and scanned it per query). Kept runnable as
-    the benchmark baseline and the differential-test oracle. *)
+    the benchmark baseline and the differential-test oracle. Packed
+    entries are matched on a decode of their inputs prefix alone; only
+    the winning entry is fully materialized. *)
 let spender_of_scan (t : t) (o : Tx.outpoint) : Tx.t option =
   let found = ref None in
-  Vec.iter t.accepted_log (fun (_, tx) ->
+  Vec.iter t.accepted_log (fun (_, e) ->
       if !found = None then
-        List.iter
-          (fun (i : Tx.input) ->
-            if !found = None && Tx.outpoint_equal i.prevout o then
-              found := Some tx)
-          tx.inputs);
+        match e with
+        | Live tx ->
+            List.iter
+              (fun (i : Tx.input) ->
+                if !found = None && Tx.outpoint_equal i.prevout o then
+                  found := Some tx)
+              tx.inputs
+        | Packed slot ->
+            let blob = Arena.read t.pack slot in
+            if
+              List.exists
+                (fun (i : Tx.input) -> Tx.outpoint_equal i.prevout o)
+                (Txcodec.decode_inputs_prefix blob)
+            then found := Some (Txcodec.decode_tx_exn blob));
   !found
 
 (** Round at which [txid] was recorded, if it was. O(1). *)
@@ -157,10 +206,41 @@ let accepted_count (t : t) : int = Vec.length t.accepted_log
     repeated queries against an unchanged chain are O(1). *)
 let accepted (t : t) : (int * Tx.t) list =
   if t.accepted_view_len <> Vec.length t.accepted_log then begin
-    t.accepted_view <- Vec.to_list t.accepted_log;
+    let acc = ref [] in
+    Vec.iter t.accepted_log (fun (r, e) -> acc := (r, entry_tx t e) :: !acc);
+    t.accepted_view <- List.rev !acc;
     t.accepted_view_len <- Vec.length t.accepted_log
   end;
   t.accepted_view
+
+(* ---------------- accepted-log compaction ---------------- *)
+
+(** Entries currently held packed (vs live) in the accepted log. *)
+let compacted_count (t : t) : int = t.compacted
+
+let pack_live_bytes (t : t) : int = Arena.live_bytes t.pack
+let pack_capacity_bytes (t : t) : int = Arena.capacity_bytes t.pack
+
+(* Pack every entry recorded at least [compact_depth] rounds ago. The
+   log is in nondecreasing round order, so one watermark cursor makes
+   this amortized O(1) per accepted transaction. *)
+let compact_tail (t : t) : unit =
+  let n = Vec.length t.accepted_log in
+  let horizon = t.round - t.compact_depth in
+  let continue_ = ref true in
+  while !continue_ && t.compact_watermark < n do
+    let r, e = Vec.get t.accepted_log t.compact_watermark in
+    if r > horizon then continue_ := false
+    else begin
+      (match e with
+      | Live tx when Txcodec.packable tx ->
+          let slot = Arena.store t.pack (Txcodec.encode_tx tx) in
+          Vec.set t.accepted_log t.compact_watermark (r, Packed slot);
+          t.compacted <- t.compacted + 1
+      | Live _ | Packed _ -> ());
+      t.compact_watermark <- t.compact_watermark + 1
+    end
+  done
 
 (* ---------------- spent-outpoint notification feed ---------------- *)
 
@@ -343,11 +423,12 @@ let validate_deferring_staged (v : Staged.view) (tx : Tx.t)
 let record (t : t) (tx : Tx.t) =
   let txid = Tx.txid tx in
   Hashtbl.replace t.txids txid t.round;
-  Vec.push t.accepted_log (t.round, tx);
+  Vec.push t.accepted_log (t.round, Live tx);
+  let idx = Vec.length t.accepted_log - 1 in
   List.iter
     (fun (input : Tx.input) ->
       t.utxos <- Outpoint_map.remove input.prevout t.utxos;
-      Hashtbl.replace t.spenders input.prevout tx;
+      Hashtbl.replace t.spenders input.prevout idx;
       Vec.push t.spent_log input.prevout)
     tx.inputs;
   List.iteri
@@ -386,12 +467,20 @@ let checkpoint (t : t) : checkpoint =
 let rollback (t : t) (c : checkpoint) : unit =
   if t.round <> c.c_round then
     invalid_arg "Ledger.rollback: round advanced since checkpoint";
-  Vec.iter_from t.accepted_log ~from:c.c_accepted_len (fun (_, tx) ->
+  Vec.iter_from t.accepted_log ~from:c.c_accepted_len (fun (_, e) ->
+      let tx = entry_tx t e in
+      (match e with
+      | Packed slot ->
+          Arena.free t.pack slot;
+          t.compacted <- t.compacted - 1
+      | Live _ -> ());
       Hashtbl.remove t.txids (Tx.txid tx);
       List.iter
         (fun (i : Tx.input) -> Hashtbl.remove t.spenders i.prevout)
         tx.inputs);
   Vec.truncate t.accepted_log c.c_accepted_len;
+  if t.compact_watermark > c.c_accepted_len then
+    t.compact_watermark <- c.c_accepted_len;
   Vec.truncate t.spent_log c.c_spent_len;
   t.utxos <- c.c_utxos;
   t.events <- c.c_events;
@@ -659,4 +748,5 @@ let tick (t : t) : event list =
       if Vec.length bucket >= parallel_min_due && Dpool.count () > 1 then
         process_sharded t (Vec.to_array bucket)
       else process_sequential t (Vec.to_list bucket));
+  compact_tail t;
   List.rev t.events

@@ -41,7 +41,16 @@ val default_genesis_time : int
 (** 600,000,000 — leaves ~10^8 state numbers of headroom above the
     500e6 timestamp threshold used by Daric channels (S0). *)
 
-val create : ?genesis_time:int -> ?seconds_per_round:int -> delta:int -> unit -> t
+val default_compact_depth : int
+(** 16 — rounds an accepted transaction stays boxed before the log
+    packs it to serialized bytes. *)
+
+val create :
+  ?genesis_time:int -> ?seconds_per_round:int -> ?compact_depth:int ->
+  delta:int -> unit -> t
+(** [compact_depth] (≥ 1) sets how many rounds behind the tip an
+    accepted transaction is packed into the append-only byte arena;
+    reads re-materialize transparently. *)
 
 val height : t -> int
 (** Current round (= block height). *)
@@ -79,6 +88,16 @@ val accepted : t -> (int * Tx.t) list
 
 val accepted_count : t -> int
 (** Number of accepted transactions. O(1). *)
+
+val compacted_count : t -> int
+(** Accepted-log entries currently held packed (serialized in the
+    compaction arena) rather than as boxed transactions. *)
+
+val pack_live_bytes : t -> int
+(** Live packed bytes in the compaction arena. *)
+
+val pack_capacity_bytes : t -> int
+(** Heap bytes the compaction arena has allocated in chunks. *)
 
 val spent_log_length : t -> int
 (** Length of the append-only spent-outpoint log. A monitor stores

@@ -14,15 +14,20 @@
     watch/unwatch/punish/cursor deltas in between ({!Daric_util.Wal}),
     recover with {!restore_tower} + replay.
 
+    The low-level transaction codec lives in {!Daric_tx.Txcodec}
+    (shared with the ledger's accepted-log compaction), the key
+    codecs in {!Codec}, and the record codec in {!Watchtower} (whose
+    packed arena stores exactly those bytes — snapshots blit them out
+    without a decode/re-encode round trip).
+
     Every blob opens with a 7-byte magic and a format-version byte;
     decoding failures are the typed {!error} variant (rendered for the
     CLI by {!error_to_string}), never a raw exception. *)
 
 module Tx = Daric_tx.Tx
-module Script = Daric_script.Script
+module Txcodec = Daric_tx.Txcodec
 module W = Daric_util.Byteio.Writer
 module R = Daric_util.Byteio.Reader
-module Schnorr = Daric_crypto.Schnorr
 
 type error = Bad_magic | Bad_version | Truncated | Bad_field of string
 
@@ -37,8 +42,6 @@ let error_to_string = function
 let chan_magic = "DARICCH"
 let tower_magic = "DARICTW"
 let format_version = 1
-
-exception Bad_blob of string
 
 let write_header w ~magic =
   W.string w magic;
@@ -59,191 +62,17 @@ let read_header r ~magic : (unit, error) result =
 let wrap_decode (f : unit -> ('a, error) result) : ('a, error) result =
   try f () with
   | R.Truncated -> Error Truncated
-  | Bad_blob m -> Error (Bad_field m)
+  | Txcodec.Bad_blob m -> Error (Bad_field m)
 
-(* ---- transaction encoding (full, with witnesses) ------------------ *)
-
-let write_spk w (spk : Tx.spk) =
-  match spk with
-  | Tx.P2wsh h ->
-      W.byte w 0;
-      W.var_string w h
-  | Tx.P2wpkh h ->
-      W.byte w 1;
-      W.var_string w h
-  | Tx.Raw s ->
-      W.byte w 2;
-      W.var_string w (Script.serialize s)
-  | Tx.Op_return -> W.byte w 3
-
-let read_spk r : Tx.spk =
-  match R.byte r with
-  | 0 -> Tx.P2wsh (R.var_string r)
-  | 1 -> Tx.P2wpkh (R.var_string r)
-  | 3 -> Tx.Op_return
-  | 2 -> raise (Bad_blob "raw scripts are not persisted")
-  | _ -> raise (Bad_blob "unknown spk tag")
-
-let write_output w (o : Tx.output) =
-  W.u64 w (Int64.of_int o.Tx.value);
-  write_spk w o.Tx.spk
-
-let read_output r : Tx.output =
-  let value = Int64.to_int (R.u64 r) in
-  { Tx.value; spk = read_spk r }
-
-let write_list w f l =
-  W.varint w (List.length l);
-  List.iter (f w) l
-
-let read_list r f =
-  let n = R.varint r in
-  List.init n (fun _ -> f r)
-
-let write_input w (i : Tx.input) =
-  W.var_string w i.Tx.prevout.txid;
-  W.u32 w i.Tx.prevout.vout;
-  W.u32 w i.Tx.sequence
-
-let read_input r : Tx.input =
-  let txid = R.var_string r in
-  let vout = R.u32 r in
-  let sequence = R.u32 r in
-  { Tx.prevout = { Tx.txid; vout }; sequence }
-
-let opcode_tag (op : Script.op) : int =
-  match op with
-  | Script.If -> 0
-  | Notif -> 1
-  | Else -> 2
-  | Endif -> 3
-  | Verify -> 4
-  | Return -> 5
-  | Dup -> 6
-  | Drop -> 7
-  | Swap -> 8
-  | Size -> 9
-  | Equal -> 10
-  | Equalverify -> 11
-  | Hash160 -> 12
-  | Hash256 -> 13
-  | Sha256 -> 14
-  | Ripemd160 -> 15
-  | Checksig -> 16
-  | Checksigverify -> 17
-  | Checkmultisig -> 18
-  | Checkmultisigverify -> 19
-  | Cltv -> 20
-  | Csv -> 21
-  | Push _ | Num _ | Small _ -> raise (Bad_blob "not an opcode")
-
-let opcode_of_tag = function
-  | 0 -> Script.If
-  | 1 -> Notif
-  | 2 -> Else
-  | 3 -> Endif
-  | 4 -> Verify
-  | 5 -> Return
-  | 6 -> Dup
-  | 7 -> Drop
-  | 8 -> Swap
-  | 9 -> Size
-  | 10 -> Equal
-  | 11 -> Equalverify
-  | 12 -> Hash160
-  | 13 -> Hash256
-  | 14 -> Sha256
-  | 15 -> Ripemd160
-  | 16 -> Checksig
-  | 17 -> Checksigverify
-  | 18 -> Checkmultisig
-  | 19 -> Checkmultisigverify
-  | 20 -> Cltv
-  | 21 -> Csv
-  | _ -> raise (Bad_blob "unknown opcode tag")
-
-let write_witness_elt w (e : Tx.witness_elt) =
-  match e with
-  | Tx.Data d ->
-      W.byte w 0;
-      W.var_string w d
-  | Tx.Wscript s ->
-      W.byte w 1;
-      write_list w
-        (fun w op ->
-          match op with
-          | Script.Push d ->
-              W.byte w 0;
-              W.var_string w d
-          | Script.Num v ->
-              W.byte w 1;
-              W.u32 w v
-          | Script.Small v ->
-              W.byte w 2;
-              W.byte w v
-          | other ->
-              W.byte w 3;
-              W.byte w (opcode_tag other))
-        s
-
-let read_witness_elt r : Tx.witness_elt =
-  match R.byte r with
-  | 0 -> Tx.Data (R.var_string r)
-  | 1 ->
-      Tx.Wscript
-        (read_list r (fun r ->
-             match R.byte r with
-             | 0 -> Script.Push (R.var_string r)
-             | 1 -> Script.Num (R.u32 r)
-             | 2 -> Script.Small (R.byte r)
-             | 3 -> opcode_of_tag (R.byte r)
-             | _ -> raise (Bad_blob "unknown script-op tag")))
-  | _ -> raise (Bad_blob "unknown witness tag")
-
-let write_tx w (tx : Tx.t) =
-  write_list w write_input tx.Tx.inputs;
-  W.u32 w tx.Tx.locktime;
-  write_list w write_output tx.Tx.outputs;
-  write_list w (fun w wit -> write_list w write_witness_elt wit) tx.Tx.witnesses
-
-let read_tx r : Tx.t =
-  let inputs = read_list r read_input in
-  let locktime = R.u32 r in
-  let outputs = read_list r read_output in
-  let witnesses = read_list r (fun r -> read_list r read_witness_elt) in
-  Tx.make ~inputs ~locktime ~outputs ~witnesses ()
-
-let write_opt w f = function
-  | None -> W.byte w 0
-  | Some v ->
-      W.byte w 1;
-      f w v
-
-let read_opt r f = match R.byte r with 0 -> None | _ -> Some (f r)
-
-let write_keypair w (k : Keys.keypair) = W.u32 w k.Keys.sk
-
-let read_keypair r : Keys.keypair =
-  let sk = R.u32 r in
-  { Keys.sk; pk = Schnorr.public_key_of_secret sk }
-
-let write_pub w (k : Keys.pub) =
-  W.u32 w k.Keys.main_pk;
-  W.u32 w k.Keys.sp_pk;
-  W.u32 w k.Keys.rv_pk;
-  W.u32 w k.Keys.rv'_pk
-
-let read_pub r : Keys.pub =
-  let main_pk = R.u32 r in
-  let sp_pk = R.u32 r in
-  let rv_pk = R.u32 r in
-  let rv'_pk = R.u32 r in
-  { Keys.main_pk; sp_pk; rv_pk; rv'_pk }
-
-let write_role w (role : Keys.role) =
-  W.byte w (match role with Keys.Alice -> 0 | Keys.Bob -> 1)
-
-let read_role r : Keys.role = if R.byte r = 0 then Keys.Alice else Keys.Bob
+(* Shared codec aliases (byte format unchanged across the split). *)
+let write_tx = Txcodec.write_tx
+let read_tx = Txcodec.read_tx
+let write_output = Txcodec.write_output
+let read_output = Txcodec.read_output
+let write_list = Txcodec.write_list
+let read_list = Txcodec.read_list
+let write_opt = Txcodec.write_opt
+let read_opt = Txcodec.read_opt
 
 (* ---- channel encoding --------------------------------------------- *)
 
@@ -259,17 +88,17 @@ let encode_chan (c : Party.chan) : (string, error) result =
     let w = W.create () in
     write_header w ~magic:chan_magic;
     W.var_string w c.Party.cfg.id;
-    write_role w c.Party.cfg.role;
+    Codec.write_role w c.Party.cfg.role;
     W.var_string w c.Party.cfg.peer;
     W.u32 w c.Party.cfg.bal_a;
     W.u32 w c.Party.cfg.bal_b;
     W.u32 w c.Party.cfg.rel_lock;
     W.u32 w c.Party.cfg.s0;
-    write_keypair w c.Party.keys.Keys.main;
-    write_keypair w c.Party.keys.Keys.sp;
-    write_keypair w c.Party.keys.Keys.rv;
-    write_keypair w c.Party.keys.Keys.rv';
-    write_opt w write_pub c.Party.their_keys;
+    Codec.write_keypair w c.Party.keys.Keys.main;
+    Codec.write_keypair w c.Party.keys.Keys.sp;
+    Codec.write_keypair w c.Party.keys.Keys.rv;
+    Codec.write_keypair w c.Party.keys.Keys.rv';
+    write_opt w Codec.write_pub c.Party.their_keys;
     W.u32 w c.Party.sn;
     write_list w write_output c.Party.st;
     write_opt w write_tx c.Party.fund;
@@ -297,19 +126,19 @@ let restore_chan (party : Party.t) (blob : string) : (unit, error) result =
           if Party.find_chan party id <> None then
             Error (Bad_field ("duplicate channel " ^ id))
           else begin
-            let role = read_role r in
+            let role = Codec.read_role r in
             let peer = R.var_string r in
             let bal_a = R.u32 r in
             let bal_b = R.u32 r in
             let rel_lock = R.u32 r in
             let s0 = R.u32 r in
             let cfg = { Party.id; role; peer; bal_a; bal_b; rel_lock; s0 } in
-            let main = read_keypair r in
-            let sp = read_keypair r in
-            let rv = read_keypair r in
-            let rv' = read_keypair r in
+            let main = Codec.read_keypair r in
+            let sp = Codec.read_keypair r in
+            let rv = Codec.read_keypair r in
+            let rv' = Codec.read_keypair r in
             let keys = { Keys.main; sp; rv; rv' } in
-            let their_keys = read_opt r read_pub in
+            let their_keys = read_opt r Codec.read_pub in
             let sn = R.u32 r in
             let st = read_list r read_output in
             let fund = read_opt r read_tx in
@@ -346,61 +175,29 @@ let blob_size (c : Party.chan) : (int, error) result =
 (* ---- watchtower record & snapshot codecs -------------------------- *)
 
 (** One guarded-channel record, as journaled in the durable tower's
-    WAL (no header — the WAL frame already carries the version). *)
-let write_record w (r : Watchtower.record) =
-  W.var_string w r.Watchtower.channel_id;
-  W.var_string w r.Watchtower.funding.Tx.txid;
-  W.u32 w r.Watchtower.funding.Tx.vout;
-  write_pub w r.Watchtower.keys_a;
-  write_pub w r.Watchtower.keys_b;
-  W.u32 w r.Watchtower.s0;
-  W.u32 w r.Watchtower.rel_lock;
-  W.u32 w r.Watchtower.cash;
-  write_role w r.Watchtower.client_role;
-  W.u32 w r.Watchtower.revoked;
-  write_tx w r.Watchtower.rev_body;
-  W.var_string w r.Watchtower.sig_a;
-  W.var_string w r.Watchtower.sig_b
-
-let read_record r : Watchtower.record =
-  let channel_id = R.var_string r in
-  let txid = R.var_string r in
-  let vout = R.u32 r in
-  let keys_a = read_pub r in
-  let keys_b = read_pub r in
-  let s0 = R.u32 r in
-  let rel_lock = R.u32 r in
-  let cash = R.u32 r in
-  let client_role = read_role r in
-  let revoked = R.u32 r in
-  let rev_body = read_tx r in
-  let sig_a = R.var_string r in
-  let sig_b = R.var_string r in
-  { Watchtower.channel_id; funding = { Tx.txid; vout }; keys_a; keys_b; s0;
-    rel_lock; cash; client_role; revoked; rev_body; sig_a; sig_b }
-
-let encode_record (r : Watchtower.record) : string =
-  let w = W.create () in
-  write_record w r;
-  W.contents w
+    WAL (no header — the WAL frame already carries the version). The
+    codec itself lives in {!Watchtower}, next to the packed arena that
+    stores exactly these bytes. *)
+let encode_record = Watchtower.encode_record
 
 let decode_record (blob : string) : (Watchtower.record, error) result =
   wrap_decode (fun () ->
       let r = R.create blob in
-      let rec_ = read_record r in
+      let rec_ = Watchtower.read_record r in
       if not (R.at_end r) then Error (Bad_field "trailing bytes")
       else Ok rec_)
 
 (** Full tower snapshot: identity, every guarded record, the punished
     list (oldest first), the fresh list and the spent-log cursor.
     Size is O(guarded channels) — each of them O(1) — which is the
-    Table 1 storage claim made durable. *)
+    Table 1 storage claim made durable. Record bytes are blitted
+    straight from the packed arena (no decode/re-encode). *)
 let encode_tower (t : Watchtower.t) : string =
   let w = W.create () in
   write_header w ~magic:tower_magic;
   W.var_string w (Watchtower.wid t);
   W.varint w (Watchtower.guarded_count t);
-  Watchtower.fold_records t (fun r () -> write_record w r) ();
+  Watchtower.iter_record_blobs t (fun blob -> W.string w blob);
   write_list w (fun w s -> W.var_string w s)
     (List.rev (Watchtower.punished t));
   write_list w (fun w s -> W.var_string w s) (Watchtower.fresh_ids t);
@@ -419,11 +216,17 @@ let restore_tower (blob : string) : (Watchtower.t, error) result =
           let wid = R.var_string r in
           let t = Watchtower.create ~wid () in
           let n = R.varint r in
-          for _ = 1 to n do
-            Watchtower.restore_record t ~fresh:false (read_record r)
-          done;
+          let records =
+            List.init n (fun _ -> Watchtower.read_record r)
+          in
           let punished = read_list r (fun r -> R.var_string r) in
+          (* Punishments first: [mark_punished] reclaims the channel's
+             record exactly as the live punish path does, but a record
+             in the snapshot was *re-watched after* any punishment it
+             appears next to — installing it afterwards preserves the
+             live ordering. *)
           List.iter (Watchtower.mark_punished t) punished;
+          List.iter (Watchtower.restore_record t ~fresh:false) records;
           let fresh = read_list r (fun r -> R.var_string r) in
           List.iter
             (fun cid ->

@@ -111,12 +111,26 @@ let gen_fund ~(tid_a : Tx.outpoint) ~(tid_b : Tx.outpoint) ~(cash : int)
           spk = Tx.P2wsh (snd (funding_script_and_hash ~pk_a ~pk_b)) } ]
     ()
 
+(* --- body sharing ---------------------------------------------------
+   During an update both parties generate the same commit pair, split
+   and revocation bodies from identical inputs. Memoizing the
+   generators on exactly those inputs makes the two [Party.t] sides
+   hold ONE heap copy of each body instead of two structurally-equal
+   ones — and makes an N-update run reuse bodies across channels with
+   identical parameters. The [_fresh] generators below are the
+   uncopied originals, kept callable as the differential-test oracle;
+   [set_sharing false] routes the public generators through them. *)
+let sharing = Atomic.make true
+
+let set_sharing (b : bool) : unit = Atomic.set sharing b
+let sharing_enabled () : bool = Atomic.get sharing
+
 (** GenCommit: the pair of state-i commit transaction bodies.
     A's commit carries the (rv_A, rv_B) revocation branch; B's carries
     (rv'_A, rv'_B). The absolute lock [s0 + i] orders states. *)
-let gen_commit ~(funding : Tx.outpoint) ~(value : int) ~(keys_a : Keys.pub)
-    ~(keys_b : Keys.pub) ~(s0 : int) ~(i : int) ~(rel_lock : int) : Tx.t * Tx.t
-    =
+let gen_commit_fresh ~(funding : Tx.outpoint) ~(value : int)
+    ~(keys_a : Keys.pub) ~(keys_b : Keys.pub) ~(s0 : int) ~(i : int)
+    ~(rel_lock : int) : Tx.t * Tx.t =
   let mk rev_pk1 rev_pk2 =
     let _, script_hash =
       commit_script_and_hash ~abs_lock:(s0 + i) ~rel_lock ~rev_pk1 ~rev_pk2
@@ -133,6 +147,23 @@ let gen_commit ~(funding : Tx.outpoint) ~(value : int) ~(keys_a : Keys.pub)
   in
   (mk keys_a.Keys.rv_pk keys_b.Keys.rv_pk, mk keys_a.Keys.rv'_pk keys_b.Keys.rv'_pk)
 
+let commit_body_memo :
+    (Tx.outpoint * int * Keys.pub * Keys.pub * int * int * int -> Tx.t * Tx.t) ->
+    Tx.outpoint * int * Keys.pub * Keys.pub * int * int * int ->
+    Tx.t * Tx.t =
+  memoize ()
+
+let gen_commit ~(funding : Tx.outpoint) ~(value : int) ~(keys_a : Keys.pub)
+    ~(keys_b : Keys.pub) ~(s0 : int) ~(i : int) ~(rel_lock : int) : Tx.t * Tx.t
+    =
+  if not (Atomic.get sharing) then
+    gen_commit_fresh ~funding ~value ~keys_a ~keys_b ~s0 ~i ~rel_lock
+  else
+    commit_body_memo
+      (fun (funding, value, keys_a, keys_b, s0, i, rel_lock) ->
+        gen_commit_fresh ~funding ~value ~keys_a ~keys_b ~s0 ~i ~rel_lock)
+      (funding, value, keys_a, keys_b, s0, i, rel_lock)
+
 (** The script of a party's state-i commit output (needed to complete
     floating transactions that spend it). *)
 let commit_script_of ~(role : Keys.role) ~(keys_a : Keys.pub)
@@ -147,14 +178,25 @@ let commit_script_of ~(role : Keys.role) ~(keys_a : Keys.pub)
 
 (** GenSplit: floating split transaction body for state i. Its
     nLockTime stores the state number (S0 + i); it carries no input. *)
-let gen_split ~(theta : Tx.output list) ~(s0 : int) ~(i : int) : Tx.t =
+let gen_split_fresh ~(theta : Tx.output list) ~(s0 : int) ~(i : int) : Tx.t =
   Tx.make ~locktime:(s0 + i) ~inputs:[] ~outputs:theta ()
+
+let split_body_memo :
+    (Tx.output list * int * int -> Tx.t) -> Tx.output list * int * int -> Tx.t =
+  memoize ()
+
+let gen_split ~(theta : Tx.output list) ~(s0 : int) ~(i : int) : Tx.t =
+  if not (Atomic.get sharing) then gen_split_fresh ~theta ~s0 ~i
+  else
+    split_body_memo
+      (fun (theta, s0, i) -> gen_split_fresh ~theta ~s0 ~i)
+      (theta, s0, i)
 
 (** GenRevoke: the pair of floating revocation transaction bodies
     revoking state [revoked]. nLockTime = S0 + revoked lets them spend
     the output of any commit with state index <= revoked, but of no
     later commit. The full channel funds go to the punishing party. *)
-let gen_revoke ~(pk_a : Daric_crypto.Schnorr.public_key)
+let gen_revoke_fresh ~(pk_a : Daric_crypto.Schnorr.public_key)
     ~(pk_b : Daric_crypto.Schnorr.public_key) ~(cash : int) ~(s0 : int)
     ~(revoked : int) : Tx.t * Tx.t =
   let mk pk =
@@ -163,6 +205,26 @@ let gen_revoke ~(pk_a : Daric_crypto.Schnorr.public_key)
       ()
   in
   (mk pk_a, mk pk_b)
+
+let revoke_body_memo :
+    (Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr.public_key * int
+     * int * int ->
+    Tx.t * Tx.t) ->
+    Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr.public_key * int
+    * int * int ->
+    Tx.t * Tx.t =
+  memoize ()
+
+let gen_revoke ~(pk_a : Daric_crypto.Schnorr.public_key)
+    ~(pk_b : Daric_crypto.Schnorr.public_key) ~(cash : int) ~(s0 : int)
+    ~(revoked : int) : Tx.t * Tx.t =
+  if not (Atomic.get sharing) then
+    gen_revoke_fresh ~pk_a ~pk_b ~cash ~s0 ~revoked
+  else
+    revoke_body_memo
+      (fun (pk_a, pk_b, cash, s0, revoked) ->
+        gen_revoke_fresh ~pk_a ~pk_b ~cash ~s0 ~revoked)
+      (pk_a, pk_b, cash, s0, revoked)
 
 (** GenFinSplit: the modified split transaction of a collaborative
     close — spends the funding output directly. *)

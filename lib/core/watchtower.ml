@@ -6,6 +6,21 @@
     both ANYPREVOUT signatures. The record *replaces* the previous one —
     unlike a Lightning watchtower, nothing accumulates.
 
+    Records are retained in packed form by default: each one is
+    encoded with the durable-state codec and stored as a slot in a
+    {!Daric_util.Arena} — a few large unscanned [Bytes] chunks — so a
+    tower guarding 100k channels presents the major GC with a handful
+    of opaque blocks instead of ~20·N boxed words to mark every cycle.
+    [find_record] decodes on demand; snapshots blit the packed bytes
+    directly. The boxed representation is kept behind the [Boxed]
+    backend flag as the differential-test oracle.
+
+    Storage is reclaimed, not merely unindexed: [unwatch] and the
+    punish path free the record's arena slot (or drop the boxed
+    record), so a churned tower's heap tracks its guarded count, not
+    its lifetime watch count. A punished channel needs no record — the
+    revocation transaction is already posted.
+
     Monitoring is driven by the ledger's append-only spent-outpoint
     log: each round the tower reads only the outpoints spent since its
     last poll (a stored cursor) and maps them through a funding-output
@@ -19,8 +34,13 @@
     transaction and posts it instantly. *)
 
 module Tx = Daric_tx.Tx
+module Txcodec = Daric_tx.Txcodec
 module Script = Daric_script.Script
 module Ledger = Daric_chain.Ledger
+module Arena = Daric_util.Arena
+module Intern = Daric_util.Intern
+module W = Daric_util.Byteio.Writer
+module R = Daric_util.Byteio.Reader
 
 type record = {
   channel_id : string;
@@ -37,9 +57,24 @@ type record = {
   sig_b : string;  (** revocation-branch signature in Bob position *)
 }
 
+type backend = Packed | Boxed
+
+(* One guarded channel. The funding outpoint and serialized size are
+   kept unpacked — the monitor reads them on every poll that touches
+   the channel, and storage accounting must not decode. *)
+type entry = {
+  mutable e_funding : Tx.outpoint;
+  mutable e_rbytes : int;  (** {!record_bytes} of the current record *)
+  mutable e_data : data;
+}
+
+and data = Slot of Arena.slot | Boxed_rec of record
+
 type t = {
   wid : string;
-  records : (string, record) Hashtbl.t;  (** by channel id *)
+  backend : backend;
+  arena : Arena.t;  (** packed record bytes (unused when [Boxed]) *)
+  entries : (string, entry) Hashtbl.t;  (** by channel id *)
   by_funding : (Tx.outpoint, string) Hashtbl.t;
       (** guarded funding outpoint → channel id *)
   mutable fresh : string list;
@@ -50,14 +85,119 @@ type t = {
   mutable cursor : int;  (** position in the ledger's spent log *)
 }
 
-let create ~(wid : string) () : t =
+let create ?(backend = Packed) ~(wid : string) () : t =
   { wid;
-    records = Hashtbl.create 64;
+    backend;
+    arena = Arena.create ();
+    entries = Hashtbl.create 64;
     by_funding = Hashtbl.create 64;
     fresh = [];
     punished_set = Hashtbl.create 16;
     punished_list = [];
     cursor = 0 }
+
+let backend (t : t) : backend = t.backend
+
+(* ---- record codec (same byte format as the Persist WAL records) ---- *)
+
+let write_record w (r : record) =
+  W.var_string w r.channel_id;
+  W.var_string w r.funding.Tx.txid;
+  W.u32 w r.funding.Tx.vout;
+  Codec.write_pub w r.keys_a;
+  Codec.write_pub w r.keys_b;
+  W.u32 w r.s0;
+  W.u32 w r.rel_lock;
+  W.u32 w r.cash;
+  Codec.write_role w r.client_role;
+  W.u32 w r.revoked;
+  Txcodec.write_tx w r.rev_body;
+  W.var_string w r.sig_a;
+  W.var_string w r.sig_b
+
+let read_record r : record =
+  let channel_id = Intern.string (R.var_string r) in
+  let txid = Intern.string (R.var_string r) in
+  let vout = R.u32 r in
+  let keys_a = Codec.read_pub r in
+  let keys_b = Codec.read_pub r in
+  let s0 = R.u32 r in
+  let rel_lock = R.u32 r in
+  let cash = R.u32 r in
+  let client_role = Codec.read_role r in
+  let revoked = R.u32 r in
+  let rev_body = Txcodec.read_tx r in
+  let sig_a = Intern.string (R.var_string r) in
+  let sig_b = Intern.string (R.var_string r) in
+  { channel_id; funding = { Tx.txid; vout }; keys_a; keys_b; s0; rel_lock;
+    cash; client_role; revoked; rev_body; sig_a; sig_b }
+
+let encode_record (r : record) : string =
+  let w = W.create () in
+  write_record w r;
+  W.contents w
+
+(* The arena is process-private and CRC-framed stores re-verify before
+   handing us bytes, so a decode failure here is a logic error. *)
+let decode_record_exn (blob : string) : record =
+  read_record (R.create blob)
+
+(** Serialized size in bytes of everything retained for one channel:
+    two 33-byte key bundles (4 keys each), script parameters, the
+    revocation body and two 73-byte signatures. Constant in the number
+    of channel updates — the Table 1 watchtower-storage claim. *)
+let record_bytes (r : record) : int =
+  let keys = 2 * 4 * Daric_crypto.Schnorr.public_key_size in
+  let params = 4 * 4 in
+  let body = Tx.non_witness_size r.rev_body in
+  let sigs = 2 * Daric_crypto.Schnorr.signature_size in
+  let outpoint = 36 in
+  keys + params + body + sigs + outpoint + String.length r.channel_id
+
+(* ---- entry plumbing ---- *)
+
+let entry_record (t : t) (e : entry) : record =
+  match e.e_data with
+  | Boxed_rec r -> r
+  | Slot s -> decode_record_exn (Arena.read t.arena s)
+
+(* Install or overwrite the entry for [r.channel_id], reusing the
+   existing arena slot in place when the new encoding fits (record
+   sizes are stable across updates of one channel). *)
+let put_record (t : t) (r : record) : unit =
+  let rb = record_bytes r in
+  match Hashtbl.find_opt t.entries r.channel_id with
+  | Some e ->
+      if not (Tx.outpoint_equal e.e_funding r.funding) then begin
+        Hashtbl.remove t.by_funding e.e_funding;
+        Hashtbl.replace t.by_funding r.funding r.channel_id;
+        e.e_funding <- r.funding
+      end;
+      e.e_rbytes <- rb;
+      (match e.e_data with
+      | Slot s -> e.e_data <- Slot (Arena.replace t.arena s (encode_record r))
+      | Boxed_rec _ -> e.e_data <- Boxed_rec r)
+  | None ->
+      let data =
+        match t.backend with
+        | Packed -> Slot (Arena.store t.arena (encode_record r))
+        | Boxed -> Boxed_rec r
+      in
+      Hashtbl.replace t.entries r.channel_id
+        { e_funding = r.funding; e_rbytes = rb; e_data = data };
+      Hashtbl.replace t.by_funding r.funding r.channel_id
+
+(* Drop a channel's entry and reclaim its storage: the arena slot goes
+   back on the free list (packed) or the boxed record is unpinned. *)
+let drop_record (t : t) (channel_id : string) : unit =
+  match Hashtbl.find_opt t.entries channel_id with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.entries channel_id;
+      Hashtbl.remove t.by_funding e.e_funding;
+      (match e.e_data with
+      | Slot s -> Arena.free t.arena s
+      | Boxed_rec _ -> ())
 
 (** Check a client record's two revocation-branch signatures in one
     {!Daric_crypto.Schnorr.batch_verify}. The record guards against the
@@ -96,12 +236,7 @@ let record_valid (r : record) : bool =
 let watch (t : t) (r : record) : bool =
   if not (record_valid r) then false
   else begin
-    (match Hashtbl.find_opt t.records r.channel_id with
-    | Some old when not (Tx.outpoint_equal old.funding r.funding) ->
-        Hashtbl.remove t.by_funding old.funding
-    | _ -> ());
-    Hashtbl.replace t.records r.channel_id r;
-    Hashtbl.replace t.by_funding r.funding r.channel_id;
+    put_record t r;
     t.fresh <- r.channel_id :: t.fresh;
     true
   end
@@ -114,25 +249,17 @@ let watch (t : t) (r : record) : bool =
     journal entries say [true] (their funding may have been spent while
     the tower was down), snapshot restores carry the persisted flag. *)
 let restore_record (t : t) ~(fresh : bool) (r : record) : unit =
-  (match Hashtbl.find_opt t.records r.channel_id with
-  | Some old when not (Tx.outpoint_equal old.funding r.funding) ->
-      Hashtbl.remove t.by_funding old.funding
-  | _ -> ());
-  Hashtbl.replace t.records r.channel_id r;
-  Hashtbl.replace t.by_funding r.funding r.channel_id;
+  put_record t r;
   if fresh then t.fresh <- r.channel_id :: t.fresh
 
-let unwatch (t : t) ~(channel_id : string) : unit =
-  match Hashtbl.find_opt t.records channel_id with
-  | None -> ()
-  | Some r ->
-      Hashtbl.remove t.records channel_id;
-      Hashtbl.remove t.by_funding r.funding
+let unwatch (t : t) ~(channel_id : string) : unit = drop_record t channel_id
 
 let wid (t : t) : string = t.wid
 
 let find_record (t : t) (channel_id : string) : record option =
-  Hashtbl.find_opt t.records channel_id
+  match Hashtbl.find_opt t.entries channel_id with
+  | None -> None
+  | Some e -> Some (entry_record t e)
 
 let punished (t : t) : string list = t.punished_list
 let punished_mem (t : t) (channel_id : string) : bool =
@@ -140,39 +267,53 @@ let punished_mem (t : t) (channel_id : string) : bool =
 
 (** Replay a journaled punishment (recovery): record the fact without
     posting anything — the revocation transaction was already posted
-    (or is already on chain) in the run that journaled it. *)
+    (or is already on chain) in the run that journaled it. The
+    channel's record, if restored, is reclaimed exactly as the live
+    punish path would have. *)
 let mark_punished (t : t) (channel_id : string) : unit =
   if not (Hashtbl.mem t.punished_set channel_id) then begin
     t.punished_list <- channel_id :: t.punished_list;
     Hashtbl.replace t.punished_set channel_id ()
-  end
+  end;
+  drop_record t channel_id
 
 let cursor (t : t) : int = t.cursor
 let set_cursor (t : t) (c : int) : unit = t.cursor <- c
 let fresh_ids (t : t) : string list = t.fresh
 
 let fold_records (t : t) (f : record -> 'a -> 'a) (init : 'a) : 'a =
-  Hashtbl.fold (fun _ r acc -> f r acc) t.records init
+  Hashtbl.fold (fun _ e acc -> f (entry_record t e) acc) t.entries init
 
-let guarded_count (t : t) : int = Hashtbl.length t.records
+(** Iterate the encoded form of every guarded record — exactly the
+    {!encode_record} bytes. The packed backend blits them straight out
+    of the arena (no decode/re-encode round trip); the boxed oracle
+    encodes on the fly. Snapshots ({!Persist.encode_tower}) are built
+    from this, so both backends snapshot byte-identically. *)
+let iter_record_blobs (t : t) (f : string -> unit) : unit =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.e_data with
+      | Slot s -> f (Arena.read t.arena s)
+      | Boxed_rec r -> f (encode_record r))
+    t.entries
 
-(** Serialized size in bytes of everything retained for one channel:
-    two 33-byte key bundles (4 keys each), script parameters, the
-    revocation body and two 73-byte signatures. Constant in the number
-    of channel updates — the Table 1 watchtower-storage claim. *)
-let record_bytes (r : record) : int =
-  let keys = 2 * 4 * Daric_crypto.Schnorr.public_key_size in
-  let params = 4 * 4 in
-  let body = Tx.non_witness_size r.rev_body in
-  let sigs = 2 * Daric_crypto.Schnorr.signature_size in
-  let outpoint = 36 in
-  keys + params + body + sigs + outpoint + String.length r.channel_id
+let guarded_count (t : t) : int = Hashtbl.length t.entries
 
 let storage_bytes (t : t) : int =
-  Hashtbl.fold (fun _ r acc -> acc + record_bytes r) t.records 0
+  Hashtbl.fold (fun _ e acc -> acc + e.e_rbytes) t.entries 0
+
+(** Bytes of packed record storage currently live in the arena (0 for
+    the boxed oracle) — the retained-memory metric of the mem bench. *)
+let arena_live_bytes (t : t) : int = Arena.live_bytes t.arena
+
+(** Bytes of arena capacity allocated from the heap (chunks), live or
+    free-listed. Bounded by peak concurrent watches, not churn. *)
+let arena_capacity_bytes (t : t) : int = Arena.capacity_bytes t.arena
 
 (* React to a spend of a guarded funding output: if it is a revoked
-   counter-party commit, complete and post the revocation tx. *)
+   counter-party commit, complete and post the revocation tx. The
+   punished channel's record is reclaimed — nothing is left to guard
+   once the revocation transaction is on its way. *)
 let react (t : t) (r : record) (spender : Tx.t) ~(post : Tx.t -> unit) : unit =
   let seq = match spender.Tx.inputs with [ i ] -> i.sequence | _ -> -1 in
   if seq >= 0 && seq <= r.revoked then
@@ -191,12 +332,13 @@ let react (t : t) (r : record) (spender : Tx.t) ~(post : Tx.t -> unit) : unit =
         in
         post rv;
         t.punished_list <- r.channel_id :: t.punished_list;
-        Hashtbl.replace t.punished_set r.channel_id ()
+        Hashtbl.replace t.punished_set r.channel_id ();
+        drop_record t r.channel_id
     | _ -> ()
 
 let check_channel (t : t) ~(ledger : Ledger.t) ~(post : Tx.t -> unit)
     (cid : string) : unit =
-  match Hashtbl.find_opt t.records cid with
+  match find_record t cid with
   | None -> ()
   | Some r ->
       if not (Hashtbl.mem t.punished_set cid) then (
@@ -230,17 +372,24 @@ let end_of_round_scan (t : t) ~(round : int) ~(ledger : Ledger.t)
   ignore round;
   t.fresh <- [];
   t.cursor <- Ledger.spent_log_length ledger;
-  Hashtbl.iter
-    (fun cid r ->
+  (* a punish reclaims the record, so snapshot the guarded set before
+     iterating — mutating a hashtable mid-[iter] is unspecified *)
+  let guarded =
+    Hashtbl.fold (fun cid e acc -> (cid, entry_record t e) :: acc) t.entries []
+  in
+  List.iter
+    (fun (cid, r) ->
       if not (Hashtbl.mem t.punished_set cid) then
         match Ledger.spender_of_scan ledger r.funding with
         | None -> ()
         | Some spender -> react t r spender ~post)
-    t.records
+    guarded
 
 (** Build the current watchtower record for a party's channel. Returns
     [None] until the first update has completed (there is nothing to
-    revoke in state 0). *)
+    revoke in state 0). Signature and txid strings are interned — the
+    same bytes are also held by the parties, and at N channels the
+    duplicates add up. *)
 let record_for (p : Party.t) ~(id : string) : record option =
   match Party.find_chan p id with
   | None -> None
@@ -252,7 +401,7 @@ let record_for (p : Party.t) ~(id : string) : record option =
           let rev_body = Party.my_rev_body c ~revoked in
           let sig_a, sig_b = Party.rev_witness_sigs c ~sig_mine ~sig_theirs in
           Some
-            { channel_id = id;
+            { channel_id = Intern.string id;
               funding = Tx.outpoint_of fund 0;
               keys_a;
               keys_b;
@@ -262,6 +411,6 @@ let record_for (p : Party.t) ~(id : string) : record option =
               client_role = c.Party.cfg.role;
               revoked;
               rev_body;
-              sig_a;
-              sig_b }
+              sig_a = Intern.string sig_a;
+              sig_b = Intern.string sig_b }
       | _ -> None)

@@ -1,7 +1,14 @@
 (** Daric watchtower with O(1) per-channel storage: one fixed-size
     record per channel — the latest floating revocation transaction
     with both ANYPREVOUT signatures plus script-reconstruction
-    parameters — *replaced* on every update, never accumulated. *)
+    parameters — *replaced* on every update, never accumulated.
+
+    Records are retained packed by default: encoded bytes in a
+    {!Daric_util.Arena} slot (a few large unscanned [Bytes] chunks the
+    major GC never walks), decoded on demand. The boxed representation
+    is kept behind the [Boxed] backend as the differential oracle.
+    [unwatch] and the punish path reclaim the slot, so the heap tracks
+    the guarded count, not the lifetime watch count. *)
 
 module Tx = Daric_tx.Tx
 
@@ -20,23 +27,30 @@ type record = {
   sig_b : string;
 }
 
+type backend =
+  | Packed  (** arena-packed encoded records (default) *)
+  | Boxed  (** plain boxed records — the differential-test oracle *)
+
 type t
 
-val create : wid:string -> unit -> t
+val create : ?backend:backend -> wid:string -> unit -> t
 
 val wid : t -> string
+val backend : t -> backend
 
 val find_record : t -> string -> record option
-(** The record currently guarding this channel, if any. O(1). *)
+(** The record currently guarding this channel, if any. O(1) lookup;
+    the packed backend decodes the record on demand. *)
 
 val record_valid : record -> bool
 (** Batch-verify the record's two revocation-branch signatures against
     the counter-party commit's revocation keys. *)
 
 val watch : t -> record -> bool
-(** Install or replace a channel's record (constant storage). Returns
-    [false] — keeping the previous record — when {!record_valid}
-    rejects the signatures. *)
+(** Install or replace a channel's record (constant storage; an
+    in-place arena overwrite when the new encoding fits the slot).
+    Returns [false] — keeping the previous record — when
+    {!record_valid} rejects the signatures. *)
 
 val restore_record : t -> fresh:bool -> record -> unit
 (** Install a record without re-running {!record_valid} — the
@@ -46,6 +60,8 @@ val restore_record : t -> fresh:bool -> record -> unit
     direct funding check at the next poll. *)
 
 val unwatch : t -> channel_id:string -> unit
+(** Remove the channel and reclaim its record storage (the arena slot
+    joins the free list; a boxed record is unpinned). *)
 
 val punished : t -> string list
 (** Channels on which the tower has reacted, newest first. *)
@@ -54,7 +70,8 @@ val punished_mem : t -> string -> bool
 
 val mark_punished : t -> string -> unit
 (** Replay a journaled punishment during recovery: record the fact
-    without re-posting (idempotent). *)
+    without re-posting (idempotent), reclaiming the channel's record
+    exactly as the live punish path does. *)
 
 val cursor : t -> int
 (** Position in the ledger's spent-outpoint log up to which this tower
@@ -67,7 +84,12 @@ val fresh_ids : t -> string list
 (** Channels (re)watched since the last poll, newest first. *)
 
 val fold_records : t -> (record -> 'a -> 'a) -> 'a -> 'a
-(** Fold over every guarded record (snapshot encoding). *)
+(** Fold over every guarded record (decoded from the packed form). *)
+
+val iter_record_blobs : t -> (string -> unit) -> unit
+(** Iterate the {!encode_record} bytes of every guarded record — the
+    packed backend blits them straight from the arena, so snapshots
+    never decode/re-encode; both backends yield identical bytes. *)
 
 val guarded_count : t -> int
 (** Number of channels currently watched. O(1). *)
@@ -78,13 +100,33 @@ val record_bytes : record -> int
 
 val storage_bytes : t -> int
 
+val arena_live_bytes : t -> int
+(** Live packed-record bytes in the arena (0 for the boxed oracle). *)
+
+val arena_capacity_bytes : t -> int
+(** Arena chunk bytes allocated from the heap — bounded by peak
+    concurrent watches, not lifetime churn. *)
+
+val write_record : Daric_util.Byteio.Writer.t -> record -> unit
+(** Append a record's encoding (the {!Persist} WAL/snapshot format —
+    headerless; the frame carries the version). *)
+
+val read_record : Daric_util.Byteio.Reader.t -> record
+(** Inverse of {!write_record}; raises {!Daric_tx.Txcodec.Bad_blob} or
+    [Reader.Truncated] on malformed input. Decoded ids, txids and
+    signatures are interned. *)
+
+val encode_record : record -> string
+val decode_record_exn : string -> record
+
 val end_of_round :
   t -> round:int -> ledger:Daric_chain.Ledger.t -> post:(Tx.t -> unit) -> unit
 (** Complete and post the revocation transaction when a revoked
-    counter-party commit appears. Driven by the ledger's spent-outpoint
-    log through a cursor: cost per round is O(newly watched records +
-    newly spent outpoints), independent of the number of guarded
-    channels and the chain length. *)
+    counter-party commit appears, then reclaim the punished channel's
+    record. Driven by the ledger's spent-outpoint log through a
+    cursor: cost per round is O(newly watched records + newly spent
+    outpoints), independent of the number of guarded channels and the
+    chain length. *)
 
 val end_of_round_scan :
   t -> round:int -> ledger:Daric_chain.Ledger.t -> post:(Tx.t -> unit) -> unit

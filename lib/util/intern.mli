@@ -1,0 +1,16 @@
+(** String interning (hash-consing): [string s] returns the canonical
+    instance of [s], so structurally-equal immutable payloads (pubkey
+    encodings, signatures, txids, channel ids) share one heap block
+    across channels and parties. Domain-local bounded tables; losing a
+    table entry only costs future sharing, never correctness. *)
+
+val string : string -> string
+(** Canonical instance of [s] ([String.equal], possibly [==] to an
+    earlier argument). Strings longer than an internal cutoff are
+    returned unchanged. *)
+
+type stats = { hits : int; misses : int; saved_bytes : int }
+(** [saved_bytes] counts the lengths of non-canonical duplicates that
+    were dropped in favour of the shared instance. *)
+
+val stats : unit -> stats

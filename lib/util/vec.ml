@@ -20,6 +20,12 @@ let get (t : 'a t) (i : int) : 'a =
   if i < 0 || i >= t.len then invalid_arg "Vec.get";
   Array.unsafe_get t.data i
 
+(** [set t i x] overwrites an existing element in place (the ledger's
+    accepted-log compaction swaps a live entry for its packed form). *)
+let set (t : 'a t) (i : int) (x : 'a) : unit =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  Array.unsafe_set t.data i x
+
 let push (t : 'a t) (x : 'a) : unit =
   if t.len = Array.length t.data then begin
     let cap = max 8 (2 * Array.length t.data) in

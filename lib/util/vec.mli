@@ -8,6 +8,10 @@ val create : dummy:'a -> unit -> 'a t
 
 val length : 'a t -> int
 val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite an existing element in place ([0 <= i < length]). *)
+
 val push : 'a t -> 'a -> unit
 
 val truncate : 'a t -> int -> unit

@@ -390,9 +390,12 @@ let test_watchtower_differential () =
       let f = DS.Scheme.funding s in
       check_b "funding spent" false (Daric_chain.Ledger.is_unspent env.I.ledger f))
     [ 1; 3 ];
-  (* unwatch is O(1) and removes both index entries *)
+  (* punishing reclaimed the two punished channels' records; unwatch
+     (O(1), both index entries) reclaims a third — of 4 watches only
+     the untouched channel still holds storage *)
+  check_i "guarded count after punish" 2 (Watchtower.guarded_count indexed);
   Watchtower.unwatch indexed ~channel_id:"wt0";
-  check_i "guarded count after unwatch" 3 (Watchtower.guarded_count indexed)
+  check_i "guarded count after unwatch" 1 (Watchtower.guarded_count indexed)
 
 (* ---------------- utility modules ---------------- *)
 

@@ -398,6 +398,82 @@ let run_tower ~smoke ~quick ~full () =
   write_tower_json samples;
   Fmt.pr "wrote %s@." tower_json_file
 
+(* ---------------- model-checker throughput ---------------- *)
+
+let mcheck_json_file = "BENCH_mcheck.json"
+
+(* Same flat sorted name -> value shape as BENCH_scale.json: one
+   group per checked world, states/transitions/seconds plus the
+   derived states-per-sec exploration rate. *)
+let write_mcheck_json (entries : Daric_mcheck.Matrix.entry list) : unit =
+  let flat =
+    List.concat_map
+      (fun (e : Daric_mcheck.Matrix.entry) ->
+        let p name v = (Printf.sprintf "%s/%s" e.Daric_mcheck.Matrix.model name, v) in
+        let r = e.Daric_mcheck.Matrix.result in
+        [ p "states" (float_of_int r.Daric_mcheck.Mcheck.visited);
+          p "transitions" (float_of_int r.Daric_mcheck.Mcheck.transitions);
+          p "seconds" e.Daric_mcheck.Matrix.seconds;
+          p "states-per-sec"
+            (if e.Daric_mcheck.Matrix.seconds > 0. then
+               float_of_int r.Daric_mcheck.Mcheck.transitions
+               /. e.Daric_mcheck.Matrix.seconds
+             else 0.);
+          p "counterexamples"
+            (float_of_int (List.length r.Daric_mcheck.Mcheck.counterexamples))
+        ])
+      entries
+  in
+  let flat = List.sort (fun (a, _) (b, _) -> String.compare a b) flat in
+  let oc = open_out mcheck_json_file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"daric-bench-mcheck/1\",\n";
+  pf "  \"unit\": \"counts and seconds; states-per-sec = transitions/s\",\n";
+  pf
+    "  \"note\": \"bounded exhaustive exploration; the counterexample on the \
+     lightning tower is the expected punish-or-refund finding\",\n";
+  pf "  \"entries\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      pf "    %S: %g%s\n" name v
+        (if i = List.length flat - 1 then "" else ","))
+    flat;
+  pf "  }\n}\n";
+  close_out oc
+
+let run_mcheck ~smoke () =
+  let module M = Daric_mcheck.Matrix in
+  section
+    (if smoke then "Experiment MC: model-checker throughput (smoke)"
+     else "Experiment MC: model-checker throughput");
+  let mutants =
+    let all = M.mutation_matrix () in
+    if smoke then
+      List.filter
+        (fun (mu, _) -> mu = Daric_staticcheck.Daricmodel.Drop_revocation)
+        all
+    else all
+  in
+  let entries =
+    (M.closure_clean () :: List.map snd mutants)
+    @ (if smoke then
+         List.filter_map (fun n -> M.scheme_one n) [ "Daric"; "Lightning" ]
+       else M.scheme_sweep ())
+    @ M.tower_sweep ()
+  in
+  List.iter (fun e -> Fmt.pr "%a@." M.pp_entry e) entries;
+  let bad = List.filter (fun e -> not (M.ok e)) entries in
+  write_mcheck_json entries;
+  Fmt.pr "wrote %s@." mcheck_json_file;
+  if bad <> [] then begin
+    List.iter
+      (fun (e : M.entry) ->
+        Fmt.epr "unexpected mcheck result: %s@." e.M.model)
+      bad;
+    exit 1
+  end
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bench_tests () =
@@ -684,4 +760,6 @@ let () =
   if List.mem "tower" args then run_tower ~smoke ~quick ~full ();
   (* explicit-only: the full sweep retains up to 100k channels *)
   if List.mem "mem" args then run_mem ~smoke ~quick ~full ();
+  (* explicit-only: bounded exhaustive exploration of every world *)
+  if List.mem "mcheck" args then run_mcheck ~smoke ();
   if want "micro" then run_micro ~smoke ()

@@ -320,11 +320,152 @@ let lint_cmd =
        ~doc:"Statically analyze every scheme's scripts and transaction DAG.")
     Term.(const run $ log_term $ scheme $ updates $ verbose)
 
+(* ---- check ---- *)
+
+let check_cmd =
+  let module M = Daric_mcheck.Matrix in
+  let module Mc = Daric_mcheck.Mcheck in
+  let scheme =
+    Arg.(value & opt (some string) None
+         & info [ "scheme" ]
+             ~doc:"Model-check only this registered scheme's lifecycle world \
+                   (default: closure world, mutation matrix, every scheme and \
+                   both tower variants).")
+  in
+  let depth =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"D" ~doc:"Override the depth bound.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"S" ~doc:"Override the state-visit budget.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI bound: closure world, two mutations, Daric plus one \
+                   baseline scheme, both towers.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print counterexample traces, and the on-chain flowchart \
+                   for closure-world counterexamples.")
+  in
+  let run logs scheme depth budget smoke trace =
+    setup_logs logs;
+    let override (c : Mc.config) =
+      { c with
+        Mc.max_depth = Option.value depth ~default:c.Mc.max_depth;
+        max_states = Option.value budget ~default:c.Mc.max_states }
+    in
+    let print_entry ?(mutation : Daric_staticcheck.Daricmodel.mutation option)
+        (e : M.entry) =
+      Fmt.pr "%a@." M.pp_entry e;
+      let diags = M.to_diags e in
+      List.iter
+        (fun (d : Daric_staticcheck.Diag.t) ->
+          Fmt.pr "  [%s] %s@."
+            (Daric_staticcheck.Diag.severity_name d.severity)
+            d.detail)
+        (if trace then diags
+         else
+           List.filter
+             (fun (d : Daric_staticcheck.Diag.t) ->
+               d.severity <> Daric_staticcheck.Diag.Info)
+             diags);
+      if trace then
+        List.iter
+          (fun (c : Mc.counterexample) ->
+            let cfg =
+              { Daric_mcheck.Closure_world.default_cfg with
+                Daric_mcheck.Closure_world.mutate = mutation }
+            in
+            match
+              M.closure_flowchart ~cfg ~title:e.M.model c.Mc.trace
+            with
+            | Some chart ->
+                print_string (Daric_core.Flowchart.to_ascii chart)
+            | None -> ())
+          (if mutation <> None then e.M.result.Mc.counterexamples else [])
+    in
+    let entries =
+      match scheme with
+      | Some name -> (
+          let name =
+            match
+              List.find_opt
+                (fun n ->
+                  String.lowercase_ascii n = String.lowercase_ascii name)
+                (Daric_schemes.Registry.names ())
+            with
+            | Some n -> n
+            | None -> name
+          in
+          match M.scheme_one ~config:(override M.lifecycle_config) name with
+          | Some e -> [ e ]
+          | None ->
+              Fmt.epr "unknown scheme %s; known: %s@." name
+                (String.concat ", " (Daric_schemes.Registry.names ()));
+              exit 2)
+      | None ->
+          let closure =
+            M.closure_clean
+              ~config:
+                (override
+                   (if smoke then
+                      { M.clean_closure_config with Mc.max_depth = 12 }
+                    else M.clean_closure_config))
+              ()
+          in
+          print_entry closure;
+          let mutants =
+            let all = M.mutation_matrix ~config:(override M.mutant_closure_config) () in
+            if smoke then
+              List.filter
+                (fun (mu, _) ->
+                  mu = Daric_staticcheck.Daricmodel.Drop_revocation
+                  || mu = Daric_staticcheck.Daricmodel.Rev_csv_delay)
+                all
+            else all
+          in
+          List.iter (fun (mu, e) -> print_entry ~mutation:mu e) mutants;
+          let schemes =
+            if smoke then
+              List.filteri (fun i _ -> i < 2)
+                (List.filter_map
+                   (fun n -> M.scheme_one ~config:(override M.lifecycle_config) n)
+                   ("Daric"
+                   :: List.filter
+                        (fun n -> n <> "Daric")
+                        (Daric_schemes.Registry.names ())))
+            else M.scheme_sweep ~config:(override M.lifecycle_config) ()
+          in
+          List.iter (fun e -> print_entry e) schemes;
+          let towers = M.tower_sweep ~config:(override M.tower_config) () in
+          List.iter (fun e -> print_entry e) towers;
+          closure :: List.map snd mutants @ schemes @ towers
+    in
+    (match scheme with
+    | Some _ -> List.iter (fun e -> print_entry e) entries
+    | None -> ());
+    let bad = List.filter (fun e -> not (M.ok e)) entries in
+    Fmt.pr "%d world(s) checked, %d with unexpected results@."
+      (List.length entries) (List.length bad);
+    if bad <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check the channel worlds: exhaustive bounded exploration \
+             of adversarial closure, scheme lifecycles and watchtower \
+             handoff, with the seeded-mutation rediscovery gate.")
+    Term.(const run $ log_term $ scheme $ depth $ budget $ smoke $ trace)
+
 let main =
   Cmd.group
     (Cmd.info "daric" ~version:"1.0.0"
        ~doc:"Daric payment channel: reproduction of Mirzaei et al., DSN 2022.")
     [ tables_cmd; attack_cmd; incentives_cmd; flow_cmd; demo_cmd; pcn_cmd;
-      lifetime_cmd; tower_cmd; lint_cmd ]
+      lifetime_cmd; tower_cmd; lint_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -444,17 +444,23 @@ let record (t : t) (tx : Tx.t) =
 
 (* ---------------- journaled rollback ---------------- *)
 
-(** A checkpoint of everything {!record} mutates. The UTXO set is an
-    immutable map (O(1) to snapshot); hashtable entries added since
-    the checkpoint are recovered from the accepted-log slice, so a
-    rollback costs O(recorded since checkpoint). The round must not
-    change between {!checkpoint} and {!rollback}. *)
+(** A checkpoint of everything {!record}, {!post}, {!mint} and {!tick}
+    mutate. The UTXO set is an immutable map (O(1) to snapshot) and
+    the pending queue is tiny (bounded by Δ rounds of postings), so a
+    checkpoint costs O(pending) and a rollback O(recorded since
+    checkpoint). Rolling back restores the round too, so a checkpoint
+    taken at round r can be re-entered from any later round — the
+    stack discipline the model checker's DFS backtracking relies on.
+    Rolling back to a checkpoint from a round *before* it was taken is
+    meaningless and raises [Invalid_argument]. *)
 type checkpoint = {
   c_round : int;
   c_utxos : utxo Outpoint_map.t;
   c_events : event list;
   c_accepted_len : int;
   c_spent_len : int;
+  c_mints : int;
+  c_pending : (int * Tx.t list) list;  (** due-round buckets, snapshotted *)
 }
 
 let checkpoint (t : t) : checkpoint =
@@ -462,11 +468,16 @@ let checkpoint (t : t) : checkpoint =
     c_utxos = t.utxos;
     c_events = t.events;
     c_accepted_len = Vec.length t.accepted_log;
-    c_spent_len = Vec.length t.spent_log }
+    c_spent_len = Vec.length t.spent_log;
+    c_mints = t.mints;
+    c_pending =
+      Hashtbl.fold
+        (fun due bucket acc -> (due, Vec.to_list bucket) :: acc)
+        t.pending [] }
 
 let rollback (t : t) (c : checkpoint) : unit =
-  if t.round <> c.c_round then
-    invalid_arg "Ledger.rollback: round advanced since checkpoint";
+  if t.round < c.c_round then
+    invalid_arg "Ledger.rollback: checkpoint from a future round";
   Vec.iter_from t.accepted_log ~from:c.c_accepted_len (fun (_, e) ->
       let tx = entry_tx t e in
       (match e with
@@ -484,11 +495,29 @@ let rollback (t : t) (c : checkpoint) : unit =
   Vec.truncate t.spent_log c.c_spent_len;
   t.utxos <- c.c_utxos;
   t.events <- c.c_events;
+  t.round <- c.c_round;
+  t.mints <- c.c_mints;
+  Hashtbl.reset t.pending;
+  List.iter
+    (fun (due, txs) ->
+      let bucket = Vec.create ~dummy:dummy_tx () in
+      List.iter (Vec.push bucket) txs;
+      Hashtbl.replace t.pending due bucket)
+    c.c_pending;
   (* the cached oldest-first view may reflect rolled-back entries *)
   if t.accepted_view_len > c.c_accepted_len then begin
     t.accepted_view <- [];
     t.accepted_view_len <- 0
   end
+
+(** Not-yet-due postings as [(due round, txs in posting order)],
+    sorted by due round — the model checker folds this into its state
+    fingerprint (hashtable iteration order must not leak in). *)
+let pending_due (t : t) : (int * Tx.t list) list =
+  Hashtbl.fold
+    (fun due bucket acc -> (due, Vec.to_list bucket) :: acc)
+    t.pending []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (** [post t tx ~delay] submits [tx]; the adversary-chosen [delay] is
     clamped to [0, delta]. The transaction is (re)validated when due.

@@ -159,16 +159,27 @@ val validate_deferring_staged :
 (** {!validate_deferring} against a staged view. *)
 
 type checkpoint
-(** Snapshot of everything {!record} mutates; see {!rollback}. *)
+(** Snapshot of everything {!record}, {!post}, {!mint} and {!tick}
+    mutate; see {!rollback}. *)
 
 val checkpoint : t -> checkpoint
+(** O(1) for the immutable UTXO map plus O(pending) for the in-flight
+    posting queue (bounded by Δ rounds of postings). *)
 
 val rollback : t -> checkpoint -> unit
-(** Undo every recording since the checkpoint — O(recorded since).
-    The round must not have advanced; raises [Invalid_argument]
-    otherwise. Used by optimistic validators (parallel {!tick},
-    {!Mempool.tick} block assembly) to discard an optimistic prefix
-    and replay sequentially. *)
+(** Undo every recording since the checkpoint — O(recorded since) —
+    and restore the round, the pending queue and the mint counter, so
+    rolling back works from any round at or after the checkpoint's
+    (nested checkpoints may be re-entered in stack order — the model
+    checker's DFS backtracking). Raises [Invalid_argument] only if the
+    ledger sits at a round *before* the checkpoint's. Also used by
+    optimistic validators ({!Mempool.tick} block assembly) to discard
+    an optimistic prefix within a single round. *)
+
+val pending_due : t -> (int * Tx.t list) list
+(** Not-yet-due postings as [(due round, txs in posting order)],
+    sorted by due round — deterministic regardless of internal
+    hashtable order (used for state fingerprinting). *)
 
 val record : t -> Tx.t -> unit
 (** Record a transaction unconditionally (block production and

@@ -52,6 +52,22 @@ let deliver (t : 'msg t) ~(round : int) ~(recipient : string) :
   t.in_flight <- rest;
   List.rev_map snd mine
 
+(** In-flight messages as [(delivery round, envelope)], newest first —
+    the adversary's view of undelivered traffic (model-checker worlds
+    enumerate withholding choices over this). *)
+let in_flight (t : 'msg t) : (int * 'msg envelope) list = t.in_flight
+
+(** [drop t p] adversarially removes every in-flight message matching
+    [p] and returns how many were removed. The party-to-party links of
+    F_GDC forbid drops; this models the *best-effort* channel-to-
+    watchtower notification link the model checker's tower worlds
+    corrupt (a tower that never hears about a state update). The
+    traffic log keeps the dropped messages — they were sent. *)
+let drop (t : 'msg t) (p : 'msg envelope -> bool) : int =
+  let keep, dropped = List.partition (fun (_, env) -> not (p env)) t.in_flight in
+  t.in_flight <- keep;
+  List.length dropped
+
 (** Retained traffic log (newest first), for adversary observation and
     tests. Bounded by [log_cap] when one was given at {!create}. *)
 let log (t : 'msg t) : (int * 'msg envelope) list = t.log

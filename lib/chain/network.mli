@@ -20,6 +20,17 @@ val deliver : 'msg t -> round:int -> recipient:string -> 'msg envelope list
 (** Remove and return the messages due for a recipient, in sending
     order. *)
 
+val in_flight : 'msg t -> (int * 'msg envelope) list
+(** Undelivered messages as [(delivery round, envelope)], newest
+    first — the adversary's observation of traffic still in transit. *)
+
+val drop : 'msg t -> ('msg envelope -> bool) -> int
+(** Adversarially remove matching in-flight messages, returning the
+    number removed. Party-to-party delivery under F_GDC is guaranteed,
+    so this primitive exists for the *best-effort* links the model
+    checker corrupts (channel-to-watchtower notifications); the
+    traffic log still records dropped messages as sent. *)
+
 val log : 'msg t -> (int * 'msg envelope) list
 (** Retained traffic log, newest first (adversary observation,
     accounting); truncated to the newest [log_cap] entries when a cap

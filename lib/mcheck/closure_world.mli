@@ -1,0 +1,102 @@
+(** Adversarial closure world over the real Daric transaction graph.
+
+    Packages the {!Daric_staticcheck.Daricmodel} closure (genuine
+    keys, signatures and scripts) as a {!Mcheck.MODEL}: Bob — the
+    bounded adversary — may publish any of his commits (revoked or
+    latest) with any publication delay up to Δ, race his split against
+    Alice's revocation, and knock Alice offline for a bounded number
+    of rounds; Alice runs the honest per-round monitor (punish a
+    revoked commit with the latest covering revocation, otherwise
+    enforce the split; both rebound onto the published commit by
+    ANYPREVOUT signature re-completion). The environment may also
+    initiate a collaborative close or Alice's unilateral close, so
+    every closure path of the paper's Table 1 is in the state space.
+
+    Invariants checked in every state ({!Mcheck.punish_or_refund},
+    {!Mcheck.no_honest_loss}, {!Mcheck.bounded_closure}): a published
+    revoked state must leave the honest party the whole channel cash;
+    an honest resolution must pay each party at least its latest-state
+    balance; any initiated close must resolve the funding output
+    within [rel_lock + max_offline + delta + 3] rounds.
+
+    The clean graph passes at the default bounds; each
+    {!Daric_staticcheck.Daricmodel.mutation} is rediscovered as a
+    violation with a minimized trace (the mutation matrix of
+    {!Matrix}). *)
+
+module Tx = Daric_tx.Tx
+module Ledger = Daric_chain.Ledger
+module Dm = Daric_staticcheck.Daricmodel
+
+type cfg = {
+  n_states : int;
+  rel_lock : int;
+  delta : int;
+  max_offline : int;  (** longest crash, in missed rounds *)
+  horizon : int;  (** last ledger round explored *)
+  mutate : Dm.mutation option;
+}
+
+val default_cfg : cfg
+(** [n_states = 2], [rel_lock = 4], [delta = 2], [max_offline = 1],
+    [horizon = 16], no mutation. Δ = 2 gives the adversary a real
+    delay choice (the ledger clamps delays 0 and 1 to the same due
+    round); [max_offline = rel_lock - delta - 1] is the largest crash
+    the clean protocol provably tolerates; [n_states = 2] makes the
+    single retained revocation the critical one so every seeded
+    mutation is observable. *)
+
+val deadline : cfg -> int
+(** The bounded-closure deadline, [rel_lock + max_offline + delta + 3]
+    rounds from the first close-initiating action. *)
+
+type world
+
+type action =
+  | Tick  (** advance the ledger one round; Alice reacts if online *)
+  | Bob_commit of int * int  (** publish commit of state [i], delay [d] *)
+  | Bob_split of int  (** publish the split for Bob's commit, delay [d] *)
+  | Alice_close  (** Alice publishes her latest commit *)
+  | Coop_close  (** both parties publish the collaborative close *)
+  | Crash of int  (** Alice misses the next [k] rounds *)
+
+val action_to_string : action -> string
+
+val create : cfg -> world
+
+val model :
+  ?cfg:cfg -> ?name:string -> unit ->
+  (module Mcheck.MODEL with type world = world)
+(** The world as a checkable model. [name] defaults to
+    ["daric-closure"], suffixed with the mutation name when [cfg]
+    seeds one. *)
+
+(** {1 ANYPREVOUT rebinding}
+
+    Splits and revocations are signed ANYPREVOUT over
+    (locktime, outputs): re-completing the floating transaction
+    against another commit's outpoint and script needs only the two
+    witness signatures, no keys. Shared with {!Tower_world}. *)
+
+val rebind_split : Dm.entry -> Dm.entry -> Tx.t
+(** [rebind_split split commit] attaches [split] to [commit]'s
+    output 0 through the split (ELSE) branch. *)
+
+val rebind_revoke : Dm.entry -> Dm.entry -> Tx.t
+(** [rebind_revoke revoke commit] attaches [revoke] to [commit]'s
+    output 0 through the revocation (IF) branch. *)
+
+(** {1 Observation} (tests and trace rendering) *)
+
+val round : world -> int
+val resolved : world -> bool
+(** Funding output spent and, for a unilateral close, the commit's
+    output spent too. *)
+
+val stale_published : world -> bool
+val payouts : world -> int * int
+(** Final P2WPKH holdings of (Alice, Bob)'s main keys. *)
+
+val cash : world -> int
+val ledger : world -> Ledger.t
+val funding : world -> Tx.outpoint

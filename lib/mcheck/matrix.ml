@@ -1,0 +1,186 @@
+(** Registry-wide sweeps and the known-bug corpus gate.
+
+    Each sweep runs {!Mcheck.explore} over a family of worlds and
+    compares what fired against what is *expected* to fire:
+
+    - the clean Daric closure world and every registered scheme's
+      lifecycle world expect no violations;
+    - the Daric tower world expects none even under notification
+      withholding, while the Lightning tower world is *expected* to
+      lose punish-or-refund when an intermediate secret is withheld —
+      a documented finding, not an error;
+    - every seeded {!Daric_staticcheck.Daricmodel.mutation} must be
+      rediscovered as its mapped invariant violation (the mutation
+      matrix): a mutation the checker misses is a gate failure.
+
+    Entries convert to {!Daric_staticcheck.Diag} diagnostics (expected
+    findings at [Info], everything unexpected or missing at [Error])
+    and minimized closure traces render as {!Daric_core.Flowchart}
+    graphs of the actually-executed closure. *)
+
+module Dm = Daric_staticcheck.Daricmodel
+module Diag = Daric_staticcheck.Diag
+module Flowchart = Daric_core.Flowchart
+module Registry = Daric_schemes.Registry
+
+type entry = {
+  model : string;
+  expected : string list;  (** invariant names that must fire *)
+  result : Mcheck.result;
+  seconds : float;
+}
+
+let unexpected (e : entry) : Mcheck.counterexample list =
+  List.filter
+    (fun (c : Mcheck.counterexample) ->
+      not (List.mem c.Mcheck.violation.Mcheck.invariant e.expected))
+    e.result.Mcheck.counterexamples
+
+let missing (e : entry) : string list =
+  List.filter
+    (fun inv ->
+      not
+        (List.exists
+           (fun (c : Mcheck.counterexample) ->
+             c.Mcheck.violation.Mcheck.invariant = inv)
+           e.result.Mcheck.counterexamples))
+    e.expected
+
+let ok (e : entry) : bool = unexpected e = [] && missing e = []
+
+let run_entry ~(expected : string list) ~(config : Mcheck.config)
+    (m : (module Mcheck.MODEL)) : entry =
+  let t0 = Unix.gettimeofday () in
+  let result = Mcheck.explore ~config m in
+  { model = result.Mcheck.model; expected; result;
+    seconds = Unix.gettimeofday () -. t0 }
+
+(* ------------------------------------------------------------------ *)
+(* Expectations.                                                       *)
+
+(* Which Table-1 invariant each seeded closure defect must surface as.
+   Defects that break punishment fall to the stale split
+   (punish-or-refund); defects that silently change balances surface
+   as honest loss; defects that make outputs unspendable or
+   unconfirmable strand the close (bounded-closure). *)
+let expected_violation : Dm.mutation -> string = function
+  | Dm.Drop_revocation -> Mcheck.punish_or_refund
+  | Dm.Swap_cltv_params -> Mcheck.bounded_closure
+  | Dm.Off_by_one_locktime -> Mcheck.bounded_closure
+  | Dm.Orphan_rev_key -> Mcheck.punish_or_refund
+  | Dm.Leak_value -> Mcheck.no_honest_loss
+  | Dm.Overpay_outputs -> Mcheck.bounded_closure
+  | Dm.Mixed_cltv -> Mcheck.bounded_closure
+  | Dm.Unbalanced_script -> Mcheck.bounded_closure
+  | Dm.Dead_rev_branch -> Mcheck.punish_or_refund
+  | Dm.Rev_csv_delay -> Mcheck.punish_or_refund
+
+(* Expected findings for the baseline worlds: the Lightning tower
+   cannot defend a state whose secret was withheld — Table 1's O(n)
+   tower storage, observed as a genuine violation. *)
+let tower_expected : Tower_world.variant -> string list = function
+  | Tower_world.Daric -> []
+  | Tower_world.Lightning -> [ Mcheck.punish_or_refund ]
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps.                                                             *)
+
+let clean_closure_config =
+  { Mcheck.max_depth = 18; max_states = 300_000; iterative = false }
+
+let mutant_closure_config =
+  { Mcheck.max_depth = 14; max_states = 300_000; iterative = true }
+
+let lifecycle_config =
+  { Mcheck.max_depth = 7; max_states = 100_000; iterative = false }
+
+(* The tower world is tiny but its witnesses are long: a Lightning
+   sweep needs withhold + cheat + rel_lock ticks + recording, and a
+   stranded close only trips bounded-closure [deadline] rounds after
+   publication. Explore to the horizon. *)
+let tower_config =
+  { Mcheck.max_depth = 16; max_states = 200_000; iterative = true }
+
+let closure_clean ?(config = clean_closure_config) () : entry =
+  run_entry ~expected:[] ~config
+    (module (val Closure_world.model ()) : Mcheck.MODEL)
+
+let mutation_matrix ?(config = mutant_closure_config) () :
+    (Dm.mutation * entry) list =
+  List.map
+    (fun (mu, _rule) ->
+      let cfg = { Closure_world.default_cfg with Closure_world.mutate = Some mu } in
+      ( mu,
+        run_entry ~expected:[ expected_violation mu ] ~config
+          (module (val Closure_world.model ~cfg ()) : Mcheck.MODEL) ))
+    Dm.all_mutations
+
+let scheme_sweep ?(config = lifecycle_config) () : entry list =
+  List.map
+    (fun name ->
+      match Scheme_world.model_by_name name with
+      | Some m -> run_entry ~expected:[] ~config (module (val m) : Mcheck.MODEL)
+      | None -> assert false (* names come from the registry itself *))
+    (Registry.names ())
+
+let scheme_one ?(config = lifecycle_config) (name : string) : entry option =
+  Option.map
+    (fun (m : (module Mcheck.MODEL with type world = Scheme_world.world)) ->
+      run_entry ~expected:[] ~config (module (val m) : Mcheck.MODEL))
+    (Scheme_world.model_by_name name)
+
+let tower_sweep ?(config = tower_config) () : entry list =
+  List.map
+    (fun variant ->
+      let cfg = { Tower_world.default_cfg with Tower_world.variant } in
+      run_entry ~expected:(tower_expected variant) ~config
+        (module (val Tower_world.model ~cfg ()) : Mcheck.MODEL))
+    [ Tower_world.Daric; Tower_world.Lightning ]
+
+(* ------------------------------------------------------------------ *)
+(* Reporting.                                                          *)
+
+let to_diags (e : entry) : Diag.t list =
+  let mk severity detail =
+    Diag.make ~scheme:e.model ~rule:Diag.Scenario_failure ~severity detail
+  in
+  List.map
+    (fun (c : Mcheck.counterexample) ->
+      let expected_one =
+        List.mem c.Mcheck.violation.Mcheck.invariant e.expected
+      in
+      mk
+        (if expected_one then Diag.Info else Diag.Error)
+        (Printf.sprintf "%s%s: %s [%s]"
+           (if expected_one then "expected finding " else "")
+           c.Mcheck.violation.Mcheck.invariant
+           c.Mcheck.violation.Mcheck.detail
+           (String.concat "; " c.Mcheck.trace)))
+    e.result.Mcheck.counterexamples
+  @ List.map
+      (fun inv ->
+        mk Diag.Error
+          (Printf.sprintf "expected finding %s did not surface" inv))
+      (missing e)
+
+(* Replay a closure-world trace and chart the transactions actually
+   accepted on the ledger. *)
+let closure_flowchart ?(cfg = Closure_world.default_cfg) ~(title : string)
+    (trace : string list) : Flowchart.t option =
+  let m = Closure_world.model ~cfg () in
+  Option.map
+    (fun w ->
+      Flowchart.of_ledger
+        (Closure_world.ledger w)
+        ~funding:(Closure_world.funding w)
+        ~title)
+    (Mcheck.replay
+       (module (val m) : Mcheck.MODEL with type world = Closure_world.world)
+       trace)
+
+let pp_entry fmt (e : entry) =
+  Fmt.pf fmt "@[<v2>%-28s %s — %d state(s), %d transition(s), %.2fs%s@]"
+    e.model
+    (if ok e then "ok" else "FAIL")
+    e.result.Mcheck.visited e.result.Mcheck.transitions e.seconds
+    (if e.result.Mcheck.truncated then " (budget hit)" else "")

@@ -1,0 +1,78 @@
+(** Registry-wide sweeps, expected-findings bookkeeping and the
+    known-bug corpus gate (see the implementation header for the
+    policy: clean worlds expect silence, the Lightning tower expects
+    its punish-or-refund finding, every seeded mutation must be
+    rediscovered). *)
+
+module Dm = Daric_staticcheck.Daricmodel
+module Diag = Daric_staticcheck.Diag
+module Flowchart = Daric_core.Flowchart
+
+type entry = {
+  model : string;
+  expected : string list;  (** invariant names that must fire *)
+  result : Mcheck.result;
+  seconds : float;  (** wall-clock exploration time *)
+}
+
+val unexpected : entry -> Mcheck.counterexample list
+(** Violations outside the expected list. *)
+
+val missing : entry -> string list
+(** Expected invariants that did not fire. *)
+
+val ok : entry -> bool
+(** No unexpected violations and nothing missing — an expected
+    finding that fails to surface is a failure too (the model lost
+    its witness). *)
+
+val run_entry :
+  expected:string list -> config:Mcheck.config ->
+  (module Mcheck.MODEL) -> entry
+
+(** {1 Expectations} *)
+
+val expected_violation : Dm.mutation -> string
+(** The Table-1 invariant each seeded closure defect surfaces as. *)
+
+val tower_expected : Tower_world.variant -> string list
+
+(** {1 Sweeps} *)
+
+val clean_closure_config : Mcheck.config
+(** Exhaustive single pass: depth 18, 300k states. *)
+
+val mutant_closure_config : Mcheck.config
+(** Iterative deepening to depth 14 — shortest counterexamples. *)
+
+val lifecycle_config : Mcheck.config
+(** Scheme worlds: depth 7, 100k states, single pass. *)
+
+val tower_config : Mcheck.config
+(** Tower worlds: iterative deepening to depth 16 — deep enough for
+    the long punish/sweep and bounded-closure witnesses. *)
+
+val closure_clean : ?config:Mcheck.config -> unit -> entry
+val mutation_matrix :
+  ?config:Mcheck.config -> unit -> (Dm.mutation * entry) list
+val scheme_sweep : ?config:Mcheck.config -> unit -> entry list
+val scheme_one : ?config:Mcheck.config -> string -> entry option
+(** [None] when the name is not in {!Daric_schemes.Registry}. *)
+
+val tower_sweep : ?config:Mcheck.config -> unit -> entry list
+(** Daric then Lightning variant. *)
+
+(** {1 Reporting} *)
+
+val to_diags : entry -> Diag.t list
+(** Expected findings at [Info], unexpected or missing at [Error],
+    all under {!Diag.Scenario_failure}. *)
+
+val closure_flowchart :
+  ?cfg:Closure_world.cfg -> title:string -> string list ->
+  Flowchart.t option
+(** Replay a closure-world counterexample trace and chart the
+    transactions actually accepted on the ledger; [None] if the trace
+    does not replay under [cfg]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

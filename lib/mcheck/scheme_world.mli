@@ -1,0 +1,58 @@
+(** Generic lifecycle world over any registered
+    {!Daric_schemes.Scheme_intf.SCHEME}, as a {!Mcheck.MODEL}.
+
+    Explores every interleaving of bounded update sequences, idle
+    settle rounds and the three closure scenarios, checking the
+    Table-1 predicates on the reported outcome and on the chain:
+    bounded closure ([4 * rel_lock + 12] rounds), punish-or-refund for
+    dishonest closes (punished, or stale state overridden on-chain),
+    value conservation of the funding output's unspent descendants,
+    and absence of typed lifecycle failures.
+
+    Snapshot/restore is replay-based — a snapshot is the action
+    history, restore rebuilds a fresh same-seed environment and
+    replays it — so schemes need no checkpointing support. *)
+
+module I = Daric_schemes.Scheme_intf
+
+type close = [ `Collaborative | `Dishonest | `Force ]
+
+type action =
+  | Update  (** next update on the harness balance trajectory *)
+  | Settle  (** one idle ledger round *)
+  | Close of close  (** terminal *)
+
+val action_to_string : action -> string
+
+type cfg = {
+  max_updates : int;
+  max_settles : int;
+  delta : int;
+  config : I.config;
+}
+
+val default_cfg : cfg
+(** 3 updates, 2 settles, Δ = 1, {!I.default_config}. *)
+
+val rounds_bound : cfg -> int
+(** The bounded-closure deadline, [4 * rel_lock + 12] rounds. *)
+
+type world
+
+val create : (module I.SCHEME) -> cfg -> world
+
+val model :
+  ?cfg:cfg -> (module I.SCHEME) ->
+  (module Mcheck.MODEL with type world = world)
+
+val model_by_name :
+  ?cfg:cfg -> string ->
+  (module Mcheck.MODEL with type world = world) option
+(** Look the scheme up in {!Daric_schemes.Registry}. *)
+
+(** {1 Observation} *)
+
+val sn : world -> int
+val outcome : world -> (close * I.outcome) option
+val failure : world -> I.error option
+val env : world -> I.env

@@ -1,0 +1,58 @@
+(** Watchtower-handoff world under adversarial notification
+    withholding, as a {!Mcheck.MODEL}.
+
+    The channel's per-update tower notifications travel over a
+    best-effort {!Daric_chain.Network} link; the adversary may
+    {!action.Withhold} any *intermediate* notification (the final
+    handoff is assumed delivered — a tower that never heard of the
+    latest state cannot be expected to defend it), then {!action.Cheat}
+    with any revoked state while both parties stay offline. Only the
+    tower can react before the cheater's CSV sweep window opens.
+
+    The [Daric] variant retains one revocation — the latest delivered —
+    and rebinds it over any published stale commit: every exploration
+    is clean, mechanizing the Table-1 O(1) tower-storage claim. The
+    [Lightning] variant needs the exact per-state secret; withholding
+    it yields a punish-or-refund violation, which {!Matrix} files as an
+    *expected finding* rather than an error. *)
+
+type variant = Daric | Lightning
+
+val variant_name : variant -> string
+
+type cfg = {
+  variant : variant;
+  n_states : int;
+  rel_lock : int;
+  delta : int;
+  horizon : int;
+}
+
+val default_cfg : cfg
+(** Daric variant, 3 states, [rel_lock = 4], Δ = 2, horizon 14. *)
+
+val deadline : cfg -> int
+(** Rounds a published revoked state may stay unresolved:
+    [rel_lock + delta + 3]. *)
+
+type world
+
+type action =
+  | Tick
+  | Withhold of int  (** drop the in-flight notification for state [j] *)
+  | Cheat of int  (** publish the revoked state-[j] commit *)
+
+val action_to_string : action -> string
+
+val create : cfg -> world
+
+val model :
+  ?cfg:cfg -> unit -> (module Mcheck.MODEL with type world = world)
+
+(** {1 Observation} *)
+
+val round : world -> int
+val resolved : world -> bool
+val victim_payout : world -> int
+val tower_known : world -> int list
+(** Notification indexes the tower has received, sorted. *)

@@ -39,7 +39,10 @@ module Scheme : Scheme_intf.SCHEME with type t = state = struct
   type t = state
 
   let open_channel (env : I.env) (cfg : I.config) =
-    let id = cfg.chan_id in
+    (* Party and watchtower state is indexed by channel id: claim it on
+       the env so a second instance opened with the same config derives
+       a distinct id instead of colliding in the shared indexes. *)
+    let id = I.claim_chan_id env cfg.chan_id in
     (* The traffic log is capped so thousands of channels on one shared
        environment keep flat memory; byte/message totals are separate
        counters and unaffected. *)
@@ -166,6 +169,9 @@ end
 
 (* ------------------------------------------------------------------ *)
 (* Scale-harness access to the transparent state.                      *)
+
+(** The channel id actually claimed on the environment at open. *)
+let chan_id (s : state) : string = s.chan_id
 
 (** Alice's current watchtower record for this channel ([None] until
     the first update — state 0 has nothing to revoke). *)

@@ -7,6 +7,11 @@ type state
 
 module Scheme : Scheme_intf.SCHEME with type t = state
 
+val chan_id : state -> string
+(** The channel id actually claimed on the environment at open — the
+    config's [chan_id], or a derived ["id~k"] when that id was already
+    taken on the shared env (see {!Scheme_intf.claim_chan_id}). *)
+
 val watch_record : state -> Daric_core.Watchtower.record option
 (** Alice's current watchtower record for the channel; [None] until
     the first update (state 0 has nothing to revoke). *)

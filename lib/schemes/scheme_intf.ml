@@ -25,13 +25,37 @@ module Keys = Daric_core.Keys
 (* ------------------------------------------------------------------ *)
 (* Shared environment.                                                 *)
 
-(** The shared execution environment a scheme instance runs against. *)
-type env = { ledger : Ledger.t; rng : Daric_util.Rng.t; delta : int }
+(** The shared execution environment a scheme instance runs against.
+    [chan_ids] tracks every channel id claimed on this env so two
+    instances opened with identical configs cannot silently collide in
+    a shared tower or funding index (see {!claim_chan_id}). *)
+type env = {
+  ledger : Ledger.t;
+  rng : Daric_util.Rng.t;
+  delta : int;
+  chan_ids : (string, int) Hashtbl.t;
+}
 
 let make_env ?(delta = 1) ?(seed = 7) () : env =
   { ledger = Ledger.create ~delta ();
     rng = Daric_util.Rng.create ~seed;
-    delta }
+    delta;
+    chan_ids = Hashtbl.create 8 }
+
+(** Claim [id] on this environment, deriving a fresh ["id~k"] when the
+    requested id is already taken. Schemes that index per-channel state
+    by id (protocol parties, watchtower records) route their config's
+    [chan_id] through this at open, so two instances opened with
+    {!default_config} on one env get distinct ids instead of silently
+    sharing one tower/funding slot. *)
+let rec claim_chan_id (env : env) (id : string) : string =
+  match Hashtbl.find_opt env.chan_ids id with
+  | None ->
+      Hashtbl.replace env.chan_ids id 0;
+      id
+  | Some n ->
+      Hashtbl.replace env.chan_ids id (n + 1);
+      claim_chan_id env (Printf.sprintf "%s~%d" id (n + 1))
 
 (** Per-channel opening parameters. [t_end] only matters to schemes
     with a limited lifetime (Sleepy); [party_seed] and [chan_id] to

@@ -246,6 +246,96 @@ let test_higher_feerate_first () =
   | _ -> Alcotest.fail "expected exactly one tx in the tight block");
   ignore (Mempool.tick mp)
 
+(* Checkpoint/rollback stress under nested checkpoint discipline,
+   interleaved with aggressive log compaction (compact_depth = 2, so
+   rolled-back entries include packed ones). A deterministic op script
+   (mint + delayed spend + tick per step) lets every rolled-back state
+   be compared against a freshly replayed ledger. *)
+
+let test_checkpoint_stress () =
+  let sk, pk = keypair 1 in
+  let _, pk2 = keypair 2 in
+  let step l i =
+    let op = Ledger.mint l ~value:(1000 + i) ~spk:(p2wpkh pk) in
+    let tx = spend_tx ~sk ~pk ~from:op ~value:(1000 + i) ~to_pk:pk2 () in
+    Ledger.post l tx ~delay:(i mod 3);
+    ignore (Ledger.tick l);
+    op
+  in
+  (* Divergent branch: different values and delays, discarded later. *)
+  let step_divergent l i =
+    let op = Ledger.mint l ~value:(9000 + i) ~spk:(p2wpkh pk) in
+    let tx = spend_tx ~sk ~pk ~from:op ~value:(9000 + i) ~to_pk:pk2 () in
+    Ledger.post l tx ~delay:((i + 1) mod 3);
+    ignore (Ledger.tick l);
+    op
+  in
+  let mk () = Ledger.create ~delta:2 ~compact_depth:2 () in
+  let fresh upto =
+    let l = mk () in
+    let ops = List.init upto (step l) in
+    (l, ops)
+  in
+  let state l =
+    ( Ledger.height l,
+      List.map (fun (r, tx) -> (r, Tx.txid tx)) (Ledger.accepted l),
+      List.sort compare
+        (Ledger.fold_utxos l
+           (fun op u acc ->
+             (op.Tx.txid, op.Tx.vout, u.Ledger.output.Tx.value) :: acc)
+           []),
+      List.map
+        (fun (due, txs) -> (due, List.map Tx.txid txs))
+        (Ledger.pending_due l),
+      Ledger.total_value l )
+  in
+  let agree label l ops (l', ops') =
+    check_b (label ^ ": state equals fresh replay") true (state l = state l');
+    check_b (label ^ ": same op stream") true (ops = ops');
+    List.iter
+      (fun op ->
+        let via_index = Ledger.spender_of l op
+        and via_scan = Ledger.spender_of_scan l op in
+        check_b
+          (label ^ ": spender index matches scan")
+          true
+          (Option.map Tx.txid via_index = Option.map Tx.txid via_scan))
+      ops
+  in
+  let a, b, n = (3, 7, 12) in
+  let l = mk () in
+  let ops_a = List.init a (step l) in
+  let c1 = Ledger.checkpoint l in
+  let ops_b = ops_a @ List.init (b - a) (fun i -> step l (a + i)) in
+  let c2 = Ledger.checkpoint l in
+  let _ops_n = ops_b @ List.init (n - b) (fun i -> step l (b + i)) in
+  check_b "compaction packed entries" true (Ledger.compacted_count l > 0);
+  (* Roll back past compacted recordings to the inner checkpoint. *)
+  Ledger.rollback l c2;
+  agree "rollback to c2" l ops_b (fresh b);
+  (* Diverge, then re-enter the same checkpoint (DFS backtracking). *)
+  let _ = List.init (n - b) (fun i -> step_divergent l (b + i)) in
+  Ledger.rollback l c2;
+  agree "re-entered c2 after divergent branch" l ops_b (fresh b);
+  (* Unwind the stack to the outer checkpoint and replay to the tip:
+     the rebuilt chain must equal an uncheckpointed straight run. *)
+  Ledger.rollback l c1;
+  agree "rollback to c1" l ops_a (fresh a);
+  let ops_n' = ops_a @ List.init (n - a) (fun i -> step l (a + i)) in
+  agree "replayed to tip after rollback" l ops_n' (fresh n);
+  (* Violating the stack discipline — rolling back to a checkpoint
+     taken at a round above the ledger's — is refused. *)
+  let l2 = mk () in
+  let _ = List.init 2 (step l2) in
+  let c_lo = Ledger.checkpoint l2 in
+  let _ = List.init 2 (fun i -> step l2 (2 + i)) in
+  let c_hi = Ledger.checkpoint l2 in
+  Ledger.rollback l2 c_lo;
+  check_b "rollback above the current round raises" true
+    (match Ledger.rollback l2 c_hi with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let prop_delay_never_negative =
   QCheck.Test.make ~name:"post accepts any delay value" ~count:100
     QCheck.(int_range (-5) 50)
@@ -304,6 +394,7 @@ let () =
           Alcotest.test_case "batched validation" `Quick test_batched_validation;
           Alcotest.test_case "locktime classes" `Quick test_locktime_classes;
           Alcotest.test_case "double spend" `Quick test_double_spend;
+          Alcotest.test_case "checkpoint stress" `Quick test_checkpoint_stress;
           QCheck_alcotest.to_alcotest prop_delay_never_negative ] );
       ( "mempool",
         [ Alcotest.test_case "fees and min relay" `Quick test_fee_and_minrelay;

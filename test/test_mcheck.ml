@@ -1,0 +1,411 @@
+(* Model-checker tests: explorer units on a toy model, the clean Daric
+   closure sweep, the 10-mutation rediscovery matrix with hand-written
+   witness traces, determinism, the scenario-engine differential
+   (every scripted harness trace is a path in the explored graph), the
+   registry and tower sweeps, and the claim_chan_id satellite. *)
+
+module Mcheck = Daric_mcheck.Mcheck
+module Cw = Daric_mcheck.Closure_world
+module Sw = Daric_mcheck.Scheme_world
+module Tw = Daric_mcheck.Tower_world
+module Matrix = Daric_mcheck.Matrix
+module Dm = Daric_staticcheck.Daricmodel
+module I = Daric_schemes.Scheme_intf
+module H = Daric_schemes.Harness
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Toy model: a counter with +1/+2 moves, violating at >= 5.           *)
+
+module Toy = struct
+  let name = "toy"
+
+  type world = int ref
+  type action = int
+  type snap = int
+
+  let action_to_string = string_of_int
+  let init () = ref 0
+  let actions w = if !w >= 20 then [] else [ 1; 2 ]
+  let apply w a = w := !w + a
+  let fingerprint w = string_of_int !w
+
+  let check w =
+    if !w >= 5 then [ { Mcheck.invariant = "ge5"; detail = "counter >= 5" } ]
+    else []
+
+  let snapshot w = !w
+  let restore w s = w := s
+end
+
+let toy = (module Toy : Mcheck.MODEL)
+
+let test_toy_dedup () =
+  let r =
+    Mcheck.explore
+      ~config:{ Mcheck.max_depth = 18; max_states = 100_000; iterative = false }
+      (module struct
+        include Toy
+
+        let check _ = []
+      end)
+  in
+  (* Reachable counter values are 0..21: dedup must collapse the
+     exponential tree onto at most that many states. *)
+  checkb "far fewer states than transitions" true (r.Mcheck.visited <= 22);
+  checkb "tree larger than state count" true
+    (r.Mcheck.transitions > r.Mcheck.visited);
+  checkb "not truncated" true (not r.Mcheck.truncated);
+  checki "no violations" 0 (List.length r.Mcheck.counterexamples)
+
+let test_toy_depth_bound () =
+  let shallow =
+    Mcheck.explore
+      ~config:{ Mcheck.max_depth = 2; max_states = 100_000; iterative = false }
+      toy
+  in
+  checki "unreachable at depth 2" 0 (List.length shallow.Mcheck.counterexamples);
+  let deep =
+    Mcheck.explore
+      ~config:{ Mcheck.max_depth = 6; max_states = 100_000; iterative = true }
+      toy
+  in
+  match deep.Mcheck.counterexamples with
+  | [ c ] ->
+      check (Alcotest.string) "invariant" "ge5" c.Mcheck.violation.invariant;
+      (* Iterative deepening finds the violation at depth 3 (2+2+1);
+         greedy minimization cannot shrink it further. *)
+      checki "minimized to three actions" 3 (List.length c.Mcheck.trace);
+      checki "found at depth 3" 3 deep.Mcheck.depth
+  | cs -> Alcotest.failf "expected one counterexample, got %d" (List.length cs)
+
+let test_toy_budget () =
+  let r =
+    Mcheck.explore
+      ~config:{ Mcheck.max_depth = 18; max_states = 3; iterative = false }
+      (module struct
+        include Toy
+
+        let check _ = []
+      end)
+  in
+  checkb "budget marks truncation" true r.Mcheck.truncated
+
+let test_toy_minimize () =
+  let trace = [ "1"; "2"; "1"; "1"; "2" ] in
+  checkb "witness violates" true
+    (Mcheck.violates toy ~invariant:"ge5" trace);
+  let m = Mcheck.minimize toy ~invariant:"ge5" trace in
+  checkb "still violates" true (Mcheck.violates toy ~invariant:"ge5" m);
+  checki "minimized to three actions" 3 (List.length m);
+  (* No single further deletion may survive. *)
+  List.iteri
+    (fun i _ ->
+      let m' = List.filteri (fun j _ -> j <> i) m in
+      checkb "1-minimal" false (Mcheck.violates toy ~invariant:"ge5" m'))
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Clean Daric closure sweep.                                          *)
+
+let clean_config =
+  { Mcheck.max_depth = 18; max_states = 300_000; iterative = false }
+
+let test_clean_sweep () =
+  let r = Mcheck.explore ~config:clean_config (module (val Cw.model ())) in
+  checkb "exhaustive (not truncated)" true (not r.Mcheck.truncated);
+  (match r.Mcheck.counterexamples with
+  | [] -> ()
+  | c :: _ ->
+      Alcotest.failf "clean Daric violated %s via [%s]"
+        c.Mcheck.violation.invariant
+        (String.concat "; " c.Mcheck.trace));
+  checkb "explored a nontrivial space" true (r.Mcheck.visited > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation matrix: every seeded closure defect must be rediscovered    *)
+(* as an invariant violation, with a minimized counterexample no       *)
+(* longer than the hand-written witness trace.                         *)
+
+let ticks n = List.init n (fun _ -> "tick")
+
+(* Hand-written witness per mutation: (expected invariant, trace). *)
+let witnesses : (Dm.mutation * string * string list) list =
+  [ (* Revocation for the only stale state is gone: Alice can only
+       enforce the stale split — resolution without punishment. *)
+    (Dm.Drop_revocation, Mcheck.punish_or_refund,
+     "bob-commit(0,+0)" :: ticks 6);
+    (* CLTV ordering reversed: the stale commit's output demands
+       s0+1, which neither revocation (s0+0) nor split (s0+0) meets. *)
+    (Dm.Swap_cltv_params, Mcheck.bounded_closure,
+     "bob-commit(0,+0)" :: ticks 11);
+    (* Split nLockTime one below its commit's CLTV: Alice's own close
+       can never be enforced. *)
+    (Dm.Off_by_one_locktime, Mcheck.bounded_closure,
+     "alice-close" :: ticks 11);
+    (* Revocation keys nobody owns: the punish branch never verifies,
+       the stale split resolves instead. *)
+    (Dm.Orphan_rev_key, Mcheck.punish_or_refund,
+     "bob-commit(0,+0)" :: ticks 6);
+    (* Split outputs short of the channel cash: honest Bob settles
+       below his latest-state balance. *)
+    (Dm.Leak_value, Mcheck.no_honest_loss, [ "coop-close"; "tick" ]);
+    (* Split outputs above the channel cash: every split and the
+       collaborative close are Value_overspent forever. *)
+    (Dm.Overpay_outputs, Mcheck.bounded_closure, "coop-close" :: ticks 11);
+    (* Height- and timestamp-class CLTV in one script: the commit
+       output is unspendable. *)
+    (Dm.Mixed_cltv, Mcheck.bounded_closure, "bob-commit(0,+0)" :: ticks 11);
+    (* Commit script lost its ENDIF: unparseable, unspendable. *)
+    (Dm.Unbalanced_script, Mcheck.bounded_closure,
+     "bob-commit(0,+0)" :: ticks 11);
+    (* Revocation branch a guaranteed failure: split fallback resolves
+       the stale state. *)
+    (Dm.Dead_rev_branch, Mcheck.punish_or_refund,
+     "bob-commit(0,+0)" :: ticks 6);
+    (* Revocation delayed as long as the split: Bob posts the split
+       early (delay Δ) so it lands the round the revocation matures,
+       before Alice's same-round reaction confirms. *)
+    (Dm.Rev_csv_delay, Mcheck.punish_or_refund,
+     [ "bob-commit(0,+0)"; "tick"; "tick"; "tick"; "bob-split(+2)"; "tick";
+       "tick" ]) ]
+
+let mutant_config =
+  { Mcheck.max_depth = 14; max_states = 300_000; iterative = true }
+
+let test_mutation_matrix () =
+  List.iter
+    (fun (mu, invariant, witness) ->
+      let name = Dm.mutation_name mu in
+      let cfg = { Cw.default_cfg with Cw.mutate = Some mu } in
+      let m = Cw.model ~cfg () in
+      (* The hand-written witness must itself demonstrate the bug... *)
+      checkb
+        (Printf.sprintf "%s: witness trace violates %s" name invariant)
+        true
+        (Mcheck.violates (module (val m)) ~invariant witness);
+      (* ...and the checker must rediscover it unaided, with a
+         minimized counterexample no longer than the witness. *)
+      let r = Mcheck.explore ~config:mutant_config (module (val m)) in
+      match
+        List.find_opt
+          (fun (c : Mcheck.counterexample) ->
+            c.Mcheck.violation.invariant = invariant)
+          r.Mcheck.counterexamples
+      with
+      | None ->
+          Alcotest.failf "%s: %s not rediscovered (found: %s)" name invariant
+            (String.concat ", "
+               (List.map
+                  (fun (c : Mcheck.counterexample) ->
+                    c.Mcheck.violation.invariant)
+                  r.Mcheck.counterexamples))
+      | Some c ->
+          checkb
+            (Printf.sprintf "%s: minimized (%d) <= witness (%d)" name
+               (List.length c.Mcheck.trace)
+               (List.length witness))
+            true
+            (List.length c.Mcheck.trace <= List.length witness);
+          checkb
+            (Printf.sprintf "%s: minimized trace still violates" name)
+            true
+            (Mcheck.violates (module (val m)) ~invariant c.Mcheck.trace))
+    witnesses
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same model, same bounds — identical exploration.       *)
+
+let test_determinism () =
+  let run () =
+    let cfg = { Cw.default_cfg with Cw.mutate = Some Dm.Rev_csv_delay } in
+    Mcheck.explore ~config:mutant_config (module (val Cw.model ~cfg ()))
+  in
+  let a = run () and b = run () in
+  checki "visited" a.Mcheck.visited b.Mcheck.visited;
+  checki "transitions" a.Mcheck.transitions b.Mcheck.transitions;
+  checki "depth" a.Mcheck.depth b.Mcheck.depth;
+  check
+    Alcotest.(list (list string))
+    "traces"
+    (List.map (fun (c : Mcheck.counterexample) -> c.Mcheck.trace)
+       a.Mcheck.counterexamples)
+    (List.map (fun (c : Mcheck.counterexample) -> c.Mcheck.trace)
+       b.Mcheck.counterexamples)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-engine differential: every scripted harness trace (k       *)
+(* updates then one close) is a path in the explored lifecycle graph — *)
+(* every prefix state's fingerprint was visited — and the replayed     *)
+(* outcome agrees with Harness.run on resolution and punishment.       *)
+
+let test_scenario_differential () =
+  List.iter
+    (fun scheme_name ->
+      let m =
+        match Sw.model_by_name scheme_name with
+        | Some m -> m
+        | None -> Alcotest.failf "scheme %s not registered" scheme_name
+      in
+      let module M = (val m) in
+      let r =
+        Mcheck.explore ~config:Matrix.lifecycle_config
+          (module M : Mcheck.MODEL)
+      in
+      checki
+        (scheme_name ^ ": lifecycle sweep is clean")
+        0
+        (List.length r.Mcheck.counterexamples);
+      List.iter
+        (fun (updates, close, close_str) ->
+          let trace =
+            List.init updates (fun _ -> "update") @ [ close_str ]
+          in
+          (* Every prefix of the scripted trace is an explored state. *)
+          List.iteri
+            (fun i _ ->
+              let prefix = List.filteri (fun j _ -> j <= i) trace in
+              match Mcheck.replay (module M) prefix with
+              | None ->
+                  Alcotest.failf "%s: prefix [%s] does not replay"
+                    scheme_name
+                    (String.concat "; " prefix)
+              | Some w ->
+                  checkb
+                    (Printf.sprintf "%s: prefix [%s] explored" scheme_name
+                       (String.concat "; " prefix))
+                    true
+                    (Mcheck.contains r (M.fingerprint w)))
+            trace;
+          (* And the replayed endpoint agrees with the scenario engine. *)
+          match Mcheck.replay (module M) trace with
+          | None -> Alcotest.failf "%s: full trace does not replay" scheme_name
+          | Some w -> (
+              match
+                ( Sw.outcome w,
+                  H.run_fresh ~delta:1
+                    (Option.get (Daric_schemes.Registry.find scheme_name))
+                    { H.updates; close = (close :> H.close) } )
+              with
+              | Some (_, o), Ok report ->
+                  let ho = Option.get report.H.outcome in
+                  checkb
+                    (Printf.sprintf "%s/%s/%d: resolved agrees" scheme_name
+                       close_str updates)
+                    ho.I.resolved o.I.resolved;
+                  checkb
+                    (Printf.sprintf "%s/%s/%d: punished agrees" scheme_name
+                       close_str updates)
+                    ho.I.punished o.I.punished
+              | None, _ ->
+                  Alcotest.failf "%s: replayed trace has no outcome"
+                    scheme_name
+              | _, Error e ->
+                  Alcotest.failf "%s: harness run failed: %s" scheme_name
+                    (I.error_to_string e)))
+        (List.concat_map
+           (fun updates ->
+             (if updates >= 1 then
+                [ (updates, `Dishonest, "close:dishonest") ]
+              else [])
+             @ [ (updates, `Collaborative, "close:coop");
+                 (updates, `Force, "close:force") ])
+           [ 0; 1; 3 ]))
+    [ "Daric"; "Lightning"; "eltoo" ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide sweeps: every registered scheme's lifecycle world is  *)
+(* clean; the Daric tower is clean under withholding while the         *)
+(* Lightning tower exhibits exactly the expected punish-or-refund      *)
+(* finding, with the canonical withhold-then-cheat witness.            *)
+
+let test_registry_sweep () =
+  List.iter
+    (fun (e : Matrix.entry) ->
+      checkb (e.Matrix.model ^ ": ok") true (Matrix.ok e);
+      checki
+        (e.Matrix.model ^ ": no violations")
+        0
+        (List.length e.Matrix.result.Mcheck.counterexamples))
+    (Matrix.scheme_sweep ())
+
+let test_tower_sweep () =
+  match Matrix.tower_sweep () with
+  | [ daric; lightning ] ->
+      checkb "tower/daric ok" true (Matrix.ok daric);
+      checki "tower/daric: clean under withholding" 0
+        (List.length daric.Matrix.result.Mcheck.counterexamples);
+      checkb "tower/lightning ok (finding expected)" true (Matrix.ok lightning);
+      (match lightning.Matrix.result.Mcheck.counterexamples with
+      | [ c ] ->
+          check Alcotest.string "lightning finding is punish-or-refund"
+            Mcheck.punish_or_refund c.Mcheck.violation.Mcheck.invariant;
+          checkb "witness withholds a secret" true
+            (List.mem "withhold(0)" c.Mcheck.trace);
+          checkb "witness publishes the withheld state" true
+            (List.mem "cheat(0)" c.Mcheck.trace)
+      | cs ->
+          Alcotest.failf "lightning tower: expected one finding, got %d"
+            (List.length cs))
+  | entries ->
+      Alcotest.failf "tower sweep: expected 2 entries, got %d"
+        (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* claim_chan_id: two instances of the default config on one env must  *)
+(* derive distinct channel ids instead of colliding.                   *)
+
+let test_claim_chan_id () =
+  let env = I.make_env () in
+  check Alcotest.(string) "first claim keeps the id" "c"
+    (I.claim_chan_id env "c");
+  check Alcotest.(string) "second claim derives" "c~1"
+    (I.claim_chan_id env "c");
+  check Alcotest.(string) "third claim derives again" "c~2"
+    (I.claim_chan_id env "c");
+  (* And through a real scheme: two Daric opens with identical configs
+     share one env without clobbering each other's party state. *)
+  let env = I.make_env () in
+  let open_one () =
+    match
+      Daric_schemes.Daric_scheme.Scheme.open_channel env I.default_config
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "open failed: %s" (I.error_to_string e)
+  in
+  let s1 = open_one () in
+  let s2 = open_one () in
+  checkb "distinct channel ids" true
+    (Daric_schemes.Daric_scheme.chan_id s1
+    <> Daric_schemes.Daric_scheme.chan_id s2);
+  (match Daric_schemes.Daric_scheme.Scheme.update s1 ~bal_a:499_000 ~bal_b:501_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "update s1 failed: %s" (I.error_to_string e));
+  match Daric_schemes.Daric_scheme.Scheme.update s2 ~bal_a:498_000 ~bal_b:502_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "update s2 failed: %s" (I.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mcheck"
+    [ ("toy",
+       [ Alcotest.test_case "dedup" `Quick test_toy_dedup;
+         Alcotest.test_case "depth bound" `Quick test_toy_depth_bound;
+         Alcotest.test_case "budget" `Quick test_toy_budget;
+         Alcotest.test_case "minimize" `Quick test_toy_minimize ]);
+      ("closure",
+       [ Alcotest.test_case "clean sweep" `Quick test_clean_sweep;
+         Alcotest.test_case "mutation matrix" `Slow test_mutation_matrix;
+         Alcotest.test_case "determinism" `Quick test_determinism ]);
+      ("schemes",
+       [ Alcotest.test_case "scenario differential" `Slow
+           test_scenario_differential;
+         Alcotest.test_case "registry sweep" `Quick test_registry_sweep ]);
+      ("tower",
+       [ Alcotest.test_case "tower sweep" `Quick test_tower_sweep ]);
+      ("satellites",
+       [ Alcotest.test_case "claim_chan_id" `Quick test_claim_chan_id ]) ]

@@ -498,6 +498,28 @@ let bench_tests () =
     Test.make ~name:"schnorr-verify_naive"
       (Staged.stage (fun () -> ignore (Schnorr.verify_naive pk msg sg)))
   in
+  (* keyed operations against their un-keyed (plain-path) baselines:
+     the keyed side amortizes per-key validation, encodings and the
+     fixed-base window table through a Keyctx; same verdicts, same
+     signature bytes *)
+  let kc = Daric_crypto.Keyctx.create ~sk pk in
+  ignore (Daric_crypto.Keyctx.table kc);
+  let sign_keyed =
+    Test.make ~name:"schnorr-sign-keyed"
+      (Staged.stage (fun () -> ignore (Schnorr.sign_keyed kc msg)))
+  in
+  let sign_keyed_naive =
+    Test.make ~name:"schnorr-sign-keyed_naive"
+      (Staged.stage (fun () -> ignore (Schnorr.sign sk msg)))
+  in
+  let verify_keyed =
+    Test.make ~name:"schnorr-verify-keyed"
+      (Staged.stage (fun () -> assert (Schnorr.verify_keyed kc msg sg)))
+  in
+  let verify_keyed_naive =
+    Test.make ~name:"schnorr-verify-keyed_naive"
+      (Staged.stage (fun () -> assert (Schnorr.verify pk msg sg)))
+  in
   let batch_items =
     List.init 64 (fun i ->
         let sk, pk = Schnorr.keygen rng in
@@ -515,6 +537,23 @@ let bench_tests () =
            assert
              (List.for_all (fun (pk, m, s) -> Schnorr.verify_naive pk m s)
                 batch_items)))
+  in
+  let batch_keyed_items =
+    List.map
+      (fun (pk, m, s) ->
+        let kc = Daric_crypto.Keyctx.create pk in
+        ignore (Daric_crypto.Keyctx.table kc);
+        (kc, m, s))
+      batch_items
+  in
+  let batch_keyed =
+    Test.make ~name:"schnorr-batch-64-keyed"
+      (Staged.stage (fun () ->
+           assert (Schnorr.batch_verify_keyed batch_keyed_items)))
+  in
+  let batch_keyed_naive =
+    Test.make ~name:"schnorr-batch-64-keyed_naive"
+      (Staged.stage (fun () -> assert (Schnorr.batch_verify batch_items)))
   in
   let exp = 987_654_321 in
   let pow_fixed =
@@ -623,9 +662,10 @@ let bench_tests () =
                ignore (Daric_schemes.Costmodel.weight (s.dishonest ~m:10)))
              Daric_schemes.Costmodel.all))
   in
-  [ sign; verify; verify_naive; batch; batch_naive; pow_fixed; pow_naive;
-    is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive; tx_encode;
-    tx_encode_naive; sighash_family; sighash_family_naive ]
+  [ sign; verify; verify_naive; sign_keyed; sign_keyed_naive; verify_keyed;
+    verify_keyed_naive; batch; batch_naive; batch_keyed; batch_keyed_naive;
+    pow_fixed; pow_naive; is_elt_qr; is_elt_naive; sha; txid_memo; txid_naive;
+    tx_encode; tx_encode_naive; sighash_family; sighash_family_naive ]
   @ scheme_updates @ [ weights ]
 
 (* Machine-readable perf trajectory: a flat name -> ns/run map written
@@ -654,7 +694,10 @@ let write_bench_json ~(quota_s : float) (entries : (string * float) list) :
    channel-update entry per registered scheme. *)
 let required_entries =
   [ "schnorr-sign"; "schnorr-verify"; "schnorr-verify_naive";
+    "schnorr-sign-keyed"; "schnorr-sign-keyed_naive";
+    "schnorr-verify-keyed"; "schnorr-verify-keyed_naive";
     "schnorr-batch-verify-64"; "schnorr-batch-verify-64_naive";
+    "schnorr-batch-64-keyed"; "schnorr-batch-64-keyed_naive";
     "txid"; "txid_naive"; "tx-encode"; "tx-encode_naive";
     "sighash-family"; "sighash-family_naive" ]
   @ List.map
@@ -662,14 +705,15 @@ let required_entries =
         String.lowercase_ascii S.name ^ "-channel-update")
       Registry.all
 
-let run_micro ~smoke () =
+let run_micro ~smoke ~quick () =
   section
     (if smoke then "Micro-benchmarks (Bechamel, smoke quota)"
+     else if quick then "Micro-benchmarks (Bechamel, quick quota)"
      else "Micro-benchmarks (Bechamel)");
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
-  let quota_s = if smoke then 0.1 else 0.5 in
+  let quota_s = if smoke then 0.1 else if quick then 0.25 else 0.5 in
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second quota_s) ~kde:(Some 500) ()
   in
@@ -762,4 +806,6 @@ let () =
   if List.mem "mem" args then run_mem ~smoke ~quick ~full ();
   (* explicit-only: bounded exhaustive exploration of every world *)
   if List.mem "mcheck" args then run_mcheck ~smoke ();
-  if want "micro" then run_micro ~smoke ()
+  (* "crypto" is the explicit name for the micro suite (it is crypto-
+     dominated and owns BENCH_crypto.json); --quick mirrors scale's *)
+  if want "micro" || List.mem "crypto" args then run_micro ~smoke ~quick ()

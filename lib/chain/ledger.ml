@@ -325,8 +325,13 @@ let discharge (ds : Daric_tx.Sighash.deferred list) : bool =
         Array.of_list
           (List.rev_map (fun d -> Daric_tx.Sighash.(d.d_pk, d.d_msg, d.d_sig)) ds)
       in
+      (* pooled: triples whose key context is resident on the executing
+         domain discharge through per-key window tables (always the case
+         for pinned channel keys when the pool runs sequentially on the
+         protocol domain); the rest join the plain batch unchanged *)
       Dpool.all_chunks
-        (fun chunk -> Daric_crypto.Schnorr.batch_verify (Array.to_list chunk))
+        (fun chunk ->
+          Daric_crypto.Schnorr.batch_verify_pooled (Array.to_list chunk))
         items
 
 (** Batched witness validation: every signature check across all of
@@ -353,7 +358,7 @@ let validate_batched (t : t) (tx : Tx.t) : (unit, reject_reason) result =
               (fun d -> Daric_tx.Sighash.(d.d_pk, d.d_msg, d.d_sig))
               ds
           in
-          if Daric_crypto.Schnorr.batch_verify items then Ok ()
+          if Daric_crypto.Schnorr.batch_verify_pooled items then Ok ()
           else validate t tx)
 
 (* ---------------- staged state views ---------------- *)

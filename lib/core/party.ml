@@ -91,6 +91,26 @@ let ops_copy (o : ops) = { signs = o.signs; verifies = o.verifies; exps = o.exps
 
 (* ------------------------------------------------------------------ *)
 
+(** The channel's own signing contexts, one per keypair — built once
+    at INTRO and used by every [sign_counted], so deterministic
+    signing's key-dependent setup (scalar encoding, public key) is
+    paid per channel, not per signature. *)
+type sctx = {
+  x_main : Daric_crypto.Keyctx.t;
+  x_sp : Daric_crypto.Keyctx.t;
+  x_rv : Daric_crypto.Keyctx.t;
+  x_rv' : Daric_crypto.Keyctx.t;
+}
+
+let sctx_of_keys (k : Keys.t) : sctx =
+  let kc (kp : Keys.keypair) =
+    Daric_crypto.Keyctx.create ~sk:kp.Keys.sk kp.Keys.pk
+  in
+  { x_main = kc k.Keys.main;
+    x_sp = kc k.Keys.sp;
+    x_rv = kc k.Keys.rv;
+    x_rv' = kc k.Keys.rv' }
+
 type split_data = { split_body : Tx.t; split_sig_a : string; split_sig_b : string }
 
 (** In-progress update (the paper's Gamma'^P). *)
@@ -102,6 +122,10 @@ type update_ctx = {
   u_split_body : Tx.t;
       (** state-(sn+1) split body, generated once per update so later
           steps reuse its encoding memo instead of re-deriving it *)
+  u_my_split_sig : string option;
+      (** our own split signature, produced when the update began;
+          deterministic signing makes any re-sign of the same body
+          bit-identical, so later steps reuse these bytes *)
   mutable u_split : split_data option;
   u_initiator : bool;
 }
@@ -143,6 +167,10 @@ let phase_to_string = function
 type chan = {
   cfg : config;
   keys : Keys.t;
+  sctx : sctx;  (** own signing contexts, alive for the channel *)
+  mutable pinned_pks : Daric_crypto.Schnorr.public_key list;
+      (** keys this channel pinned in the {!Daric_crypto.Keyctx} pool
+          (own and peer's); released exactly once, at Done *)
   mutable their_keys : Keys.pub option;
   mutable tid_mine : Tx.outpoint option;
   mutable tid_theirs : Tx.outpoint option;
@@ -223,21 +251,21 @@ let main_pks (c : chan) : Daric_crypto.Schnorr.public_key * Daric_crypto.Schnorr
   let a, b = keys_ab c in
   (a.Keys.main_pk, b.Keys.main_pk)
 
-(** Key used to sign the counter-party's revocation transaction
+(** Context signing the counter-party's revocation transaction
     (update steps 9/11): rv when we are Alice, rv' when we are Bob. *)
-let rev_sign_key_for_theirs (c : chan) : Daric_crypto.Schnorr.secret_key =
-  match c.cfg.role with Keys.Alice -> c.keys.Keys.rv.sk | Keys.Bob -> c.keys.Keys.rv'.sk
+let rev_sign_ctx_for_theirs (c : chan) : Daric_crypto.Keyctx.t =
+  match c.cfg.role with Keys.Alice -> c.sctx.x_rv | Keys.Bob -> c.sctx.x_rv'
 
 (** Their public key verifying their signature on OUR revocation tx. *)
 let rev_verify_key_for_mine (c : chan) : Daric_crypto.Schnorr.public_key =
   let theirs = Option.get c.their_keys in
   match c.cfg.role with Keys.Alice -> theirs.Keys.rv'_pk | Keys.Bob -> theirs.Keys.rv_pk
 
-(** Key used to complete OUR OWN revocation transaction at punish time
-    (and to pre-sign it for the watchtower): rv' when we are Alice, rv
+(** Context completing OUR OWN revocation transaction at punish time
+    (and pre-signing it for the watchtower): rv' when we are Alice, rv
     when we are Bob. *)
-let rev_complete_key_mine (c : chan) : Daric_crypto.Schnorr.secret_key =
-  match c.cfg.role with Keys.Alice -> c.keys.Keys.rv'.sk | Keys.Bob -> c.keys.Keys.rv.sk
+let rev_complete_ctx_mine (c : chan) : Daric_crypto.Keyctx.t =
+  match c.cfg.role with Keys.Alice -> c.sctx.x_rv' | Keys.Bob -> c.sctx.x_rv
 
 (** My revocation transaction body for revoked state [revoked]. *)
 let my_rev_body (c : chan) ~(revoked : int) : Tx.t =
@@ -264,15 +292,53 @@ let rev_witness_sigs (c : chan) ~(sig_mine : string) ~(sig_theirs : string) :
 
 (* ---- counted crypto operations ----------------------------------- *)
 
-let sign_counted (t : t) (sk : Daric_crypto.Schnorr.secret_key)
-    (flag : Sighash.flag) (msg : string) : string =
+let sign_counted (t : t) (kc : Daric_crypto.Keyctx.t) (flag : Sighash.flag)
+    (msg : string) : string =
   t.ops.signs <- t.ops.signs + 1;
-  Sighash.sign_message sk flag msg
+  Sighash.sign_message_keyed kc flag msg
 
+(* Pooled: the peer's keys are pinned at createInfo, so in-protocol
+   verifications discharge through their window tables; after release
+   (or pin saturation) the same call transparently takes the plain
+   path with the same verdict. *)
 let verify_counted (t : t) (pk : Daric_crypto.Schnorr.public_key) (msg : string)
     (sig_bytes : string) : bool =
   t.ops.verifies <- t.ops.verifies + 1;
-  Sighash.verify_message (Daric_crypto.Schnorr.encode_public_key pk) msg sig_bytes
+  Sighash.verify_message_pooled
+    (Daric_crypto.Schnorr.encode_public_key pk)
+    msg sig_bytes
+
+(* Pool residency over the channel lifecycle: pin at open, release at
+   Done — the explicit reclaim discipline that keeps pool memory
+   proportional to LIVE channels. Saturated (refused) pins are simply
+   not recorded, so release stays balanced. *)
+
+let pin_own_keys (c : chan) : Daric_crypto.Schnorr.public_key list =
+  List.filter_map
+    (fun kc ->
+      if Daric_crypto.Keyctx.pin_ctx kc then Some (Daric_crypto.Keyctx.pk kc)
+      else None)
+    [ c.sctx.x_main; c.sctx.x_sp; c.sctx.x_rv; c.sctx.x_rv' ]
+
+let pin_their_keys (theirs : Keys.pub) : Daric_crypto.Schnorr.public_key list =
+  List.filter_map
+    (fun pk -> if Daric_crypto.Keyctx.pin pk then Some pk else None)
+    [ theirs.Keys.main_pk; theirs.Keys.sp_pk; theirs.Keys.rv_pk;
+      theirs.Keys.rv'_pk ]
+
+let release_chan_keys (c : chan) : unit =
+  List.iter Daric_crypto.Keyctx.release c.pinned_pks;
+  c.pinned_pks <- []
+
+(** (Re)take the channel's pool pins — used after crash recovery
+    reconstructs a [chan] outside the INTRO/createInfo path. *)
+let repin_keys (c : chan) : unit =
+  release_chan_keys c;
+  let own = pin_own_keys c in
+  let theirs =
+    match c.their_keys with Some k -> pin_their_keys k | None -> []
+  in
+  c.pinned_pks <- theirs @ own
 
 (* ---- transaction (re)construction helpers ------------------------ *)
 
@@ -309,6 +375,8 @@ let intro (t : t) (ctx : ctx) ?(keys : Keys.t option) ~(cfg : config)
   let c =
     { cfg;
       keys;
+      sctx = sctx_of_keys keys;
+      pinned_pks = [];
       their_keys = None;
       tid_mine = Some tid;
       tid_theirs = None;
@@ -335,6 +403,7 @@ let intro (t : t) (ctx : ctx) ?(keys : Keys.t option) ~(cfg : config)
       outcome = None }
   in
   t.chans <- (cfg.id, c) :: t.chans;
+  c.pinned_pks <- pin_own_keys c;
   ctx.send ~recipient:cfg.peer
     (Wire.Create_info { id = cfg.id; tid; keys = Keys.pub keys })
 
@@ -345,6 +414,7 @@ let initial_state (c : chan) : Tx.output list =
 let on_create_info (t : t) (ctx : ctx) (c : chan) ~(tid : Tx.outpoint)
     ~(keys : Keys.pub) : unit =
   c.their_keys <- Some keys;
+  c.pinned_pks <- pin_their_keys keys @ c.pinned_pks;
   c.tid_theirs <- Some tid;
   let pk_a, pk_b = main_pks c in
   let tid_a, tid_b =
@@ -358,10 +428,10 @@ let on_create_info (t : t) (ctx : ctx) (c : chan) ~(tid : Tx.outpoint)
   let _, commit_theirs = commits_for_roles c ~i:0 in
   let split0 = Txs.gen_split ~theta:c.st ~s0:c.cfg.s0 ~i:0 in
   let split_sig =
-    sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split0)
+    sign_counted t c.sctx.x_sp Anyprevout (Txs.split_message split0)
   in
   let commit_sig =
-    sign_counted t c.keys.Keys.main.sk All (Txs.commit_message commit_theirs)
+    sign_counted t c.sctx.x_main All (Txs.commit_message commit_theirs)
   in
   c.phase <- Await_create_com;
   c.deadline <- Some (ctx.round + 2);
@@ -385,7 +455,7 @@ let on_create_com (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
   else begin
     (* Assemble state-0 data. *)
     let my_split_sig =
-      Sighash.sign_message c.keys.Keys.sp.sk Anyprevout (Txs.split_message split0)
+      Sighash.sign_message_keyed c.sctx.x_sp Anyprevout (Txs.split_message split0)
     in
     let sig_a, sig_b =
       match c.cfg.role with
@@ -394,7 +464,7 @@ let on_create_com (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
     in
     c.split <- Some { split_body = split0; split_sig_a = sig_a; split_sig_b = sig_b };
     let my_commit_sig =
-      Sighash.sign_message c.keys.Keys.main.sk All
+      Sighash.sign_message_keyed c.sctx.x_main All
         (Txs.commit_message commit_mine_body)
     in
     let sig_a, sig_b =
@@ -410,7 +480,7 @@ let on_create_com (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
     (* Sign and send the funding transaction. *)
     let fund = Option.get c.fund in
     let fund_sig =
-      sign_counted t c.keys.Keys.main.sk All (Txs.funding_message fund)
+      sign_counted t c.sctx.x_main All (Txs.funding_message fund)
     in
     c.fund_sig_mine <- Some fund_sig;
     c.phase <- Await_create_fund;
@@ -462,6 +532,7 @@ let post_refund (t : t) (ctx : ctx) (c : chan) : unit =
       c.deadline <- Some (ctx.round + 1 + Ledger.delta ctx.ledger)
   | _ ->
       c.phase <- Done;
+      release_chan_keys c;
       emit t ctx (Aborted c.cfg.id)
 
 (* ------------------------------------------------------------------ *)
@@ -482,6 +553,7 @@ let force_close (t : t) (ctx : ctx) (c : chan) : unit =
   | None ->
       (* Nothing enforceable yet (creation never completed). *)
       c.phase <- Done;
+      release_chan_keys c;
       emit t ctx (Aborted c.cfg.id)
   | Some commit ->
       ctx.post commit;
@@ -519,7 +591,7 @@ let on_update_req (t : t) (ctx : ctx) (c : chan) ~(theta : Tx.output list)
     let commit_mine_body, commit_theirs_body = commits_for_roles c ~i:i' in
     let split_body = Txs.gen_split ~theta ~s0:c.cfg.s0 ~i:i' in
     let split_sig =
-      sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split_body)
+      sign_counted t c.sctx.x_sp Anyprevout (Txs.split_message split_body)
     in
     c.pending <-
       Some
@@ -528,6 +600,7 @@ let on_update_req (t : t) (ctx : ctx) (c : chan) ~(theta : Tx.output list)
           u_commit_mine_body = commit_mine_body;
           u_commit_theirs_body = commit_theirs_body;
           u_split_body = split_body;
+          u_my_split_sig = Some split_sig;
           u_split = None;
           u_initiator = false };
     c.phase <- Upd_await_com_initiator;
@@ -553,7 +626,7 @@ let on_update_info (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
   end
   else begin
     let my_split_sig =
-      sign_counted t c.keys.Keys.sp.sk Anyprevout (Txs.split_message split_body)
+      sign_counted t c.sctx.x_sp Anyprevout (Txs.split_message split_body)
     in
     let sig_a, sig_b =
       match c.cfg.role with
@@ -567,6 +640,7 @@ let on_update_info (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
           u_commit_mine_body = commit_mine_body;
           u_commit_theirs_body = commit_theirs_body;
           u_split_body = split_body;
+          u_my_split_sig = Some my_split_sig;
           u_split =
             Some { split_body; split_sig_a = sig_a; split_sig_b = sig_b };
           u_initiator = true };
@@ -575,7 +649,7 @@ let on_update_info (t : t) (ctx : ctx) (c : chan) ~(split_sig : string)
     if not (t.env.approve_setup ~id:c.cfg.id) then force_close t ctx c
     else begin
       let commit_sig =
-        sign_counted t c.keys.Keys.main.sk All
+        sign_counted t c.sctx.x_main All
           (Txs.commit_message commit_theirs_body)
       in
       c.phase <- Upd_await_com_responder;
@@ -611,8 +685,17 @@ let on_update_com_initiator (t : t) (ctx : ctx) (c : chan)
       end
       else begin
         let my_split_sig =
-          sign_counted t c.keys.Keys.sp.sk Anyprevout
-            (Txs.split_message split_body)
+          match u.u_my_split_sig with
+          | Some s ->
+              (* Deterministic signing: our updateInfo signature over
+                 this very body is bit-identical, so reuse the bytes.
+                 Still counted — the ops counters report the protocol's
+                 Table-3 cost model, not the memoization. *)
+              t.ops.signs <- t.ops.signs + 1;
+              s
+          | None ->
+              sign_counted t c.sctx.x_sp Anyprevout
+                (Txs.split_message split_body)
         in
         let sig_a, sig_b =
           match c.cfg.role with
@@ -622,7 +705,7 @@ let on_update_com_initiator (t : t) (ctx : ctx) (c : chan)
         u.u_split <-
           Some { split_body; split_sig_a = sig_a; split_sig_b = sig_b };
         let my_commit_sig =
-          Sighash.sign_message c.keys.Keys.main.sk All
+          Sighash.sign_message_keyed c.sctx.x_main All
             (Txs.commit_message u.u_commit_mine_body)
         in
         let csig_a, csig_b =
@@ -640,7 +723,7 @@ let on_update_com_initiator (t : t) (ctx : ctx) (c : chan)
         if not (t.env.approve_setup' ~id:c.cfg.id) then force_close t ctx c
         else begin
           let commit_sig =
-            sign_counted t c.keys.Keys.main.sk All
+            sign_counted t c.sctx.x_main All
               (Txs.commit_message u.u_commit_theirs_body)
           in
           c.phase <- Upd_await_revoke_initiator;
@@ -670,7 +753,7 @@ let on_update_com_responder (t : t) (ctx : ctx) (c : chan)
       end
       else begin
         let my_commit_sig =
-          Sighash.sign_message c.keys.Keys.main.sk All
+          Sighash.sign_message_keyed c.sctx.x_main All
             (Txs.commit_message u.u_commit_mine_body)
         in
         let sig_a, sig_b =
@@ -686,7 +769,7 @@ let on_update_com_responder (t : t) (ctx : ctx) (c : chan)
         else begin
           let rev_theirs = their_rev_body c ~revoked:c.sn in
           let rev_sig =
-            sign_counted t (rev_sign_key_for_theirs c) Anyprevout
+            sign_counted t (rev_sign_ctx_for_theirs c) Anyprevout
               (Txs.revoke_message rev_theirs)
           in
           c.phase <- Upd_await_revoke_responder;
@@ -723,7 +806,7 @@ let finalize_update (t : t) (ctx : ctx) (c : chan) (u : update_ctx)
   let my_rev = my_rev_body c ~revoked:(c.sn - 1) in
   c.rev_sig_mine <-
     Some
-      (sign_counted t (rev_complete_key_mine c) Anyprevout
+      (sign_counted t (rev_complete_ctx_mine c) Anyprevout
          (Txs.revoke_message my_rev));
   emit t ctx (Updated (c.cfg.id, c.sn))
 
@@ -748,7 +831,7 @@ let on_revoke_initiator (t : t) (ctx : ctx) (c : chan) ~(rev_sig : string) :
       else begin
         let rev_theirs = their_rev_body c ~revoked:c.sn in
         let their_rev_sig =
-          sign_counted t (rev_sign_key_for_theirs c) Anyprevout
+          sign_counted t (rev_sign_ctx_for_theirs c) Anyprevout
             (Txs.revoke_message rev_theirs)
         in
         finalize_update t ctx c u ~rev_sig;
@@ -784,7 +867,7 @@ let request_close (t : t) (ctx : ctx) ~(id : string) : unit =
   if c.phase <> Operational then invalid_arg "request_close: channel busy";
   let fin = Txs.gen_fin_split ~funding:(funding_outpoint c) ~theta:c.st in
   let fin_sig =
-    sign_counted t c.keys.Keys.main.sk All (Txs.fin_split_message fin)
+    sign_counted t c.sctx.x_main All (Txs.fin_split_message fin)
   in
   c.fin_split <- Some fin;
   c.phase <- Close_await_ack;
@@ -806,7 +889,7 @@ let on_close_req (t : t) (ctx : ctx) (c : chan) ~(fin_sig : string) : unit =
     then emit t ctx (Protocol_error (c.cfg.id, "invalid closeP signature"))
     else begin
       let my_sig =
-        sign_counted t c.keys.Keys.main.sk All (Txs.fin_split_message fin)
+        sign_counted t c.sctx.x_main All (Txs.fin_split_message fin)
       in
       c.fin_split <- Some fin;
       c.phase <- Close_await_confirm;
@@ -830,7 +913,7 @@ let on_close_ack (t : t) (ctx : ctx) (c : chan) ~(fin_sig : string) : unit =
       end
       else begin
         let my_sig =
-          Sighash.sign_message c.keys.Keys.main.sk All
+          Sighash.sign_message_keyed c.sctx.x_main All
             (Txs.fin_split_message fin)
         in
         let sig_a, sig_b =
@@ -911,7 +994,7 @@ let punish (t : t) (ctx : ctx) (c : chan) (published : Tx.t) : unit =
           match c.rev_sig_mine with
           | Some s -> s
           | None ->
-              Sighash.sign_message (rev_complete_key_mine c) Anyprevout
+              Sighash.sign_message_keyed (rev_complete_ctx_mine c) Anyprevout
                 (Txs.revoke_message my_rev)
         in
         let sig1, sig2 = rev_witness_sigs c ~sig_mine ~sig_theirs in
@@ -952,6 +1035,7 @@ let try_post_split (t : t) (ctx : ctx) (c : chan) : unit =
 
 let settle (t : t) (ctx : ctx) (c : chan) (ev : event) : unit =
   c.phase <- Done;
+  release_chan_keys c;
   c.deadline <- None;
   c.outcome <- Some ev;
   emit t ctx ev
@@ -1055,6 +1139,7 @@ let check_deadline (t : t) (ctx : ctx) (c : chan) : unit =
       | Await_funding_confirm | Refunding ->
           (* Neither the funding nor the refund made it: report and stop. *)
           c.phase <- Done;
+          release_chan_keys c;
           emit t ctx (Aborted c.cfg.id)
       | Upd_await_info ->
           (* Responder declined or vanished before revealing anything:

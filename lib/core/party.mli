@@ -61,6 +61,16 @@ type ops = { mutable signs : int; mutable verifies : int; mutable exps : int }
 
 val ops_copy : ops -> ops
 
+(** The channel's own signing contexts, one per keypair — built once
+    at INTRO so deterministic signing's key-dependent setup is paid
+    per channel, not per signature. *)
+type sctx = {
+  x_main : Daric_crypto.Keyctx.t;
+  x_sp : Daric_crypto.Keyctx.t;
+  x_rv : Daric_crypto.Keyctx.t;
+  x_rv' : Daric_crypto.Keyctx.t;
+}
+
 type split_data = { split_body : Tx.t; split_sig_a : string; split_sig_b : string }
 
 (** In-progress update (the paper's Γ'). *)
@@ -70,6 +80,9 @@ type update_ctx = {
   u_commit_mine_body : Tx.t;
   u_commit_theirs_body : Tx.t;
   u_split_body : Tx.t;  (** state-(sn+1) split body, generated once *)
+  u_my_split_sig : string option;
+      (** our split signature from the update's first step; later
+          steps reuse it (deterministic signing — bit-identical) *)
   mutable u_split : split_data option;
   u_initiator : bool;
 }
@@ -96,6 +109,10 @@ val phase_to_string : phase -> string
 type chan = {
   cfg : config;
   keys : Keys.t;
+  sctx : sctx;  (** own signing contexts, alive for the channel *)
+  mutable pinned_pks : Daric_crypto.Schnorr.public_key list;
+      (** keys pinned in the {!Daric_crypto.Keyctx} pool at open
+          (own and peer's), released exactly once at Done *)
   mutable their_keys : Keys.pub option;
   mutable tid_mine : Tx.outpoint option;
   mutable tid_theirs : Tx.outpoint option;
@@ -148,6 +165,15 @@ val ops : t -> ops
 
 val find_chan : t -> string -> chan option
 val chan_exn : t -> string -> chan
+
+val sctx_of_keys : Keys.t -> sctx
+(** Build the per-channel signing contexts (used by crash recovery,
+    which reconstructs a [chan] outside INTRO). *)
+
+val repin_keys : chan -> unit
+(** Release and re-take the channel's {!Daric_crypto.Keyctx} pool
+    pins — crash recovery's counterpart of the pinning done at INTRO
+    and createInfo. *)
 
 val keys_ab : chan -> Keys.pub * Keys.pub
 (** (Alice-side, Bob-side) public key bundles. *)

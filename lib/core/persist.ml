@@ -156,7 +156,8 @@ let restore_chan (party : Party.t) (blob : string) : (unit, error) result =
             if not (R.at_end r) then Error (Bad_field "trailing bytes")
             else begin
               let c : Party.chan =
-                { cfg; keys; their_keys; tid_mine = None; tid_theirs = None;
+                { cfg; keys; sctx = Party.sctx_of_keys keys; pinned_pks = [];
+                  their_keys; tid_mine = None; tid_theirs = None;
                   fund; fund_sig_mine = None; fund_sig_theirs = None; sn; st;
                   flag = 1; st' = None; commit_mine; commit_theirs_body; split;
                   rev_sig_theirs; rev_sig_mine; pending = None;
@@ -165,6 +166,7 @@ let restore_chan (party : Party.t) (blob : string) : (unit, error) result =
                   split_posted = false; punish_posted = None; outcome = None }
               in
               party.Party.chans <- (id, c) :: party.Party.chans;
+              Party.repin_keys c;
               Ok ()
             end
           end)

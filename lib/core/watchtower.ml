@@ -225,7 +225,7 @@ let record_valid (r : record) : bool =
       | _ -> None
   in
   match (item rv1 r.sig_a, item rv2 r.sig_b) with
-  | Some a, Some b -> Daric_crypto.Schnorr.batch_verify [ a; b ]
+  | Some a, Some b -> Daric_crypto.Schnorr.batch_verify_pooled [ a; b ]
   | _ -> false
 
 (** Install or replace the record for a channel — the client calls this

@@ -88,12 +88,34 @@ let pow_precomp (table : precomp) (e : scalar) : element =
   done;
   !acc
 
+(* Memory cost of one [precomp], in bytes: the outer array (header +
+   fb_windows pointers) plus fb_windows rows of (header + fb_digits
+   boxed-free immediates), at 8 bytes per word on a 64-bit runtime.
+   With w = 5 over 30-bit exponents that is
+   (1 + 6) + 6 * (1 + 32) = 205 words = 1640 bytes per base. *)
+let precomp_bytes : int =
+  8 * (1 + fb_windows + (fb_windows * (1 + fb_digits)))
+
 (* The generator table is by far the most used one (keygen, sign, the
-   g^s side of every verify); build it once at module initialisation. *)
+   g^s side of every verify); build it once at module initialisation
+   and share it everywhere — no caller should ever build a second
+   table for g (or fall back to a cold ladder on it). *)
 let g_table : precomp = precompute g
+
+let g_precomp : precomp = g_table
 
 (** [pow_g e] = g^e via the fixed-base table. *)
 let pow_g (e : scalar) : element = pow_precomp g_table e
+
+(** [dbl_pow_precomp ta ea tb eb] = a^ea * b^eb when BOTH bases have
+    window tables: at most [2 * fb_windows] table multiplications plus
+    one combining multiplication — no squaring ladder at all. The
+    keyed counterpart of {!dbl_pow} for {!Schnorr.verify_keyed}, where
+    the two bases are the (precomputed) generator and a channel public
+    key whose table lives in a {!Keyctx.t}. *)
+let dbl_pow_precomp (ta : precomp) (ea : scalar) (tb : precomp) (eb : scalar) :
+    element =
+  mul (pow_precomp ta ea) (pow_precomp tb eb)
 
 (** Shamir/Straus double exponentiation: [dbl_pow a ea b eb] computes
     a^ea * b^eb in one interleaved ladder — the squarings are shared

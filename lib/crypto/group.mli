@@ -36,11 +36,33 @@ type precomp
     b^(j * 2^(w*i)) so b^e costs at most [ceil(30/w)] multiplications. *)
 
 val precompute : element -> precomp
+(** Builds the window table for one base: [fb_windows * (fb_digits - 1)]
+    multiplications up front, amortized when the same base is
+    exponentiated more than ~8 times (one table costs
+    {!precomp_bytes} bytes of retained heap). *)
+
 val pow_precomp : precomp -> scalar -> element
+
+val precomp_bytes : int
+(** Retained memory cost of one {!precomp} in bytes (arrays, headers
+    and all): with the w = 5 windows over 30-bit exponents used here,
+    205 words = 1640 bytes per base. Budget tables accordingly — a
+    per-key table pays for itself in speed only while the key is hot,
+    so unbounded per-key caching would trade O(keys) memory for it. *)
+
+val g_precomp : precomp
+(** THE table for the generator, built once at module initialisation.
+    Callers needing g as one base of a multi-exponentiation must reuse
+    this table (or {!pow_g}); never [precompute g] again. *)
 
 val pow_g : scalar -> element
 (** g^e through a module-initialisation-time table for the generator —
     the hot path of [keygen], [sign] and the g^s side of [verify]. *)
+
+val dbl_pow_precomp : precomp -> scalar -> precomp -> scalar -> element
+(** [dbl_pow_precomp ta ea tb eb] = a^ea * b^eb with both bases
+    precomputed: at most [2 * ceil(30/w)] table multiplications plus
+    one combining one — no squaring ladder, unlike {!dbl_pow}. *)
 
 val dbl_pow : element -> scalar -> element -> scalar -> element
 (** [dbl_pow a ea b eb] = a^ea * b^eb by Shamir's trick: one shared

@@ -155,6 +155,58 @@ let verify (pk : public_key) (msg : string) (sg : signature) : bool =
   let e = challenge sg.r pk msg in
   Group.dbl_pow Group.g sg.s pk (Group.scalar_sub 0 e) = sg.r
 
+(* ------------------------------------------------------------------ *)
+(* Keyed operations: the per-key half of every exponentiation and the
+   key-dependent hash prefixes come precomputed from a {!Keyctx.t}.
+   Each keyed operation agrees pointwise with its plain counterpart
+   (the differential suite asserts it); the plain paths above stay as
+   the oracles. *)
+
+(** [sign_keyed kc msg] = [sign sk msg] for the context's secret key,
+    bit-identical: the nonce preimage [enc sk || msg] is fed as slices
+    from the context's cached scalar encoding (no per-call encode or
+    concatenation), and the public key comes from the context instead
+    of a fresh [pow_g].
+    @raise Invalid_argument on a verify-only context. *)
+let sign_keyed (kc : Keyctx.t) (msg : string) : signature =
+  let sk =
+    match Keyctx.sk kc with
+    | Some sk -> sk
+    | None -> invalid_arg "Schnorr.sign_keyed: verify-only context"
+  in
+  let sk_enc = Keyctx.sk_enc kc in
+  let k =
+    Group.scalar_of_digest
+      (Hash.tagged_parts "daric/nonce"
+         [ (sk_enc, 0, String.length sk_enc); (msg, 0, String.length msg) ])
+  in
+  let k = if k = 0 then 1 else k in
+  let r = Group.pow_g k in
+  let e = challenge r (Keyctx.pk kc) msg in
+  { r; s = Group.scalar_add k (Group.scalar_mul e sk) }
+
+(** [verify_keyed kc msg sg] = [verify (pk kc) msg sg], with the key's
+    membership check amortized into context construction and the
+    Shamir ladder replaced by two fixed-base window tables (the shared
+    g table and the context's): a dozen multiplications instead of 30
+    squarings. *)
+let verify_keyed (kc : Keyctx.t) (msg : string) (sg : signature) : bool =
+  Keyctx.is_valid kc
+  && Group.is_element_fast sg.r
+  &&
+  let e = challenge sg.r (Keyctx.pk kc) msg in
+  Group.dbl_pow_precomp Group.g_precomp sg.s (Keyctx.table kc)
+    (Group.scalar_sub 0 e)
+  = sg.r
+
+(** Pool-probing verify: keyed when [pk]'s context is resident (a
+    channel key pinned at open), the plain fast path otherwise. Never
+    inserts into the pool, so cold keys cost one table probe extra. *)
+let verify_pooled (pk : public_key) (msg : string) (sg : signature) : bool =
+  match Keyctx.peek pk with
+  | Some kc -> verify_keyed kc msg sg
+  | None -> verify pk msg sg
+
 (** Reference verify, reproducing the pre-optimization path end to
     end: two independent [Group.pow] ladders, two full x^q membership
     modexps and an uncached challenge — the baseline for the property
@@ -239,6 +291,56 @@ let batch_verify_detailed (items : (public_key * string * signature) list) :
       items;
     match List.rev !bad with [] -> Ok () | bad -> Error bad
 
+(* Keyed batch: same random-linear-combination check and the same
+   coefficient derivation as [batch_verify], but each public-key term
+   g^(-z_i * e_i)-side is discharged through the key's window table
+   (a handful of multiplications) instead of occupying a lane of the
+   Straus ladder; only the per-signature R_i terms — fresh group
+   elements with nothing to precompute — keep the shared ladder. *)
+let batch_verify_keyed (items : (Keyctx.t * string * signature) list) : bool =
+  match items with
+  | [] -> true
+  | [ (kc, msg, sg) ] -> verify_keyed kc msg sg
+  | _ ->
+      List.for_all
+        (fun (kc, _, sg) -> Keyctx.is_valid kc && Group.is_element_fast sg.r)
+        items
+      &&
+      let plain = List.map (fun (kc, msg, sg) -> (Keyctx.pk kc, msg, sg)) items in
+      let es = List.map (fun (kc, msg, sg) -> challenge sg.r (Keyctx.pk kc) msg) items in
+      let zs = batch_coeffs plain es in
+      let s_sum =
+        List.fold_left2
+          (fun acc (_, _, sg) z -> Group.scalar_add acc (Group.scalar_mul z sg.s))
+          0 items zs
+      in
+      let lhs =
+        List.fold_left2
+          (fun acc ((kc, _, _), e) z ->
+            Group.mul acc
+              (Group.pow_precomp (Keyctx.table kc)
+                 (Group.scalar_sub 0 (Group.scalar_mul z e))))
+          (Group.pow_g s_sum)
+          (List.combine items es) zs
+      in
+      let rhs_terms = List.map2 (fun (_, _, sg) z -> (sg.r, z)) items zs in
+      lhs = Group.multi_pow rhs_terms
+
+(** Pool-probing batch: items whose key has a resident context join a
+    keyed sub-batch, the rest a plain one; both random-linear-
+    combination checks must accept. Never inserts into the pool. *)
+let batch_verify_pooled (items : (public_key * string * signature) list) : bool =
+  let keyed, plain =
+    List.partition_map
+      (fun ((pk, msg, sg) as item) ->
+        match Keyctx.peek pk with
+        | Some kc -> Either.Left (kc, msg, sg)
+        | None -> Either.Right item)
+      items
+  in
+  (match plain with [] -> true | _ -> batch_verify plain)
+  && (match keyed with [] -> true | _ -> batch_verify_keyed keyed)
+
 (* Convenience wrappers over the wire encodings, used by the script
    interpreter which only sees byte strings. *)
 
@@ -247,4 +349,13 @@ let sign_bytes (sk : secret_key) (msg : string) : string = encode_signature (sig
 let verify_bytes (pk_bytes : string) (msg : string) (sig_bytes : string) : bool =
   match (decode_public_key pk_bytes, decode_signature sig_bytes) with
   | Some pk, Some sg -> verify pk msg sg
+  | _ -> false
+
+let sign_bytes_keyed (kc : Keyctx.t) (msg : string) : string =
+  encode_signature (sign_keyed kc msg)
+
+let verify_bytes_pooled (pk_bytes : string) (msg : string) (sig_bytes : string)
+    : bool =
+  match (decode_public_key pk_bytes, decode_signature sig_bytes) with
+  | Some pk, Some sg -> verify_pooled pk msg sg
   | _ -> false

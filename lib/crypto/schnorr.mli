@@ -63,9 +63,48 @@ val batch_verify_detailed :
 (** Isolating form of {!batch_verify}: on rejection, returns the
     non-empty sorted indices of every individually-invalid triple. *)
 
+(** {2 Keyed operations}
+
+    Per-public-key precomputation from a {!Keyctx.t}: validation,
+    encodings and fixed-base window tables amortized across a channel
+    lifetime. Each agrees pointwise with its plain counterpart above
+    (asserted by the keyed/plain differential suite); the plain paths
+    remain the oracles. *)
+
+val sign_keyed : Keyctx.t -> string -> signature
+(** Bit-identical to {!sign} under the context's secret key, with the
+    nonce's key-dependent prefix and the public key cached.
+    @raise Invalid_argument on a verify-only context. *)
+
+val verify_keyed : Keyctx.t -> string -> signature -> bool
+(** = [verify (Keyctx.pk kc) msg sg], as two fixed-base window-table
+    exponentiations (shared g table + the key's) — no squaring ladder,
+    no per-call membership check on the key. *)
+
+val verify_pooled : public_key -> string -> signature -> bool
+(** {!verify_keyed} when the key's context is resident in the
+    {!Keyctx} pool (never inserting), {!verify} otherwise. *)
+
+val batch_verify_keyed : (Keyctx.t * string * signature) list -> bool
+(** {!batch_verify} with every public-key term discharged through its
+    key's window table; only the fresh R_i terms keep the shared
+    Straus ladder. Identical accept/reject behaviour. *)
+
+val batch_verify_pooled : (public_key * string * signature) list -> bool
+(** Splits the batch by pool residency into a keyed and a plain
+    sub-batch (never inserting); accepts iff both accept. *)
+
 val sign_bytes : secret_key -> string -> string
 (** {!sign} composed with {!encode_signature}. *)
 
 val verify_bytes : string -> string -> string -> bool
 (** [verify_bytes pk_bytes msg sig_bytes] decodes and verifies;
     [false] on any malformed input. *)
+
+val sign_bytes_keyed : Keyctx.t -> string -> string
+(** {!sign_keyed} composed with {!encode_signature}; bit-identical
+    output to {!sign_bytes} under the context's secret key. *)
+
+val verify_bytes_pooled : string -> string -> string -> bool
+(** {!verify_bytes} with the verification discharged through
+    {!verify_pooled}: same strict decoding, same verdict. *)

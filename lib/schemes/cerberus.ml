@@ -232,6 +232,8 @@ module Scheme : Scheme_intf.SCHEME = struct
      :: List.map (fun (_, kp) -> Keys.enc kp.Keys.pk) s.ch.wt_rev)
     @ side_keys s.ch.a @ side_keys s.ch.b
 
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let latest = commit_of s.ch `A in

@@ -103,6 +103,8 @@ module Scheme : Scheme_intf.SCHEME with type t = state = struct
     in
     bundle ka @ bundle kb
 
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let saw s ev = Driver.saw_event s.alice ev
 
   (* Step the driver until [done_ ()] or [max] rounds elapse. *)

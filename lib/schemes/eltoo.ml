@@ -263,6 +263,8 @@ module Scheme : Scheme_intf.SCHEME = struct
     in
     party_keys s.ch.ka @ party_keys s.ch.kb
 
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     (* the stored settlement already carries the latest balance split;

@@ -250,6 +250,8 @@ module Scheme : Scheme_intf.SCHEME = struct
 
   (* The oversize funding output also carries the watchtower
      collateral, which a collaborative close returns to the tower. *)
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let bal_a, bal_b = s.bal in

@@ -301,6 +301,8 @@ module Scheme : Scheme_intf.SCHEME = struct
         s.ch.b.punish.Keys.pk ]
     @ List.map Keys.enc s.ch.stmt_log
 
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let bal_a, bal_b = s.bal in

@@ -264,6 +264,8 @@ module Scheme : Scheme_intf.SCHEME = struct
     in
     side_keys s.ch.a @ side_keys s.ch.b
 
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let collaborative_close s =
     let h0 = Ledger.height s.env.ledger in
     let bal_a, bal_b = s.bal in

@@ -285,6 +285,8 @@ module Scheme : Scheme_intf.SCHEME = struct
     side_keys s.ch.a @ side_keys s.ch.b
 
   (* Latest balances as recorded in A's latest commit outputs. *)
+  let key_contexts s = I.contexts_of_pubkeys (known_pubkeys s)
+
   let bal s =
     match (commit_of s.ch `A).Tx.outputs with
     | own :: other :: _ -> (own.Tx.value, other.Tx.value)

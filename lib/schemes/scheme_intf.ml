@@ -164,6 +164,14 @@ module type SCHEME = sig
       watchtower keys, adaptor statements. The static-analysis DAG
       linter treats any key outside this set as an orphan. *)
 
+  val key_contexts : t -> Daric_crypto.Keyctx.t list
+  (** A {!Daric_crypto.Keyctx.t} per {!known_pubkeys} entry:
+      pool-resident contexts are shared (channel keys pinned at open,
+      window tables and all), other keys get fresh verify-only
+      contexts. Feeds keyed verification ({!Daric_crypto
+      .Schnorr.verify_keyed}/[batch_verify_keyed]) for consumers that
+      check many witnesses against a channel's key inventory. *)
+
   val collaborative_close : t -> (outcome, error) result
   (** Both parties co-sign the final balance split. *)
 
@@ -218,6 +226,23 @@ let coop_close_tx ~(outpoint : Tx.outpoint) ~(outputs : Tx.output list)
     | None -> [ Tx.Data ""; Tx.Data sig_a; Tx.Data sig_b ]
   in
   Tx.with_witnesses body [ wit ]
+
+(** Shared [key_contexts] implementation: one context per decodable
+    [known_pubkeys] entry. Pool-resident contexts are shared — for
+    pinned channel keys that means the very object (and window table)
+    the hot paths use; keys outside the pool get fresh verify-only
+    contexts and nothing is inserted. Malformed encodings are dropped
+    (the DAG linter flags those separately). *)
+let contexts_of_pubkeys (pks : string list) : Daric_crypto.Keyctx.t list =
+  List.filter_map
+    (fun enc ->
+      match Daric_crypto.Schnorr.decode_public_key enc with
+      | None -> None
+      | Some pk -> (
+          match Daric_crypto.Keyctx.peek pk with
+          | Some kc -> Some kc
+          | None -> Some (Daric_crypto.Keyctx.create pk)))
+    pks
 
 (** P2WPKH output paying [value] to [pk]. *)
 let pay_to_pk ~(value : int) (pk : Daric_crypto.Schnorr.public_key) :

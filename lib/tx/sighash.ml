@@ -105,6 +105,21 @@ let sign_message (sk : Daric_crypto.Schnorr.secret_key) (flag : flag)
 let verify_message (pk_bytes : string) (msg : string) (sig_bytes : string) : bool =
   Daric_crypto.Schnorr.verify_bytes pk_bytes msg sig_bytes
 
+(** Keyed {!sign_message}: bit-identical signature, with the nonce
+    prefix and public key amortized in the context. *)
+let sign_message_keyed (kc : Daric_crypto.Keyctx.t) (flag : flag)
+    (msg : string) : string =
+  let s = Daric_crypto.Schnorr.sign_bytes_keyed kc msg in
+  let b = Bytes.of_string s in
+  Bytes.set b (Bytes.length b - 1) (Char.chr (flag_byte flag));
+  Bytes.unsafe_to_string b
+
+(** Pool-probing {!verify_message}: discharges through the key's
+    window table when its context is resident. Same verdict. *)
+let verify_message_pooled (pk_bytes : string) (msg : string)
+    (sig_bytes : string) : bool =
+  Daric_crypto.Schnorr.verify_bytes_pooled pk_bytes msg sig_bytes
+
 (** Full signature check for the script interpreter: extract the flag
     from the signature, compute the matching message over [tx], verify. *)
 let check (tx : Tx.t) ~(input_index : int) ~(pk_bytes : string)
@@ -115,7 +130,9 @@ let check (tx : Tx.t) ~(input_index : int) ~(pk_bytes : string)
   | None -> false
   | Some flag ->
       let msg = message flag tx ~input_index in
-      Daric_crypto.Schnorr.verify_bytes pk_bytes msg sig_bytes
+      (* pooled: channel keys pinned at open discharge through their
+         window tables; unknown keys take the plain path unchanged *)
+      Daric_crypto.Schnorr.verify_bytes_pooled pk_bytes msg sig_bytes
 
 type deferred = {
   d_pk : Daric_crypto.Schnorr.public_key;

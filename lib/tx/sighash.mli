@@ -32,6 +32,14 @@ val sign_message : Daric_crypto.Schnorr.secret_key -> flag -> string -> string
 val verify_message : string -> string -> string -> bool
 (** [verify_message pk_bytes msg sig_bytes]. *)
 
+val sign_message_keyed : Daric_crypto.Keyctx.t -> flag -> string -> string
+(** {!sign_message} through a per-key context — bit-identical output
+    with the key-dependent work amortized across the channel. *)
+
+val verify_message_pooled : string -> string -> string -> bool
+(** {!verify_message} through {!Daric_crypto.Schnorr.verify_pooled}:
+    keyed when the key's context is pool-resident, plain otherwise. *)
+
 val check : Tx.t -> input_index:int -> pk_bytes:string -> sig_bytes:string -> bool
 (** Full signature check for the script interpreter: extract the flag,
     recompute the matching message over the spending transaction,

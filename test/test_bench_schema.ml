@@ -1,0 +1,203 @@
+(* Benchmark artifact validation: every committed BENCH_*.json must
+   declare the schema its consumers (EXPERIMENTS.md tables, the bench
+   refresh workflow, regression diffs) expect, and every recorded
+   number must be a finite measurement — a NaN or infinity in a
+   baseline silently poisons later before/after comparisons.
+
+   The parser below is a deliberately tiny recursive-descent JSON
+   reader: the repo takes no JSON dependency, and the bench emitter
+   (bench/main.ml) writes only objects, strings and numbers. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON.                                                       *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) -> advance (); Buffer.add_char b c; go ()
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | _ -> fail "unsupported escape")
+      | Some c -> advance (); Buffer.add_char b c; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" lit)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elems acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Per-file expectations.                                              *)
+
+(* Committed artifacts live at the repo root; tests run from
+   _build/default/test with the JSONs declared as deps (see dune). *)
+let root = ".."
+
+let expected_schemas =
+  [ ("BENCH_crypto.json", "daric-bench-crypto/1");
+    ("BENCH_mcheck.json", "daric-bench-mcheck/1");
+    ("BENCH_mem.json", "daric-bench-mem/1");
+    ("BENCH_scale.json", "daric-bench-scale/1");
+    ("BENCH_tower.json", "daric-bench-tower/1") ]
+
+let find_obj doc k =
+  match doc with
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+(* Walk every numeric leaf; [path] labels failures. *)
+let rec check_numbers path = function
+  | Num f ->
+      if not (Float.is_finite f) then
+        Alcotest.failf "%s: non-finite value %h" path f
+  | Obj kvs -> List.iter (fun (k, v) -> check_numbers (path ^ "/" ^ k) v) kvs
+  | Arr vs -> List.iteri (fun i v -> check_numbers (Printf.sprintf "%s[%d]" path i) v) vs
+  | Str _ | Bool _ | Null -> ()
+
+let check_file (name, schema) () =
+  let doc =
+    try parse (read_file (Filename.concat root name))
+    with Bad msg -> Alcotest.failf "%s: parse error: %s" name msg
+  in
+  (match find_obj doc "schema" with
+  | Some (Str s) ->
+      Alcotest.(check string) (name ^ " schema") schema s
+  | Some _ -> Alcotest.failf "%s: schema field is not a string" name
+  | None -> Alcotest.failf "%s: missing schema field" name);
+  (match find_obj doc "entries" with
+  | Some (Obj kvs) ->
+      if kvs = [] then Alcotest.failf "%s: empty entries" name;
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Num f ->
+              if not (Float.is_finite f) then
+                Alcotest.failf "%s: entry %s is non-finite" name k
+          | _ -> Alcotest.failf "%s: entry %s is not a number" name k)
+        kvs
+  | Some _ -> Alcotest.failf "%s: entries is not an object" name
+  | None -> Alcotest.failf "%s: missing entries object" name);
+  check_numbers name doc
+
+(* A BENCH file without a declared expectation means a new artifact
+   slipped in without updating this suite (and its consumers). *)
+let check_no_unknown () =
+  Sys.readdir root |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.iter (fun f ->
+         if not (List.mem_assoc f expected_schemas) then
+           Alcotest.failf "unexpected bench artifact %s: add its schema here" f)
+
+let () =
+  Alcotest.run "daric-bench-schema"
+    [ ( "artifacts",
+        List.map
+          (fun ((name, _) as spec) ->
+            Alcotest.test_case name `Quick (check_file spec))
+          expected_schemas
+        @ [ Alcotest.test_case "no undeclared BENCH files" `Quick
+              check_no_unknown ] ) ]
